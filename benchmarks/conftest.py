@@ -1,0 +1,58 @@
+"""Benchmark-harness fixtures.
+
+Every bench regenerates one of the paper's tables or figures and
+registers the rendered text through the ``report`` fixture; a terminal
+summary hook prints everything at the end of the run, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+the full set of regenerated artifacts alongside the timing table.
+
+Scale knobs (environment):
+
+* ``REPRO_BENCH_SEEDS``  — comma-separated seeds per cell (default
+  ``0,1``; the paper averages 6 repetitions).
+* ``REPRO_BENCH_PRESET`` — ``bench`` (default) or ``paper`` (hours!).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def _parse_seeds() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_SEEDS", "0,1")
+    return tuple(int(s) for s in raw.split(",") if s.strip() != "")
+
+
+@pytest.fixture(scope="session")
+def bench_seeds() -> tuple[int, ...]:
+    """Seeds averaged per experiment cell."""
+    return _parse_seeds()
+
+
+@pytest.fixture(scope="session")
+def bench_preset() -> str:
+    return os.environ.get("REPRO_BENCH_PRESET", "bench")
+
+
+@pytest.fixture()
+def report():
+    """Register a rendered table/figure for the end-of-run summary."""
+    def _record(name: str, text: str) -> None:
+        _REPORTS.append((name, text))
+        print(f"\n{text}\n")
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "regenerated paper artifacts")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

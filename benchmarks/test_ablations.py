@@ -1,0 +1,106 @@
+"""Ablations of FLIPS's design choices (DESIGN.md's call-outs).
+
+1. *Label-distribution clustering value*: FLIPS vs FLIPS with k = 1
+   (which degenerates to pure fair round-robin with no label knowledge).
+2. *Elbow-chosen k vs fixed k*: the Davies-Bouldin elbow vs under/over
+   clustering.
+3. *Straggler over-provisioning on vs off* at a 20 % straggler rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FlipsSelector
+from repro.data import build_federation
+from repro.experiments import bench_config
+from repro.experiments.runner import run_cached
+from repro.fl import (
+    FederatedTrainer,
+    FLJobConfig,
+    LocalTrainingConfig,
+    make_algorithm,
+    make_straggler_model,
+)
+from repro.ml import make_model
+
+
+def _auc(config, seeds):
+    series = [run_cached(config.with_overrides(seed=s)).accuracy_series()
+              for s in seeds]
+    return float(np.mean(series))
+
+
+def test_ablation_cluster_count(bench_seeds, report, benchmark):
+    """FLIPS at elbow-k vs k=1 (no label knowledge) vs k=N/2 (shattered)."""
+    base = bench_config("ecg").with_overrides(selector="flips",
+                                              participation=0.15)
+
+    def build():
+        return {
+            "elbow": _auc(base, bench_seeds),
+            "k=1 (pure round-robin)": _auc(
+                base.with_overrides(flips_k=1), bench_seeds),
+            "k=40 (shattered)": _auc(
+                base.with_overrides(flips_k=40), bench_seeds),
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = [f"{name:>24}: mean balanced accuracy {value * 100:.2f}"
+             for name, value in results.items()]
+    report("Ablation: cluster count (ECG, α=0.3)", "\n".join(lines))
+    # Label clustering must add value over label-blind round-robin.
+    assert results["elbow"] >= results["k=1 (pure round-robin)"] - 0.02
+
+
+def test_ablation_overprovisioning(bench_seeds, report, benchmark):
+    """Algorithm 1's straggler over-provisioning, on vs off, at 20 %."""
+    fed = build_federation("ecg", 40, alpha=0.3, n_train=2000,
+                           n_test=800, seed=2)
+    lds = fed.label_distributions()
+
+    def run(overprovision, seed):
+        selector = FlipsSelector(label_distributions=lds, k=5,
+                                 overprovision=overprovision)
+        model = make_model("softmax", fed.parties[0].feature_shape,
+                           fed.num_classes, rng=seed)
+        config = FLJobConfig(
+            rounds=40, parties_per_round=6,
+            local=LocalTrainingConfig(epochs=4, batch_size=16,
+                                      learning_rate=0.15),
+            seed=seed)
+        trainer = FederatedTrainer(
+            fed, model, make_algorithm("fedyogi"), selector, config,
+            straggler_model=make_straggler_model(0.2))
+        return trainer.run()
+
+    def build():
+        on = np.mean([run(True, s).accuracy_series() for s in bench_seeds])
+        off = np.mean([run(False, s).accuracy_series()
+                       for s in bench_seeds])
+        return float(on), float(off)
+
+    on, off = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("Ablation: straggler over-provisioning (20% stragglers)",
+           f"overprovision on : mean balanced accuracy {on * 100:.2f}\n"
+           f"overprovision off: mean balanced accuracy {off * 100:.2f}")
+    assert on >= off - 0.03
+
+
+def test_ablation_selection_vs_baselines_auc(bench_seeds, report,
+                                             benchmark):
+    """Convergence AUC of all six selectors (incl. the Power-of-Choice
+    extension) on the hardest setting."""
+    base = bench_config("ecg").with_overrides(participation=0.15)
+
+    def build():
+        return {name: _auc(base.with_overrides(selector=name), bench_seeds)
+                for name in ("flips", "oort", "random", "grad_cls",
+                             "tifl", "power_of_choice")}
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = [f"{name:>16}: convergence AUC {value * 100:.2f}"
+             for name, value in sorted(results.items(),
+                                       key=lambda kv: -kv[1])]
+    report("Ablation: selector convergence AUC (ECG, α=0.3, 15%)",
+           "\n".join(lines))
+    assert results["flips"] >= results["grad_cls"] - 0.02

@@ -1,0 +1,32 @@
+"""Figure 2: Davies-Bouldin index vs cluster size, elbow marked.
+
+The paper scans k with T = 20 K-Means repetitions per candidate and
+chooses the first sharp slope change; this bench reproduces the curve on
+a bench-scale ECG federation and on a paper-scale one (200 parties).
+"""
+
+import pytest
+
+from repro.experiments import elbow_figure, format_figure
+
+
+def test_figure_02_bench_scale(bench_preset, report, benchmark):
+    def build():
+        return elbow_figure("ecg", n_parties=80, alpha=0.3, repeats=20,
+                            preset=bench_preset)
+
+    figure = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("Figure 2 (elbow, 80 parties)", format_figure(figure))
+    k = figure.annotations["elbow_k"]
+    assert 2 <= k <= 15  # small relative to the population, as in Fig. 2
+
+
+def test_figure_02_paper_scale_parties(report, benchmark):
+    """200 parties as in the paper's Fig. 2 (still feature-mode data)."""
+    def build():
+        return elbow_figure("ecg", n_parties=200, alpha=0.3, repeats=20,
+                            preset="bench", n_train=8000)
+
+    figure = benchmark.pedantic(build, rounds=1, iterations=1)
+    report("Figure 2 (elbow, 200 parties)", format_figure(figure))
+    assert 2 <= figure.annotations["elbow_k"] <= 20

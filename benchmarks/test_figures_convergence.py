@@ -1,0 +1,51 @@
+"""Figures 5–12: convergence curves per dataset, with and without
+stragglers (FL algorithm FedYogi, as in the paper's figures).
+
+Each figure renders two panels (α = 0.3 and α = 0.6 at 15 %
+participation) as round-downsampled CSV series.  All runs are shared
+with the Table 1–8 benches through the experiment cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import convergence_figure, format_figure
+from repro.experiments.figures import FIGURE_DATASET, FigureResult
+
+
+def _downsample(figure: FigureResult, step: int = 5) -> FigureResult:
+    """Every ``step``-th round — keeps the printed series readable."""
+    idx = np.arange(0, len(figure.x), step)
+    out = FigureResult(figure.name, figure.x[idx])
+    out.annotations.update(figure.annotations)
+    for label, series in figure.series.items():
+        out.series[label] = series[idx]
+    return out
+
+
+@pytest.mark.parametrize("number", sorted(FIGURE_DATASET))
+def test_figure(number, bench_seeds, bench_preset, report, benchmark):
+    dataset, with_stragglers = FIGURE_DATASET[number]
+    rates = (0.1, 0.2) if with_stragglers else (0.0,)
+
+    def build():
+        return [
+            convergence_figure(dataset, alpha=alpha, participation=0.15,
+                               straggler_rates=rates, preset=bench_preset,
+                               seeds=bench_seeds)
+            for alpha in (0.3, 0.6)]
+
+    panels = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = "\n\n".join(format_figure(_downsample(panel), precision=3)
+                       for panel in panels)
+    report(f"Figure {number} ({dataset}"
+           f"{', stragglers' if with_stragglers else ''})", text)
+
+    # Shape check on the no-straggler panels: FLIPS's mean accuracy over
+    # the run (convergence AUC) is not worse than random's by more than
+    # noise, in the α = 0.3 panel.  (Skipped for the smoke preset, whose
+    # six-round runs are noise-dominated.)
+    if not with_stragglers and bench_preset != "smoke":
+        panel = panels[0]
+        assert panel.series["flips"].mean() >= \
+            panel.series["random"].mean() - 0.03

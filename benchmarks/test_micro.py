@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the middleware's moving parts.
+
+These are the latency numbers a deployment cares about: per-round
+selection cost at 200 parties for each strategy, K-Means++ clustering
+time, and the secure-channel throughput for label-distribution sized
+payloads.  All are real pytest-benchmark timings (many iterations).
+"""
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans
+from repro.core import FlipsSelector
+from repro.selection import (
+    GradClusSelection,
+    OortSelection,
+    RandomSelection,
+    SelectionContext,
+    TiflSelection,
+)
+from repro.tee import (
+    AttestationServer,
+    SecureChannel,
+    SimulatedEnclave,
+)
+
+N = 200
+
+
+def _context(n=N, npr=40):
+    return SelectionContext(n, npr, 400, np.full(n, 100), 5, seed=0)
+
+
+def _label_distributions(n=N, classes=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.multinomial(100, rng.dirichlet(np.ones(classes)),
+                           size=n).astype(float)
+
+
+@pytest.mark.parametrize("name", ["random", "flips", "oort", "tifl",
+                                  "grad_cls"])
+def test_selection_latency_200_parties(name, benchmark):
+    """One select() call at paper scale (200 parties, Nr = 40)."""
+    strategies = {
+        "random": lambda: RandomSelection(),
+        "flips": lambda: FlipsSelector(
+            label_distributions=_label_distributions(), k=10),
+        "oort": lambda: OortSelection(),
+        "tifl": lambda: TiflSelection(),
+        "grad_cls": lambda: GradClusSelection(sketch_dim=32),
+    }
+    strategy = strategies[name]()
+    strategy.initialize(_context())
+    rng = np.random.default_rng(0)
+    counter = iter(range(1, 10 ** 9))
+
+    def select_once():
+        return strategy.select(next(counter), 40, rng)
+
+    cohort = benchmark(select_once)
+    assert len(cohort) >= 40
+
+
+def test_kmeans_200_parties(benchmark):
+    """The paper's ~100 ms clustering claim, at 200 parties / k = 10."""
+    lds = _label_distributions()
+    normalized = lds / lds.sum(axis=1, keepdims=True)
+
+    result = benchmark(lambda: KMeans(10, n_init=4).fit(normalized, 0))
+    assert result.inertia_ is not None
+
+
+def test_kmeans_1000_parties(benchmark):
+    """Scalability headroom: 1000 parties still clusters quickly."""
+    lds = _label_distributions(n=1000, seed=1)
+    normalized = lds / lds.sum(axis=1, keepdims=True)
+
+    result = benchmark(lambda: KMeans(10, n_init=1).fit(normalized, 0))
+    assert result.inertia_ is not None
+
+
+def test_secure_channel_round_trip(benchmark):
+    """Seal + unseal of one label-distribution vector."""
+    root = b"r" * 32
+    enclave = SimulatedEnclave(root, seed=0)
+    enclave.load_code("noop", lambda sealed: None)
+    server = AttestationServer(root)
+    server.approve_measurement(enclave.measurement)
+    channel = SecureChannel.establish(0, enclave, server, seed=1)
+    vector = np.arange(50, dtype=float)
+
+    def round_trip():
+        return channel.unseal_vector(channel.seal_vector(vector))
+
+    out = benchmark(round_trip)
+    assert np.array_equal(out, vector)

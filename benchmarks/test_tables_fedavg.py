@@ -1,0 +1,10 @@
+"""Tables 17–24: FedAvg on all four datasets (rounds-to-target + peak)."""
+
+import pytest
+
+from benchmarks.test_tables_fedyogi import _run_table
+
+
+@pytest.mark.parametrize("number", range(17, 25))
+def test_table(number, bench_seeds, bench_preset, report, benchmark):
+    _run_table(number, bench_seeds, bench_preset, report, benchmark)

@@ -1,0 +1,75 @@
+"""Quickstart: FLIPS vs random selection on a non-IID federation.
+
+Builds a synthetic MIT-BIH-like ECG federation (Dirichlet α = 0.3 —
+heavily non-IID), trains the same model with FedYogi under two
+participant-selection strategies, and prints the convergence comparison
+the paper's evaluation is built on.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    FederatedTrainer,
+    FLJobConfig,
+    FlipsSelector,
+    LocalTrainingConfig,
+    RandomSelection,
+    build_federation,
+    make_algorithm,
+    make_model,
+)
+
+ROUNDS = 40
+PARTIES = 40
+PER_ROUND = 6           # 15 % participation
+TARGET = 0.70           # balanced accuracy
+
+
+def run(selector, federation, seed=0):
+    model = make_model("softmax", federation.parties[0].feature_shape,
+                       federation.num_classes, rng=seed)
+    config = FLJobConfig(
+        rounds=ROUNDS, parties_per_round=PER_ROUND,
+        local=LocalTrainingConfig(epochs=4, batch_size=16,
+                                  learning_rate=0.15),
+        seed=seed)
+    trainer = FederatedTrainer(federation, model,
+                               make_algorithm("fedyogi"), selector, config)
+    return trainer.run()
+
+
+def main():
+    federation = build_federation("ecg", PARTIES, alpha=0.3,
+                                  n_train=2500, n_test=1000, seed=0)
+    print(f"federation: {federation}")
+    print(f"heterogeneity (mean TV from global): "
+          f"{federation.heterogeneity():.2f}\n")
+
+    flips = FlipsSelector(
+        label_distributions=federation.label_distributions())
+    histories = {
+        "random": run(RandomSelection(), federation),
+        "flips": run(flips, federation),
+    }
+    print(f"FLIPS clustered {federation.n_parties} parties into "
+          f"{flips.cluster_model.k} label-distribution clusters\n")
+
+    print(f"{'round':>5} | " + " | ".join(f"{n:>7}" for n in histories))
+    for r in range(0, ROUNDS, 5):
+        row = " | ".join(
+            f"{histories[n].accuracy_series()[r] * 100:6.1f}%"
+            for n in histories)
+        print(f"{r + 1:>5} | {row}")
+
+    print("\nsummary")
+    for name, history in histories.items():
+        hit = history.rounds_to_target(TARGET)
+        print(f"  {name:>7}: peak balanced accuracy "
+              f"{history.peak_accuracy() * 100:.1f}%, "
+              f"rounds to {TARGET * 100:.0f}%: "
+              f"{hit if hit is not None else f'>{ROUNDS}'}, "
+              f"comm {history.total_comm_bytes() / 1e6:.1f} MB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 517 editable
+builds; in fully offline environments without it, install with
+``python setup.py develop`` instead — same result.
+"""
+
+from setuptools import setup
+
+setup()

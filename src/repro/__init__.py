@@ -1,0 +1,80 @@
+"""repro — a full reproduction of FLIPS (Middleware 2023).
+
+FLIPS: Federated Learning using Intelligent Participant Selection
+(Bhope, Jayaram, Venkatasubramanian, Verma, Thomas; arXiv:2308.03901).
+
+Quickstart::
+
+    from repro import (build_federation, FlipsSelector, FederatedTrainer,
+                       FLJobConfig, make_algorithm, make_model)
+
+    fed = build_federation("ecg", n_parties=40, alpha=0.3, seed=0)
+    selector = FlipsSelector(label_distributions=fed.label_distributions())
+    model = make_model("mlp", fed.parties[0].feature_shape, fed.num_classes)
+    trainer = FederatedTrainer(fed, model, make_algorithm("fedyogi"),
+                               selector, FLJobConfig(rounds=50,
+                                                     parties_per_round=8))
+    history = trainer.run()
+    print(history.peak_accuracy(), history.rounds_to_target(0.6))
+
+Package map
+-----------
+- :mod:`repro.core` — FLIPS itself (Algorithm 1, TEE middleware).
+- :mod:`repro.selection` — Random / Oort / GradClus / TiFL /
+  Power-of-Choice baselines.
+- :mod:`repro.fl` — the FL engine (algorithms, parties, stragglers).
+- :mod:`repro.ml` — numpy deep-learning substrate.
+- :mod:`repro.data` — synthetic datasets + non-IID partitioners.
+- :mod:`repro.clustering` — K-Means++, Davies-Bouldin elbow,
+  hierarchical clustering.
+- :mod:`repro.tee` — simulated enclave/attestation/secure channels.
+- :mod:`repro.metrics` — balanced accuracy, convergence summaries.
+- :mod:`repro.experiments` — the table/figure regeneration harness.
+"""
+
+from repro.core import FlipsMiddleware, FlipsSelector
+from repro.data import Dataset, FederatedDataset, build_federation
+from repro.fl import (
+    FederatedTrainer,
+    FLJobConfig,
+    LocalTrainingConfig,
+    TrainingHistory,
+    make_algorithm,
+    make_straggler_model,
+)
+from repro.metrics import balanced_accuracy, peak_accuracy, rounds_to_target
+from repro.ml import Model, make_model
+from repro.selection import (
+    GradClusSelection,
+    OortSelection,
+    PowerOfChoiceSelection,
+    RandomSelection,
+    TiflSelection,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "FLJobConfig",
+    "FederatedDataset",
+    "FederatedTrainer",
+    "FlipsMiddleware",
+    "FlipsSelector",
+    "GradClusSelection",
+    "LocalTrainingConfig",
+    "Model",
+    "OortSelection",
+    "PowerOfChoiceSelection",
+    "RandomSelection",
+    "TiflSelection",
+    "TrainingHistory",
+    "balanced_accuracy",
+    "build_federation",
+    "make_algorithm",
+    "make_model",
+    "make_straggler_model",
+    "peak_accuracy",
+    "rounds_to_target",
+    "__version__",
+]

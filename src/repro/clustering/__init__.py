@@ -1,0 +1,37 @@
+"""Clustering substrate (§3.1 of the paper).
+
+FLIPS groups parties by the label distribution of their data using K-Means
+with k-means++ seeding, choosing ``k`` via the first sharp slope change
+(elbow) of the Davies-Bouldin index curve.  The GradClus baseline instead
+performs agglomerative hierarchical clustering over gradient similarity;
+that algorithm lives here too so both selectors share one substrate.
+"""
+
+from repro.clustering.hierarchical import AgglomerativeClustering
+from repro.clustering.kmeans import KMeans, kmeans_plus_plus_init
+from repro.clustering.metrics import (
+    davies_bouldin_index,
+    inter_cluster_distance,
+    intra_cluster_distance,
+    silhouette_score,
+)
+from repro.clustering.elbow import (
+    ElbowResult,
+    davies_bouldin_curve,
+    find_elbow,
+    optimal_cluster_count,
+)
+
+__all__ = [
+    "AgglomerativeClustering",
+    "ElbowResult",
+    "KMeans",
+    "davies_bouldin_curve",
+    "davies_bouldin_index",
+    "find_elbow",
+    "inter_cluster_distance",
+    "intra_cluster_distance",
+    "kmeans_plus_plus_init",
+    "optimal_cluster_count",
+    "silhouette_score",
+]

@@ -1,0 +1,148 @@
+"""Optimal cluster-count selection via the Davies-Bouldin elbow (Eq. 3).
+
+The number of unique label distributions is unknown a priori (party data
+is private), so the paper scans ``k ∈ {2, ..., K}``, repeats each
+clustering ``T = 20`` times (K-Means is initialisation-sensitive),
+averages the Davies-Bouldin index, and picks the ``k`` at the first sharp
+change in the slope of the ``k`` vs ``dbi`` curve — the elbow of Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import as_generator
+from repro.clustering.kmeans import KMeans
+from repro.clustering.metrics import davies_bouldin_index
+
+__all__ = [
+    "ElbowResult",
+    "davies_bouldin_curve",
+    "find_elbow",
+    "optimal_cluster_count",
+]
+
+
+@dataclass(frozen=True)
+class ElbowResult:
+    """Outcome of an optimal-k scan.
+
+    Attributes
+    ----------
+    k: chosen cluster count.
+    ks: the scanned values of k.
+    dbi: mean Davies-Bouldin index for each scanned k (Fig. 2's y-axis).
+    """
+
+    k: int
+    ks: tuple[int, ...]
+    dbi: tuple[float, ...]
+
+    def as_series(self) -> list[tuple[int, float]]:
+        """(k, dbi) pairs — the series behind Fig. 2."""
+        return list(zip(self.ks, self.dbi))
+
+
+def davies_bouldin_curve(x: np.ndarray, k_values: "list[int]",
+                         repeats: int = 20,
+                         rng: "int | np.random.Generator | None" = None,
+                         *, n_init: int = 1) -> np.ndarray:
+    """Mean DBI per candidate ``k`` over ``repeats`` re-initialisations."""
+    if repeats < 1:
+        raise ConfigurationError("repeats must be >= 1")
+    gen = as_generator(rng)
+    x = np.asarray(x, dtype=np.float64)
+    curve = np.zeros(len(k_values))
+    for pos, k in enumerate(k_values):
+        if not 2 <= k <= len(x):
+            raise ConfigurationError(
+                f"every k must be in [2, {len(x)}], got {k}")
+        values = []
+        for _ in range(repeats):
+            labels = KMeans(k, n_init=n_init).fit_predict(x, gen)
+            if len(np.unique(labels)) < 2:
+                # Degenerate solution (all points in one cluster);
+                # score it maximally bad rather than crashing the scan.
+                values.append(float("inf"))
+            else:
+                values.append(davies_bouldin_index(x, labels))
+        finite = [v for v in values if np.isfinite(v)]
+        curve[pos] = float(np.mean(finite)) if finite else float("inf")
+    return curve
+
+
+def find_elbow(ks: "list[int]", dbi: np.ndarray,
+               sensitivity: float = 0.75) -> int:
+    """First sharp slope change of the (k, dbi) curve — Eq. 3.
+
+    Eq. 3 scores each k by the relative change
+    ``|(dbi(k) - dbi(k-1)) / dbi(k-1)|``; the text clarifies that the
+    chosen k is the *first* sharp change of slope.  On noisy empirical
+    curves the literal argmax can land arbitrarily late, so this picks the
+    smallest k whose relative change reaches ``sensitivity`` × the maximum
+    relative change — the earliest bend that is comparably sharp to the
+    sharpest one.  ``sensitivity = 1.0`` recovers the literal argmax (with
+    first-occurrence tie-breaking).
+    """
+    if not 0.0 < sensitivity <= 1.0:
+        raise ConfigurationError(
+            f"sensitivity must be in (0, 1], got {sensitivity}")
+    dbi = np.asarray(dbi, dtype=np.float64)
+    if len(ks) != len(dbi):
+        raise ConfigurationError("ks and dbi must align")
+    if len(ks) < 2:
+        return int(ks[0])
+    changes = np.full(len(ks), -1.0)
+    for i in range(1, len(ks)):
+        prev = dbi[i - 1]
+        if not np.isfinite(prev) or not np.isfinite(dbi[i]) or prev == 0:
+            continue
+        changes[i] = abs((dbi[i] - prev) / prev)
+    max_change = changes.max()
+    if max_change <= 0:
+        return int(ks[0])
+    threshold = sensitivity * max_change
+    for i in range(1, len(ks)):
+        if changes[i] >= threshold - 1e-12:
+            return int(ks[i])
+    return int(ks[int(np.argmax(changes))])
+
+
+def optimal_cluster_count(x: np.ndarray, *, k_max: int | None = None,
+                          repeats: int = 20,
+                          rng: "int | np.random.Generator | None" = None,
+                          n_init: int = 1,
+                          sensitivity: float = 0.75) -> ElbowResult:
+    """Scan k ∈ {2..k_max} and choose the Davies-Bouldin elbow.
+
+    Parameters
+    ----------
+    x:
+        Points to cluster — for FLIPS, normalized label distributions.
+    k_max:
+        Largest candidate.  Default ``min(len(x) - 1, max(10, 2·d), 30)``
+        where d is the label-space dimension: the number of distinct label
+        distributions a Dirichlet federation produces scales with the
+        number of labels, not the number of parties, and the paper's own
+        elbow (10 clusters for 200 parties) sits in that range.
+    repeats:
+        Re-initialisations per k, averaged (paper uses T = 20).
+    sensitivity:
+        Elbow sharpness threshold passed to :func:`find_elbow`.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if len(x) < 3:
+        raise ConfigurationError("need at least 3 points to scan k >= 2")
+    if k_max is None:
+        upper = min(len(x) - 1, max(10, 2 * x.shape[1]), 30)
+    else:
+        upper = min(k_max, len(x))
+    if upper < 2:
+        raise ConfigurationError("k_max must allow at least k = 2")
+    ks = list(range(2, upper + 1))
+    curve = davies_bouldin_curve(x, ks, repeats, rng, n_init=n_init)
+    k = find_elbow(ks, curve, sensitivity)
+    return ElbowResult(k=k, ks=tuple(ks), dbi=tuple(float(v) for v in curve))

@@ -1,0 +1,124 @@
+"""Cluster-quality metrics: Davies-Bouldin (Eq. 3), Eq.-1 distances,
+silhouette.
+
+The Davies-Bouldin index is the purity metric the paper uses to choose the
+number of clusters — "the ratio of the intra-cluster distance to the
+inter-cluster distance", minimised by compact, well-separated clusterings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = [
+    "davies_bouldin_index",
+    "intra_cluster_distance",
+    "inter_cluster_distance",
+    "silhouette_score",
+]
+
+
+def _validate(x: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray,
+                                                          np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if x.ndim != 2:
+        raise ConfigurationError(f"x must be 2-D, got {x.shape}")
+    if labels.shape != (len(x),):
+        raise ConfigurationError("labels must align with rows of x")
+    return x, labels
+
+
+def intra_cluster_distance(x: np.ndarray, labels: np.ndarray,
+                           cluster: int) -> float:
+    """Mean pairwise Euclidean distance within one cluster (Δ in Eq. 1).
+
+    Returns 0.0 for singleton clusters.
+    """
+    x, labels = _validate(x, labels)
+    members = x[labels == cluster]
+    if len(members) < 2:
+        return 0.0
+    diffs = members[:, None, :] - members[None, :, :]
+    dists = np.linalg.norm(diffs, axis=-1)
+    n = len(members)
+    return float(dists.sum() / (n * (n - 1)))
+
+
+def inter_cluster_distance(x: np.ndarray, labels: np.ndarray,
+                           cluster_a: int, cluster_b: int) -> float:
+    """Mean pairwise Euclidean distance across two clusters (δ in Eq. 1)."""
+    x, labels = _validate(x, labels)
+    a = x[labels == cluster_a]
+    b = x[labels == cluster_b]
+    if len(a) == 0 or len(b) == 0:
+        raise ConfigurationError("both clusters must be non-empty")
+    diffs = a[:, None, :] - b[None, :, :]
+    return float(np.linalg.norm(diffs, axis=-1).mean())
+
+
+def davies_bouldin_index(x: np.ndarray, labels: np.ndarray) -> float:
+    """Davies & Bouldin (1979) cluster-separation measure.
+
+    ``DB = (1/k) * sum_i max_{j != i} (s_i + s_j) / d(c_i, c_j)`` where
+    ``s_i`` is the mean distance of cluster ``i``'s members to its
+    centroid and ``d`` the centroid distance.  Lower is better; 0 for
+    perfectly separated point clusters.  Singleton-only clusterings return
+    0 by convention.
+    """
+    x, labels = _validate(x, labels)
+    cluster_ids = np.unique(labels)
+    k = len(cluster_ids)
+    if k < 2:
+        raise ConfigurationError(
+            "Davies-Bouldin needs at least two clusters")
+    centroids = np.stack([x[labels == c].mean(axis=0) for c in cluster_ids])
+    scatter = np.array([
+        float(np.mean(np.linalg.norm(x[labels == c] - centroids[i], axis=1)))
+        for i, c in enumerate(cluster_ids)])
+    centroid_dist = np.linalg.norm(
+        centroids[:, None, :] - centroids[None, :, :], axis=-1)
+    ratios = np.zeros((k, k))
+    for i in range(k):
+        for j in range(k):
+            if i == j:
+                continue
+            if centroid_dist[i, j] <= 1e-12:
+                # Coincident centroids: treat as maximally bad overlap.
+                ratios[i, j] = np.inf if (scatter[i] + scatter[j]) > 0 else 0.0
+            else:
+                ratios[i, j] = (scatter[i] + scatter[j]) / centroid_dist[i, j]
+    worst = ratios.max(axis=1)
+    return float(np.mean(worst[np.isfinite(worst)])) if np.any(
+        np.isfinite(worst)) else float("inf")
+
+
+def silhouette_score(x: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient — a second opinion on cluster quality.
+
+    Not used by the FLIPS algorithm itself, but handy in tests/ablations to
+    confirm the Davies-Bouldin elbow picks a sensible ``k``.
+    """
+    x, labels = _validate(x, labels)
+    cluster_ids = np.unique(labels)
+    if len(cluster_ids) < 2 or len(x) < 3:
+        raise ConfigurationError("silhouette needs >= 2 clusters, >= 3 points")
+    diffs = x[:, None, :] - x[None, :, :]
+    dists = np.linalg.norm(diffs, axis=-1)
+    scores = np.zeros(len(x))
+    for i in range(len(x)):
+        same = labels == labels[i]
+        same[i] = False
+        a = dists[i, same].mean() if same.any() else 0.0
+        b = np.inf
+        for c in cluster_ids:
+            if c == labels[i]:
+                continue
+            other = labels == c
+            if other.any():
+                b = min(b, float(dists[i, other].mean()))
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(np.mean(scores))

@@ -1,0 +1,33 @@
+"""Shared infrastructure: deterministic RNG fabric, errors, validation.
+
+Everything in :mod:`repro` that needs randomness receives a
+:class:`numpy.random.Generator` spawned from a single :class:`RngFabric`,
+so an entire experiment is reproducible from one integer seed while each
+component (partitioner, model init, selector, straggler model, ...) still
+draws from an independent stream.
+"""
+
+from repro.common.exceptions import (
+    ConfigurationError,
+    NotFittedError,
+    ReproError,
+    SecurityError,
+)
+from repro.common.rng import RngFabric, as_generator
+from repro.common.validation import (
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "NotFittedError",
+    "ReproError",
+    "RngFabric",
+    "SecurityError",
+    "as_generator",
+    "check_fraction",
+    "check_positive",
+    "check_probability_vector",
+]

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the FLIPS reproduction.
+
+A single root (:class:`ReproError`) lets callers catch anything raised by
+this library while still distinguishing configuration mistakes from
+security-protocol violations or use-before-fit errors.
+"""
+
+
+class ReproError(Exception):
+    """Root of every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment / component was configured with invalid parameters."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A component that must be fitted/initialised first was used too early.
+
+    Raised e.g. when querying cluster assignments before ``fit`` or asking a
+    selector for a cohort before registering the party population.
+    """
+
+
+class SecurityError(ReproError, RuntimeError):
+    """A simulated security guarantee was violated.
+
+    Raised by the TEE substrate on attestation failures, tampered
+    ciphertexts, or attempts to read enclave-private state from outside.
+    """
+
+
+class CommunicationError(ReproError, RuntimeError):
+    """A simulated network transfer failed (e.g. to a dropped party)."""

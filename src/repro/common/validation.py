@@ -1,0 +1,48 @@
+"""Small argument-validation helpers shared across the library.
+
+These raise :class:`repro.common.exceptions.ConfigurationError` so a bad
+experiment config fails loudly at construction time instead of producing a
+silently wrong table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = ["check_positive", "check_fraction", "check_probability_vector"]
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    if strict and value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str, *,
+                   inclusive_low: bool = True,
+                   inclusive_high: bool = True) -> float:
+    """Validate that ``value`` lies in the unit interval."""
+    low_ok = value >= 0 if inclusive_low else value > 0
+    high_ok = value <= 1 if inclusive_high else value < 1
+    if not (low_ok and high_ok):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_probability_vector(vec: np.ndarray, name: str,
+                             *, atol: float = 1e-8) -> np.ndarray:
+    """Validate that ``vec`` is a non-negative vector summing to one."""
+    arr = np.asarray(vec, dtype=float)
+    if arr.ndim != 1:
+        raise ConfigurationError(f"{name} must be 1-D, got shape {arr.shape}")
+    if np.any(arr < -atol):
+        raise ConfigurationError(f"{name} has negative entries")
+    total = float(arr.sum())
+    if not np.isclose(total, 1.0, atol=max(atol, 1e-6)):
+        raise ConfigurationError(f"{name} must sum to 1, sums to {total}")
+    return arr

@@ -1,0 +1,29 @@
+"""FLIPS core — the paper's primary contribution.
+
+* :func:`cluster_label_distributions` — the one-off label-distribution
+  clustering stage (§3.1, Eq. 1–3).
+* :class:`FlipsSelector` — Algorithm 1: heap-based equitable selection
+  with cluster-aware straggler over-provisioning.
+* :class:`FlipsMiddleware` — the end-to-end middleware of Fig. 3/4:
+  attested TEE clustering, private cluster state, selection queries.
+"""
+
+from repro.core.clustering_stage import (
+    ClusterModel,
+    cluster_label_distributions,
+)
+from repro.core.flips import FlipsSelector
+from repro.core.heaps import PickCountMinHeap, StragglerClusterTracker
+from repro.core.middleware import FlipsMiddleware
+from repro.core.personalization import ClusterPersonalization, personalize
+
+__all__ = [
+    "ClusterModel",
+    "ClusterPersonalization",
+    "FlipsMiddleware",
+    "FlipsSelector",
+    "PickCountMinHeap",
+    "StragglerClusterTracker",
+    "cluster_label_distributions",
+    "personalize",
+]

@@ -1,0 +1,332 @@
+"""FLIPS intelligent participant selection — Algorithm 1 of the paper.
+
+The selector walks two levels of pick-count min-heaps:
+
+1. extract the least-selected *cluster*;
+2. within it, extract the least-selected *party*;
+3. increment both counts and re-insert.
+
+Repeating ``Nr`` times spreads the round across as many clusters as
+possible (equitable label representation) while rotating through parties
+inside each cluster (participant fairness).  When stragglers have been
+observed, FLIPS over-provisions ``int(strg · Nr)`` replacement parties
+drawn from the clusters that currently have the most outstanding
+stragglers — so the label distributions that are losing updates get extra
+representation, not random backup.
+
+Faithfulness notes
+------------------
+* Line 45 of Algorithm 1 updates the running straggler rate as
+  ``strg = (strg·Nr + count)/Nr``, which grows without bound as printed;
+  we read it as the intended running estimate and implement an
+  exponential moving average of the per-round straggler fraction, capped
+  by ``max_overprovision``.  The cap keeps cohort inflation bounded the
+  way the paper's fixed 10/20 % emulation implicitly does.
+* "Select unique parties" (line 26) is honoured by skipping duplicates —
+  relevant when singleton clusters are drawn more than once per round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import RngFabric
+from repro.core.clustering_stage import (
+    ClusterModel,
+    cluster_label_distributions,
+)
+from repro.core.heaps import PickCountMinHeap, StragglerClusterTracker
+from repro.selection.base import RoundOutcome, SelectionContext, \
+    SelectionStrategy
+
+__all__ = ["FlipsSelector"]
+
+
+class FlipsSelector(SelectionStrategy):
+    """Cluster-equitable, fairness-tracking participant selection.
+
+    Exactly one of ``label_distributions`` / ``cluster_model`` /
+    ``clustering_service`` must be provided:
+
+    * ``label_distributions`` — an ``(N, g)`` matrix; FLIPS clusters it
+      itself (the transparent, non-private path used by most tests).
+    * ``cluster_model`` — a pre-computed :class:`ClusterModel`.
+    * ``clustering_service`` — any object with a ``cluster_model()``
+      method, e.g. the TEE-backed
+      :class:`repro.tee.clustering_service.PrivateClusteringService`,
+      which keeps the label distributions and memberships inside the
+      enclave.
+
+    Parameters
+    ----------
+    k:
+        Imposed cluster count; ``None`` → Davies-Bouldin elbow (Eq. 3).
+    overprovision:
+        Enable Algorithm 1's straggler over-provisioning.
+    max_overprovision:
+        Upper bound on the straggler-rate estimate (fraction of Nr).
+    strg_smoothing:
+        EMA coefficient for the straggler-rate estimate.
+    """
+
+    name = "flips"
+
+    def __init__(self, *,
+                 label_distributions: np.ndarray | None = None,
+                 cluster_model: ClusterModel | None = None,
+                 clustering_service=None,
+                 k: int | None = None,
+                 elbow_repeats: int = 5,
+                 overprovision: bool = True,
+                 max_overprovision: float = 0.5,
+                 strg_smoothing: float = 0.5) -> None:
+        super().__init__()
+        sources = [s is not None for s in
+                   (label_distributions, cluster_model, clustering_service)]
+        if sum(sources) != 1:
+            raise ConfigurationError(
+                "provide exactly one of label_distributions, "
+                "cluster_model, clustering_service")
+        if not 0.0 <= max_overprovision <= 1.0:
+            raise ConfigurationError("max_overprovision must be in [0, 1]")
+        if not 0.0 < strg_smoothing <= 1.0:
+            raise ConfigurationError("strg_smoothing must be in (0, 1]")
+        self._label_distributions = (
+            None if label_distributions is None
+            else np.asarray(label_distributions, dtype=np.float64))
+        self._given_model = cluster_model
+        self._service = clustering_service
+        self._k = k
+        self._elbow_repeats = int(elbow_repeats)
+        self.overprovision = bool(overprovision)
+        self.max_overprovision = float(max_overprovision)
+        self.strg_smoothing = float(strg_smoothing)
+
+        self.cluster_model: ClusterModel | None = None
+        self._cluster_heap: PickCountMinHeap | None = None
+        self._party_heaps: dict[int, PickCountMinHeap] = {}
+        self._straggler_parties: set[int] = set()
+        self._straggler_clusters = StragglerClusterTracker()
+        self._stragglers_active = False
+        self._strg_estimate = 0.0
+
+    # -- setup ----------------------------------------------------------
+    def _obtain_cluster_model(self, context: SelectionContext) -> ClusterModel:
+        if self._given_model is not None:
+            return self._given_model
+        if self._service is not None:
+            return self._service.cluster_model()
+        assert self._label_distributions is not None
+        return cluster_label_distributions(
+            self._label_distributions, k=self._k,
+            elbow_repeats=self._elbow_repeats,
+            rng=RngFabric(context.seed).generator("flips-clustering"))
+
+    def initialize(self, context: SelectionContext) -> None:
+        super().initialize(context)
+        model = self._obtain_cluster_model(context)
+        if model.n_parties != context.n_parties:
+            raise ConfigurationError(
+                f"cluster model covers {model.n_parties} parties, "
+                f"federation has {context.n_parties}")
+        self.cluster_model = model
+
+        # Seeded shuffles make the FIFO tie-breaking order differ across
+        # experiment repetitions without touching selection logic.
+        shuffle_rng = RngFabric(context.seed).generator("flips-heap-order")
+        cluster_order = shuffle_rng.permutation(model.k)
+        self._cluster_heap = PickCountMinHeap(int(c) for c in cluster_order)
+        self._party_heaps = {}
+        for cluster in range(model.k):
+            members = model.members(cluster)
+            member_order = shuffle_rng.permutation(len(members))
+            self._party_heaps[cluster] = PickCountMinHeap(
+                int(members[i]) for i in member_order)
+
+        self._straggler_parties.clear()
+        self._straggler_clusters = StragglerClusterTracker()
+        self._stragglers_active = False
+        self._strg_estimate = 0.0
+
+    # -- selection (Algorithm 1, lines 20-31) ------------------------------
+    def _pick_from_cluster(self, cluster: int,
+                           exclude: "set[int]") -> int | None:
+        """Least-picked party of ``cluster`` outside ``exclude``;
+        increments pick counts for both levels."""
+        heap = self._party_heaps[cluster]
+        try:
+            party = heap.extract_min(exclude=exclude)
+        except ConfigurationError:
+            return None
+        heap.increment_and_insert(party)
+        assert self._cluster_heap is not None
+        return int(party)
+
+    def select(self, round_index: int, n_select: int,
+               rng: np.random.Generator) -> "list[int]":
+        if self._cluster_heap is None or self.cluster_model is None:
+            raise ConfigurationError("FlipsSelector used before initialize()")
+        n_parties = self.context.n_parties
+        n_base = min(n_select, n_parties)
+
+        cohort: list[int] = []
+        chosen: set[int] = set()
+        attempts = 0
+        max_attempts = 4 * n_base * max(self.cluster_model.k, 1)
+        while len(cohort) < n_base and attempts < max_attempts:
+            attempts += 1
+            cluster = self._cluster_heap.extract_min()
+            party = self._pick_from_cluster(int(cluster), exclude=chosen)
+            self._cluster_heap.increment_and_insert(cluster)
+            if party is None:
+                continue
+            chosen.add(party)
+            cohort.append(party)
+
+        if self.overprovision and self._stragglers_active:
+            n_extra = int(self._strg_estimate * n_select)
+            n_extra = min(n_extra, n_parties - len(cohort))
+            exclude = chosen | self._straggler_parties
+            for _ in range(max(n_extra, 0)):
+                party = self._pick_replacement(exclude)
+                if party is None:
+                    break
+                chosen.add(party)
+                exclude.add(party)
+                cohort.append(party)
+        return cohort
+
+    def _pick_replacement(self, exclude: "set[int]") -> int | None:
+        """One over-provisioned party from the worst straggler cluster
+        (lines 28-31), falling back to the global round-robin when the
+        straggler clusters have no eligible party left."""
+        assert self._cluster_heap is not None
+        if self._straggler_clusters:
+            cluster = int(self._straggler_clusters.extract_max())
+            party = self._pick_from_cluster(cluster, exclude=exclude)
+            if party is not None:
+                return party
+        # Fallback: equitable pick from any cluster.
+        for _ in range(self.cluster_model.k if self.cluster_model else 1):
+            cluster = self._cluster_heap.extract_min()
+            party = self._pick_from_cluster(int(cluster), exclude=exclude)
+            self._cluster_heap.increment_and_insert(cluster)
+            if party is not None:
+                return party
+        return None
+
+    # -- feedback (Algorithm 1, lines 33-45) --------------------------------
+    def report_round(self, outcome: RoundOutcome) -> None:
+        if self.cluster_model is None:
+            raise ConfigurationError("FlipsSelector used before initialize()")
+        assignments = self.cluster_model.assignments
+
+        count_strg = 0
+        for party in outcome.stragglers:
+            count_strg += 1
+            if party not in self._straggler_parties:
+                self._straggler_parties.add(party)
+                self._straggler_clusters.record_straggler(
+                    int(assignments[party]))
+        for party in outcome.received:
+            if party in self._straggler_parties:
+                self._straggler_parties.discard(party)
+                self._straggler_clusters.record_recovery(
+                    int(assignments[party]))
+
+        if count_strg:
+            self._stragglers_active = True
+        elif not self._straggler_parties:
+            self._stragglers_active = False
+
+        # Running straggler-rate estimate (see module docstring on the
+        # deviation from the literal line 45).
+        observed = count_strg / max(len(outcome.cohort), 1)
+        self._strg_estimate = (
+            (1 - self.strg_smoothing) * self._strg_estimate
+            + self.strg_smoothing * observed)
+        self._strg_estimate = min(self._strg_estimate,
+                                  self.max_overprovision)
+
+    # -- drift support (paper §8 future work: changing distributions) ----
+    def refresh_clusters(self,
+                         label_distributions: np.ndarray | None = None,
+                         cluster_model: ClusterModel | None = None) -> int:
+        """Re-cluster after party data drifted, keeping fairness memory.
+
+        The paper notes clustering must be redone "as long as the set of
+        participants or the data at participants ... change[s]
+        significantly" and lists streaming-data drift as future work.
+        This rebuilds the cluster structure from fresh label
+        distributions while carrying over each party's lifetime pick
+        count, so long-running jobs stay fair across re-clusterings.
+        Straggler bookkeeping is preserved (straggler *parties* are still
+        known; their cluster attribution is recomputed).
+
+        Returns the new cluster count.
+        """
+        if (label_distributions is None) == (cluster_model is None):
+            raise ConfigurationError(
+                "provide exactly one of label_distributions / "
+                "cluster_model")
+        context = self.context  # raises if never initialized
+        picks = self.party_pick_counts()
+        cluster_picks_total = sum(self.cluster_pick_counts().values())
+
+        if cluster_model is None:
+            assert label_distributions is not None
+            cluster_model = cluster_label_distributions(
+                np.asarray(label_distributions, dtype=np.float64),
+                k=self._k, elbow_repeats=self._elbow_repeats,
+                rng=RngFabric(context.seed).generator("flips-recluster"))
+        if cluster_model.n_parties != context.n_parties:
+            raise ConfigurationError(
+                f"cluster model covers {cluster_model.n_parties} parties, "
+                f"federation has {context.n_parties}")
+        self.cluster_model = cluster_model
+
+        shuffle_rng = RngFabric(context.seed).generator(
+            "flips-heap-order-refresh")
+        cluster_order = shuffle_rng.permutation(cluster_model.k)
+        # New clusters inherit the *average* historical cluster load so
+        # they are neither starved nor flooded relative to each other.
+        base_cluster_picks = (cluster_picks_total // max(cluster_model.k, 1))
+        self._cluster_heap = PickCountMinHeap()
+        for c in cluster_order:
+            self._cluster_heap.insert(int(c), base_cluster_picks)
+        self._party_heaps = {}
+        for cluster in range(cluster_model.k):
+            members = cluster_model.members(cluster)
+            member_order = shuffle_rng.permutation(len(members))
+            heap = PickCountMinHeap()
+            for i in member_order:
+                party = int(members[i])
+                heap.insert(party, picks.get(party, 0))
+            self._party_heaps[cluster] = heap
+
+        # Re-attribute outstanding stragglers to their new clusters.
+        tracker = StragglerClusterTracker()
+        for party in self._straggler_parties:
+            tracker.record_straggler(
+                int(cluster_model.assignments[party]))
+        self._straggler_clusters = tracker
+        return cluster_model.k
+
+    # -- introspection -------------------------------------------------------
+    def party_pick_counts(self) -> "dict[int, int]":
+        """Lifetime pick counts per party (fairness audits / tests)."""
+        counts: dict[int, int] = {}
+        for heap in self._party_heaps.values():
+            counts.update({int(k): v for k, v in heap.pick_counts().items()})
+        return counts
+
+    def cluster_pick_counts(self) -> "dict[int, int]":
+        if self._cluster_heap is None:
+            return {}
+        return {int(k): v for k, v in
+                self._cluster_heap.pick_counts().items()}
+
+    @property
+    def straggler_rate_estimate(self) -> float:
+        return self._strg_estimate

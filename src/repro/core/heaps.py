@@ -1,0 +1,153 @@
+"""Pick-count heaps — the fairness bookkeeping of Algorithm 1.
+
+FLIPS keeps a min-heap of clusters ordered by how often each cluster has
+been selected, and per-cluster min-heaps of parties ordered by how often
+each party participated.  Extracting the minimum, incrementing its count
+and re-inserting yields round-robin behaviour that is *self-balancing*
+under over-provisioning: an extra pick today automatically pushes that
+party/cluster back in the queue tomorrow.
+
+Ties are broken FIFO via a monotone sequence number, so equal-pick
+parties rotate instead of starving.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Hashable, Iterable
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = ["PickCountMinHeap", "StragglerClusterTracker"]
+
+
+class PickCountMinHeap:
+    """Min-heap of items keyed by (pick count, insertion sequence).
+
+    Supports the three operations Algorithm 1 needs — ``extract_min``,
+    ``insert`` and an exclusion-aware ``extract_min(exclude=...)`` used
+    when over-provisioning must avoid known stragglers — plus O(1) pick
+    lookups for tests and fairness audits.
+    """
+
+    def __init__(self, items: "Iterable[Hashable]" = ()) -> None:
+        self._heap: list[list] = []
+        self._seq = 0
+        self._picks: dict[Hashable, int] = {}
+        self._present: set[Hashable] = set()
+        for item in items:
+            self.insert(item, 0)
+
+    def __len__(self) -> int:
+        return len(self._present)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._present
+
+    def picks(self, item: Hashable) -> int:
+        """Lifetime pick count of ``item`` (0 if never inserted)."""
+        return self._picks.get(item, 0)
+
+    def insert(self, item: Hashable, picks: int | None = None) -> None:
+        """(Re-)insert ``item`` with the given pick count.
+
+        ``picks=None`` keeps the item's recorded count — the common
+        re-insertion after an increment.
+        """
+        if item in self._present:
+            raise ConfigurationError(f"{item!r} is already in the heap")
+        count = self._picks.get(item, 0) if picks is None else int(picks)
+        self._picks[item] = count
+        self._present.add(item)
+        heapq.heappush(self._heap, [count, self._seq, item])
+        self._seq += 1
+
+    def extract_min(self, exclude: "set[Hashable] | None" = None,
+                    ) -> Hashable:
+        """Remove and return the least-picked item (FIFO on ties).
+
+        ``exclude`` skips items (without removing them) — Algorithm 1
+        line 30 picks "a non-straggler party in c".  Raises
+        :class:`ConfigurationError` when no eligible item exists.
+        """
+        skipped: list[list] = []
+        found = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            item = entry[2]
+            if exclude is not None and item in exclude:
+                skipped.append(entry)
+                continue
+            found = item
+            break
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        if found is None:
+            raise ConfigurationError("no eligible item in heap")
+        self._present.discard(found)
+        return found
+
+    def increment_and_insert(self, item: Hashable, by: int = 1) -> int:
+        """INCREMENT + INSERT of Algorithm 1 lines 24–25; returns the new
+        count."""
+        if by < 0:
+            raise ConfigurationError("increment must be >= 0")
+        self._picks[item] = self._picks.get(item, 0) + by
+        self.insert(item, self._picks[item])
+        return self._picks[item]
+
+    def peek_min(self) -> Hashable:
+        if not self._heap:
+            raise ConfigurationError("heap is empty")
+        return self._heap[0][2]
+
+    def pick_counts(self) -> "dict[Hashable, int]":
+        """Snapshot of all recorded pick counts."""
+        return dict(self._picks)
+
+
+class StragglerClusterTracker:
+    """Max-style tracker of straggler counts per cluster (H_sc).
+
+    Algorithm 1 keeps a max-heap of clusters by straggler count so
+    over-provisioned replacements come from the clusters whose
+    representation is currently suffering most.  Extraction decrements
+    the count, spreading multiple replacement picks proportionally across
+    afflicted clusters.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def __len__(self) -> int:
+        return sum(1 for c in self._counts.values() if c > 0)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def record_straggler(self, cluster: Hashable) -> None:
+        self._counts[cluster] += 1
+
+    def record_recovery(self, cluster: Hashable) -> None:
+        """A previously straggling party reported again."""
+        if self._counts[cluster] > 0:
+            self._counts[cluster] -= 1
+
+    def count(self, cluster: Hashable) -> int:
+        return self._counts[cluster]
+
+    def extract_max(self) -> Hashable:
+        """Return the cluster with most outstanding stragglers, consuming
+        one unit of its count."""
+        candidates = [(c, n) for c, n in self._counts.items() if n > 0]
+        if not candidates:
+            raise ConfigurationError("no straggler clusters recorded")
+        # Deterministic tie-break: highest count, then smallest cluster id.
+        best_count = max(n for _, n in candidates)
+        cluster = min(c for c, n in candidates if n == best_count)
+        self._counts[cluster] -= 1
+        return cluster
+
+    def snapshot(self) -> "dict[Hashable, int]":
+        return {c: n for c, n in self._counts.items() if n > 0}

@@ -1,0 +1,145 @@
+"""FLIPS middleware — the end-to-end system of Fig. 3 and Fig. 4.
+
+Wires the full private-selection flow:
+
+1. boot a measured enclave with the clustering code; register its
+   measurement with the attestation server;
+2. each party establishes an attested secure channel and submits its
+   *encrypted* label distribution;
+3. clustering runs inside the enclave; memberships stay sealed;
+4. the intelligent participant selector (Algorithm 1) reads the cluster
+   model through the enclave boundary and serves per-round cohorts;
+5. at job end, the enclave wipes everything (attestable teardown).
+
+The middleware object doubles as the aggregator-side handle: experiment
+code asks it for a :class:`~repro.core.flips.FlipsSelector` and plugs
+that into the :class:`~repro.fl.engine.FederatedTrainer`.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError, SecurityError
+from repro.core.flips import FlipsSelector
+from repro.tee.attestation import AttestationServer
+from repro.tee.channel import SecureChannel
+from repro.tee.clustering_service import PrivateClusteringService
+from repro.tee.enclave import SimulatedEnclave
+
+__all__ = ["FlipsMiddleware"]
+
+
+class FlipsMiddleware:
+    """Private clustering + intelligent selection behind one facade.
+
+    Parameters
+    ----------
+    hardware_root_key:
+        Simulated manufacturer key; generated fresh when omitted.
+    seed:
+        Determinism for the enclave keypair and party channel keys
+        (tests); production-style use leaves it ``None``.
+    """
+
+    def __init__(self, hardware_root_key: bytes | None = None,
+                 seed: int | None = None) -> None:
+        self._root_key = hardware_root_key or secrets.token_bytes(32)
+        self._seed = seed
+        self.enclave = SimulatedEnclave(self._root_key, seed=seed)
+        self.attestation = AttestationServer(self._root_key)
+        self.service = PrivateClusteringService(self.enclave)
+        # Parties audited this clustering code; its measurement is now
+        # the only one the attestation server will accept.
+        self.attestation.approve_measurement(
+            self.enclave.measurement, "flips label-distribution clustering")
+        self._channels: dict[int, SecureChannel] = {}
+        self._n_clusters: int | None = None
+
+    # -- party onboarding ----------------------------------------------------
+    def onboard_party(self, party_id: int) -> SecureChannel:
+        """Attest the enclave on the party's behalf and open its channel.
+
+        Returns the party's end of the channel; the party uses
+        ``channel.seal_vector(label_counts)`` and passes the ciphertext to
+        :meth:`submit_sealed`.
+        """
+        if party_id in self._channels:
+            raise ConfigurationError(f"party {party_id} already onboarded")
+        channel_seed = None if self._seed is None else (
+            self._seed * 1000003 + party_id)
+        channel = SecureChannel.establish(
+            party_id, self.enclave, self.attestation, seed=channel_seed)
+        self._channels[party_id] = channel
+        self.service.register_channel(party_id, channel)
+        return channel
+
+    def submit_sealed(self, party_id: int, ciphertext: bytes) -> None:
+        """Forward a party's encrypted label distribution to the enclave."""
+        self.service.submit(party_id, ciphertext)
+
+    def submit_label_distribution(self, party_id: int,
+                                  counts: np.ndarray) -> None:
+        """Convenience: seal and submit in one step (simulation only —
+        a real party would seal on its own device)."""
+        channel = self._channels.get(party_id)
+        if channel is None:
+            raise SecurityError(
+                f"party {party_id} has not been onboarded")
+        self.submit_sealed(party_id, channel.seal_vector(counts))
+
+    # -- clustering & selection ----------------------------------------------
+    def finalize_clustering(self, k: int | None = None,
+                            elbow_repeats: int = 5,
+                            rng: "int | np.random.Generator | None" = None,
+                            ) -> int:
+        """Run in-enclave clustering over all submissions.
+
+        Returns only the cluster count; memberships stay sealed.
+        """
+        expected = sorted(self._channels)
+        if expected != list(range(len(expected))):
+            raise ConfigurationError(
+                "parties must be onboarded as a contiguous 0..N-1 range "
+                "so cluster rows align with party ids")
+        self._n_clusters = self.service.run_clustering(
+            k=k, elbow_repeats=elbow_repeats, rng=rng)
+        return self._n_clusters
+
+    @property
+    def n_clusters(self) -> int:
+        if self._n_clusters is None:
+            raise ConfigurationError("finalize_clustering() first")
+        return self._n_clusters
+
+    def selector(self, **flips_kwargs) -> FlipsSelector:
+        """An Algorithm-1 selector bound to the enclave-held clusters."""
+        if self._n_clusters is None:
+            raise ConfigurationError("finalize_clustering() first")
+        return FlipsSelector(clustering_service=self.service,
+                             **flips_kwargs)
+
+    # -- convenience ----------------------------------------------------------
+    @classmethod
+    def for_federation(cls, federation, *, seed: int | None = None,
+                       k: int | None = None,
+                       elbow_repeats: int = 5) -> "FlipsMiddleware":
+        """Full Fig.-3 flow for an in-memory federation in one call."""
+        middleware = cls(seed=seed)
+        for party_id in range(federation.n_parties):
+            middleware.onboard_party(party_id)
+            counts = np.bincount(
+                federation.party(party_id).y,
+                minlength=federation.num_classes).astype(np.float64)
+            middleware.submit_label_distribution(party_id, counts)
+        middleware.finalize_clustering(k=k, elbow_repeats=elbow_repeats,
+                                       rng=seed)
+        return middleware
+
+    def shutdown(self) -> None:
+        """End-of-job teardown: wipe sealed data, destroy the enclave."""
+        self.service.wipe()
+        self.enclave.destroy()
+        self._channels.clear()

@@ -1,0 +1,149 @@
+"""Per-cluster personalization (§8 future work, direction 1).
+
+The paper's first future-work item: "train the model using data from
+similar parties ... separately, allowing for personalized models that
+account for specific patterns ... in each party's or device's data."
+FLIPS already knows which parties are similar — its label-distribution
+clusters — so personalization falls out naturally: start every cluster
+from the federated global model and fine-tune it with a few rounds of
+intra-cluster FL.
+
+:func:`personalize` returns one parameter vector per cluster plus an
+evaluation report comparing the global model against each cluster's
+personalized model *on that cluster's own data mixture* — the metric a
+personalized deployment cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import RngFabric
+from repro.core.clustering_stage import ClusterModel
+from repro.data.federated import FederatedDataset
+from repro.fl.algorithms import FedAvgServer
+from repro.fl.party import LocalTrainingConfig, Party
+from repro.metrics.accuracy import balanced_accuracy
+from repro.ml.models import Model
+
+__all__ = ["ClusterPersonalization", "personalize"]
+
+
+@dataclass(frozen=True)
+class ClusterPersonalization:
+    """Outcome of per-cluster fine-tuning.
+
+    Attributes
+    ----------
+    cluster_parameters:
+        ``{cluster id: parameter vector}`` — the personalized models.
+    global_accuracy / personalized_accuracy:
+        Per-cluster balanced accuracy of the shared global model vs the
+        cluster's own model, measured on held-out samples drawn from the
+        cluster's pooled data.
+    """
+
+    cluster_parameters: dict
+    global_accuracy: dict
+    personalized_accuracy: dict
+
+    def improvement(self, cluster: int) -> float:
+        """Personalized − global accuracy for one cluster."""
+        return (self.personalized_accuracy[cluster]
+                - self.global_accuracy[cluster])
+
+    def mean_improvement(self) -> float:
+        return float(np.mean([self.improvement(c)
+                              for c in self.cluster_parameters]))
+
+
+def _cluster_eval_split(federation: FederatedDataset, members: np.ndarray,
+                        rng: np.random.Generator,
+                        holdout_fraction: float):
+    """Pool the cluster's data and split train/eval."""
+    pooled = federation.party(int(members[0]))
+    for party_id in members[1:]:
+        pooled = pooled.merged_with(federation.party(int(party_id)))
+    if len(pooled) < 4:
+        return pooled, pooled
+    eval_set, train_set = pooled.split(holdout_fraction, rng)
+    if len(np.unique(eval_set.y)) == 0 or len(train_set) == 0:
+        return pooled, pooled
+    return train_set, eval_set
+
+
+def personalize(federation: FederatedDataset, cluster_model: ClusterModel,
+                model: Model, global_parameters: np.ndarray, *,
+                rounds: int = 3,
+                local: LocalTrainingConfig | None = None,
+                holdout_fraction: float = 0.25,
+                seed: int = 0) -> ClusterPersonalization:
+    """Fine-tune the global model per label-distribution cluster.
+
+    For each cluster, runs ``rounds`` of FedAvg among the cluster's own
+    members (everyone participates — clusters are small), starting from
+    ``global_parameters``.  Evaluation uses a held-out slice of the
+    cluster's pooled data so the reported gain is not memorisation.
+
+    Parameters
+    ----------
+    federation / cluster_model:
+        The trained federation and the FLIPS clustering to personalize
+        along.
+    model:
+        A (shared) model object matching ``global_parameters``.
+    global_parameters:
+        The federated model to start every cluster from.
+    rounds:
+        Intra-cluster FedAvg rounds (a few suffice — the starting point
+        is already trained).
+    """
+    if cluster_model.n_parties != federation.n_parties:
+        raise ConfigurationError(
+            "cluster model does not cover this federation")
+    if rounds < 1:
+        raise ConfigurationError("rounds must be >= 1")
+    local = local or LocalTrainingConfig(epochs=2, batch_size=16,
+                                         learning_rate=0.05)
+    fabric = RngFabric(seed)
+    server = FedAvgServer(1.0)
+
+    cluster_parameters: dict[int, np.ndarray] = {}
+    global_acc: dict[int, float] = {}
+    personal_acc: dict[int, float] = {}
+
+    for cluster in range(cluster_model.k):
+        members = cluster_model.members(cluster)
+        rng = fabric.generator(f"cluster-{cluster}")
+        train_set, eval_set = _cluster_eval_split(
+            federation, members, rng, holdout_fraction)
+
+        model.set_parameters(global_parameters)
+        global_acc[cluster] = balanced_accuracy(
+            eval_set.y, model.predict(eval_set.x), eval_set.num_classes)
+
+        # Intra-cluster FL on the training slice, re-sharded per member so
+        # each party fine-tunes on its own share of the cluster data.
+        shards = np.array_split(rng.permutation(len(train_set)),
+                                max(len(members), 1))
+        parties = [Party(int(members[i]), train_set.subset(shard),
+                         rng=fabric.generator(f"p-{cluster}-{i}"))
+                   for i, shard in enumerate(shards) if len(shard) > 0]
+        params = global_parameters.copy()
+        for round_index in range(1, rounds + 1):
+            updates = [party.local_train(model, params, local, round_index)
+                       for party in parties]
+            if updates:
+                params = server.step(params, updates)
+        cluster_parameters[cluster] = params
+
+        model.set_parameters(params)
+        personal_acc[cluster] = balanced_accuracy(
+            eval_set.y, model.predict(eval_set.x), eval_set.num_classes)
+
+    return ClusterPersonalization(cluster_parameters=cluster_parameters,
+                                  global_accuracy=global_acc,
+                                  personalized_accuracy=personal_acc)

@@ -1,0 +1,54 @@
+"""Dataset substrate: synthetic datasets, non-IID partitioning, federations.
+
+The paper evaluates on MIT-BIH ECG, HAM10000, FEMNIST and Fashion-MNIST.
+Those corpora are not available offline, so this package provides synthetic
+generators that preserve the properties the evaluation depends on — class
+imbalance for the two medical datasets, near-balance for the two benchmark
+datasets — plus the Dirichlet / shard / IID partitioners used to emulate
+non-IID federations (§4.3 of the paper).
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.federated import FederatedDataset, build_federation
+from repro.data.label_distribution import (
+    label_distribution,
+    label_distribution_matrix,
+    normalize_distribution,
+    total_variation_from_global,
+)
+from repro.data.partition import (
+    DirichletPartitioner,
+    IIDPartitioner,
+    Partitioner,
+    ShardPartitioner,
+    make_partitioner,
+)
+from repro.data.synthetic import (
+    DATASET_REGISTRY,
+    make_dataset,
+    make_synthetic_ecg,
+    make_synthetic_fashion,
+    make_synthetic_femnist,
+    make_synthetic_skin,
+)
+
+__all__ = [
+    "DATASET_REGISTRY",
+    "Dataset",
+    "DirichletPartitioner",
+    "FederatedDataset",
+    "IIDPartitioner",
+    "Partitioner",
+    "ShardPartitioner",
+    "build_federation",
+    "label_distribution",
+    "label_distribution_matrix",
+    "make_dataset",
+    "make_partitioner",
+    "make_synthetic_ecg",
+    "make_synthetic_fashion",
+    "make_synthetic_femnist",
+    "make_synthetic_skin",
+    "normalize_distribution",
+    "total_variation_from_global",
+]

@@ -1,0 +1,136 @@
+"""In-memory labelled dataset container used throughout the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import as_generator
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A supervised classification dataset.
+
+    Attributes
+    ----------
+    x:
+        Feature array of shape ``(n, ...)`` — flat feature vectors for the
+        fast "feature" mode, ``(n, length)`` waveforms for the ECG raw mode,
+        or ``(n, h, w)`` images for the vision datasets.
+    y:
+        Integer label array of shape ``(n,)`` with values in
+        ``[0, num_classes)``.
+    num_classes:
+        Total number of classes in the task (not merely the number of
+        classes present in ``y`` — a party's shard may miss classes).
+    label_names:
+        Optional human-readable class names (e.g. the AAMI beat classes).
+    name:
+        Dataset identifier used in logs and experiment records.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+    label_names: tuple[str, ...] = ()
+    name: str = "dataset"
+    _class_counts: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        if self.y.ndim != 1:
+            raise ConfigurationError(
+                f"labels must be 1-D, got shape {self.y.shape}")
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"x and y disagree on sample count: {len(self.x)} vs {len(self.y)}")
+        if self.num_classes <= 0:
+            raise ConfigurationError("num_classes must be positive")
+        if len(self.y) and (self.y.min() < 0 or self.y.max() >= self.num_classes):
+            raise ConfigurationError(
+                f"labels must lie in [0, {self.num_classes}), "
+                f"got range [{self.y.min()}, {self.y.max()}]")
+        if self.label_names and len(self.label_names) != self.num_classes:
+            raise ConfigurationError(
+                f"{len(self.label_names)} label names for "
+                f"{self.num_classes} classes")
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+    @property
+    def feature_shape(self) -> tuple[int, ...]:
+        """Shape of a single example (without the batch axis)."""
+        return tuple(self.x.shape[1:])
+
+    def class_counts(self) -> np.ndarray:
+        """Number of examples per class, shape ``(num_classes,)``."""
+        if self._class_counts is None:
+            self._class_counts = np.bincount(
+                self.y, minlength=self.num_classes).astype(np.int64)
+        return self._class_counts
+
+    def subset(self, indices: Sequence[int] | np.ndarray) -> "Dataset":
+        """A new dataset view restricted to ``indices`` (copies data)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return Dataset(self.x[idx], self.y[idx], self.num_classes,
+                       self.label_names, self.name)
+
+    def split(self, fraction: float,
+              rng: "int | np.random.Generator | None" = None,
+              ) -> tuple["Dataset", "Dataset"]:
+        """Random split into ``(first, second)`` with ``fraction`` in first."""
+        if not 0.0 < fraction < 1.0:
+            raise ConfigurationError(
+                f"split fraction must be in (0, 1), got {fraction}")
+        gen = as_generator(rng)
+        order = gen.permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+    def shuffled(self, rng: "int | np.random.Generator | None" = None,
+                 ) -> "Dataset":
+        """A copy of this dataset in a random order."""
+        gen = as_generator(rng)
+        return self.subset(gen.permutation(len(self)))
+
+    def batches(self, batch_size: int,
+                rng: "int | np.random.Generator | None" = None,
+                *, drop_last: bool = False,
+                ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield shuffled mini-batches ``(x, y)``.
+
+        A final short batch is kept unless ``drop_last`` — parties in the
+        FL emulation often hold only a handful of examples per class and
+        must not silently lose them.
+        """
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        gen = as_generator(rng)
+        order = gen.permutation(len(self))
+        for start in range(0, len(self), batch_size):
+            idx = order[start:start + batch_size]
+            if drop_last and len(idx) < batch_size:
+                return
+            yield self.x[idx], self.y[idx]
+
+    def merged_with(self, other: "Dataset") -> "Dataset":
+        """Concatenate two datasets over the same label space."""
+        if other.num_classes != self.num_classes:
+            raise ConfigurationError(
+                "cannot merge datasets with different label spaces")
+        return Dataset(np.concatenate([self.x, other.x]),
+                       np.concatenate([self.y, other.y]),
+                       self.num_classes, self.label_names, self.name)
+
+    def __repr__(self) -> str:
+        return (f"Dataset(name={self.name!r}, n={len(self)}, "
+                f"features={self.feature_shape}, classes={self.num_classes})")

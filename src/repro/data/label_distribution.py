@@ -1,0 +1,82 @@
+"""Label-distribution vectors — the signal FLIPS clusters (§3.1).
+
+The paper represents party ``p_i`` by ``ld_i = (l_1, ..., l_g)`` where
+``l_j`` counts the data points with label ``j`` at the party.  FLIPS
+clusters the *normalized* vectors so parties with proportionally similar
+data land together regardless of dataset size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.data.dataset import Dataset
+
+__all__ = [
+    "label_distribution",
+    "label_distribution_matrix",
+    "normalize_distribution",
+    "normalize_rows",
+    "total_variation_from_global",
+]
+
+
+def label_distribution(y: np.ndarray, num_classes: int) -> np.ndarray:
+    """Count vector ``ld`` with ``ld[j] = #{i : y[i] == j}``."""
+    y = np.asarray(y, dtype=np.int64)
+    if len(y) and (y.min() < 0 or y.max() >= num_classes):
+        raise ConfigurationError(
+            f"labels out of range [0, {num_classes})")
+    return np.bincount(y, minlength=num_classes).astype(np.float64)
+
+
+def normalize_distribution(counts: np.ndarray) -> np.ndarray:
+    """Proportion vector; an all-zero count vector maps to uniform.
+
+    The uniform fallback keeps downstream clustering well-defined for a
+    (degenerate) empty party rather than propagating NaNs.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return np.full(counts.shape, 1.0 / counts.shape[-1])
+    return counts / total
+
+
+def normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`normalize_distribution` over a counts matrix."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    totals = matrix.sum(axis=1, keepdims=True)
+    uniform = np.full_like(matrix, 1.0 / matrix.shape[1])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        normalized = np.where(totals > 0, matrix / np.where(
+            totals > 0, totals, 1.0), uniform)
+    return normalized
+
+
+def label_distribution_matrix(parties: "list[Dataset]") -> np.ndarray:
+    """Stack each party's label-count vector into an ``(N, g)`` matrix."""
+    if not parties:
+        raise ConfigurationError("need at least one party")
+    num_classes = parties[0].num_classes
+    rows = []
+    for party in parties:
+        if party.num_classes != num_classes:
+            raise ConfigurationError(
+                "parties disagree on the label space")
+        rows.append(label_distribution(party.y, num_classes))
+    return np.stack(rows)
+
+
+def total_variation_from_global(counts_matrix: np.ndarray) -> np.ndarray:
+    """Per-party total-variation distance from the pooled distribution.
+
+    A diagnostic of how non-IID a federation is: 0 for IID partitions,
+    approaching 1 for single-label parties.  Used in tests to check the
+    Dirichlet partitioner's alpha knob behaves monotonically.
+    """
+    counts_matrix = np.asarray(counts_matrix, dtype=np.float64)
+    global_dist = normalize_distribution(counts_matrix.sum(axis=0))
+    party_dist = normalize_rows(counts_matrix)
+    return 0.5 * np.abs(party_dist - global_dist[None, :]).sum(axis=1)

@@ -1,0 +1,397 @@
+"""Synthetic stand-ins for the paper's four datasets.
+
+The evaluation in the paper uses MIT-BIH ECG, HAM10000, FEMNIST and
+Fashion-MNIST.  None of those corpora is available offline, so each is
+replaced by a parametric generator that preserves the property the paper's
+argument rests on:
+
+* ``ecg``  — 5 AAMI beat classes with ~78 % normal (``N``) beats; rare
+  arrhythmia classes are what random selection under-represents.
+* ``skin`` — 7 diagnostic classes with ``nv`` dominant (≈67 %), mirroring
+  the real HAM10000 class histogram.
+* ``femnist`` / ``fashion`` — 10 near-balanced classes; these are the
+  paper's "more IID" benchmarks where every selector reaches the target.
+
+Each generator supports two modes:
+
+* ``"features"`` (default) — d-dimensional Gaussian class prototypes.  Fast
+  enough that a full table of FL runs finishes in seconds; classification
+  difficulty is controlled by the prototype separation / noise ratio.
+* ``"raw"`` — structured signals (1-D heartbeat waveforms, small images)
+  for use with the convolutional models in :mod:`repro.ml.models`.
+
+Both modes share the same label-generation machinery, so the *label
+distributions* — the thing FLIPS actually clusters — are identical in
+either mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import as_generator
+from repro.common.validation import check_probability_vector
+from repro.data.dataset import Dataset
+
+__all__ = [
+    "DATASET_REGISTRY",
+    "SyntheticSpec",
+    "make_dataset",
+    "make_synthetic_ecg",
+    "make_synthetic_fashion",
+    "make_synthetic_femnist",
+    "make_synthetic_skin",
+]
+
+# Class priors mirroring the real datasets' published histograms.
+ECG_LABELS = ("N", "S", "V", "F", "Q")
+ECG_PRIORS = (0.78, 0.06, 0.09, 0.04, 0.03)
+
+SKIN_LABELS = ("akiec", "bcc", "bkl", "df", "mel", "nv", "vasc")
+SKIN_PRIORS = (0.033, 0.051, 0.110, 0.012, 0.111, 0.669, 0.014)
+
+FEMNIST_LABELS = tuple("abcdefghij")
+FASHION_LABELS = ("tshirt", "trouser", "pullover", "dress", "coat",
+                  "sandal", "shirt", "sneaker", "bag", "boot")
+
+
+def _sample_labels(rng: np.random.Generator, n: int,
+                   priors: np.ndarray) -> np.ndarray:
+    """Draw ``n`` labels from ``priors``, guaranteeing every class appears.
+
+    Global test sets must contain every label for the paper's balanced
+    accuracy metric to be defined, and tiny smoke-scale train sets should
+    not silently lose a rare arrhythmia class.
+    """
+    num_classes = len(priors)
+    if n < num_classes:
+        raise ConfigurationError(
+            f"need at least {num_classes} samples to cover every class, got {n}")
+    y = rng.choice(num_classes, size=n, p=priors)
+    present = np.bincount(y, minlength=num_classes)
+    missing = np.flatnonzero(present == 0)
+    if len(missing):
+        # Overwrite random positions in the majority class with the missing
+        # labels; the perturbation to the priors is O(num_classes / n).
+        donors = np.flatnonzero(y == int(np.argmax(present)))
+        replace = rng.choice(donors, size=len(missing), replace=False)
+        y[replace] = missing
+    return y
+
+
+class _PrototypeTask:
+    """Gaussian prototype classification task (the fast "features" mode).
+
+    Each class ``c`` owns a prototype vector ``mu_c`` with
+    ``||mu_c|| = separation``; an example is ``mu_c + noise * eps`` with an
+    optional per-sample amplitude jitter.  The separation/noise ratio sets
+    the Bayes accuracy, which lets the synthetic tasks emulate the paper's
+    "hard medical" vs "easy benchmark" split.
+
+    ``hard_group`` marks a set of classes that are *mutually confusable*:
+    their prototypes share one group centre and differ only by small
+    offsets of norm ``intra_separation``.  This mirrors the medical
+    datasets, where the rare diagnostic classes (abnormal beats, malignant
+    lesions) resemble each other far more than they resemble the dominant
+    normal class — the boundaries between them need steady gradient signal
+    from rare-class parties, which is exactly what random selection fails
+    to provide.
+    """
+
+    def __init__(self, num_classes: int, feature_dim: int, separation: float,
+                 noise: float, rng: np.random.Generator,
+                 hard_group: tuple[int, ...] = (),
+                 intra_separation: float = 1.0) -> None:
+        if feature_dim < 2:
+            raise ConfigurationError("feature_dim must be >= 2")
+        if any(not 0 <= c < num_classes for c in hard_group):
+            raise ConfigurationError("hard_group classes out of range")
+        directions = rng.normal(size=(num_classes, feature_dim))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        prototypes = directions * separation
+        if hard_group:
+            centre_dir = rng.normal(size=feature_dim)
+            centre = centre_dir / np.linalg.norm(centre_dir) * separation
+            for cls in hard_group:
+                offset = rng.normal(size=feature_dim)
+                offset = offset / np.linalg.norm(offset) * intra_separation
+                prototypes[cls] = centre + offset
+        self.prototypes = prototypes
+        self.noise = noise
+        self.feature_dim = feature_dim
+
+    def sample(self, y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        base = self.prototypes[y]
+        amplitude = rng.uniform(0.85, 1.15, size=(len(y), 1))
+        eps = rng.normal(scale=self.noise, size=base.shape)
+        return (base * amplitude + eps).astype(np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Raw-mode signal generators
+# ---------------------------------------------------------------------------
+
+def _gaussian_bump(t: np.ndarray, center: float, width: float,
+                   height: float) -> np.ndarray:
+    return height * np.exp(-0.5 * ((t - center) / width) ** 2)
+
+
+def _ecg_waveform(label: int, length: int,
+                  rng: np.random.Generator) -> np.ndarray:
+    """One synthetic heartbeat with AAMI-class-specific morphology.
+
+    The morphology knobs are deliberately coarse — what matters for the
+    reproduction is that classes are separable by a small 1-D CNN and that
+    class ``N`` dominates the corpus, not clinical fidelity.
+    """
+    t = np.linspace(0.0, 1.0, length)
+    jitter = rng.normal(scale=0.015)
+    p_wave = _gaussian_bump(t, 0.25 + jitter, 0.035, 0.25)
+    t_wave = _gaussian_bump(t, 0.75 + jitter, 0.06, 0.35)
+    if label == 0:      # N: normal narrow QRS
+        qrs = _gaussian_bump(t, 0.5 + jitter, 0.018, 1.0)
+    elif label == 1:    # S: premature (early) beat, reduced P wave
+        qrs = _gaussian_bump(t, 0.40 + jitter, 0.02, 0.9)
+        p_wave *= 0.3
+    elif label == 2:    # V: wide, high-amplitude ventricular complex
+        qrs = _gaussian_bump(t, 0.5 + jitter, 0.06, 1.35)
+        t_wave *= -1.0  # discordant T wave
+    elif label == 3:    # F: fusion of normal and ventricular morphology
+        qrs = 0.5 * (_gaussian_bump(t, 0.5 + jitter, 0.018, 1.0)
+                     + _gaussian_bump(t, 0.5 + jitter, 0.05, 1.2))
+    else:               # Q: unclassifiable — low-amplitude noisy complex
+        qrs = _gaussian_bump(t, 0.5 + jitter, 0.04, 0.5)
+        p_wave *= rng.uniform(0.0, 1.0)
+        t_wave *= rng.uniform(0.0, 1.0)
+    baseline_wander = 0.05 * np.sin(2 * np.pi * t * rng.uniform(0.5, 1.5))
+    noise = rng.normal(scale=0.05, size=length)
+    return (p_wave + qrs + t_wave + baseline_wander + noise).astype(np.float64)
+
+
+def _blob_image(label: int, side: int, num_classes: int,
+                rng: np.random.Generator) -> np.ndarray:
+    """Skin-lesion-like image: a blob whose radius/intensity/texture encode
+    the class."""
+    yy, xx = np.mgrid[0:side, 0:side].astype(float)
+    cy = side / 2 + rng.normal(scale=side * 0.06)
+    cx = side / 2 + rng.normal(scale=side * 0.06)
+    radius = side * (0.18 + 0.05 * (label % 4)) * rng.uniform(0.9, 1.1)
+    dist = np.sqrt((yy - cy) ** 2 + (xx - cx) ** 2)
+    intensity = 0.35 + 0.6 * (label + 1) / num_classes
+    img = intensity * np.exp(-0.5 * (dist / radius) ** 2)
+    freq = 1 + label % 3
+    texture = 0.08 * np.sin(2 * np.pi * freq * xx / side) \
+        * np.sin(2 * np.pi * freq * yy / side)
+    img += texture + rng.normal(scale=0.05, size=(side, side))
+    return img.astype(np.float64)
+
+
+def _stroke_image(label: int, side: int, strokes: np.ndarray,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Handwriting-like image from a fixed per-class stroke template plus
+    jitter — a stand-in for FEMNIST letters."""
+    img = strokes[label] * rng.uniform(0.8, 1.2)
+    shift = rng.integers(-1, 2, size=2)
+    img = np.roll(img, tuple(shift), axis=(0, 1))
+    img = img + rng.normal(scale=0.08, size=img.shape)
+    return img.astype(np.float64)
+
+
+def _texture_image(label: int, side: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Clothing-texture-like image: class sets orientation and frequency."""
+    yy, xx = np.mgrid[0:side, 0:side].astype(float) / side
+    angle = np.pi * label / 10.0
+    freq = 2 + label % 5
+    wave = np.sin(2 * np.pi * freq
+                  * (np.cos(angle) * xx + np.sin(angle) * yy)
+                  + rng.uniform(0, 2 * np.pi))
+    envelope = np.exp(-((xx - 0.5) ** 2 + (yy - 0.5) ** 2) / 0.35)
+    img = (0.5 + 0.5 * wave) * envelope * (0.6 + 0.4 * label / 10.0)
+    return (img + rng.normal(scale=0.05, size=img.shape)).astype(np.float64)
+
+
+def _make_stroke_templates(num_classes: int, side: int,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Fixed random stroke templates shared by every FEMNIST-like sample."""
+    templates = np.zeros((num_classes, side, side))
+    for c in range(num_classes):
+        n_strokes = 2 + c % 3
+        for _ in range(n_strokes):
+            r0, c0 = rng.integers(0, side, size=2)
+            r1, c1 = rng.integers(0, side, size=2)
+            steps = max(abs(int(r1) - int(r0)), abs(int(c1) - int(c0)), 1)
+            rows = np.linspace(r0, r1, steps * 2).round().astype(int)
+            cols = np.linspace(c0, c1, steps * 2).round().astype(int)
+            templates[c, rows.clip(0, side - 1), cols.clip(0, side - 1)] = 1.0
+    return templates
+
+
+# ---------------------------------------------------------------------------
+# Public generators
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Registry entry describing one synthetic dataset family."""
+
+    name: str
+    labels: tuple[str, ...]
+    priors: tuple[float, ...]
+    feature_dim: int
+    separation: float
+    noise: float
+    raw_shape: tuple[int, ...]
+    raw_sampler: Callable[..., np.ndarray]
+    hard_group: tuple[int, ...] = ()
+    intra_separation: float = 1.0
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.labels)
+
+
+def _generate(spec: SyntheticSpec, n_train: int, n_test: int, mode: str,
+              rng: "int | np.random.Generator | None",
+              ) -> tuple[Dataset, Dataset]:
+    gen = as_generator(rng)
+    priors = check_probability_vector(
+        np.asarray(spec.priors) / np.sum(spec.priors), f"{spec.name} priors")
+    y_train = _sample_labels(gen, n_train, priors)
+    y_test = _sample_labels(gen, n_test, priors)
+
+    if mode == "features":
+        task = _PrototypeTask(spec.num_classes, spec.feature_dim,
+                              spec.separation, spec.noise, gen,
+                              hard_group=spec.hard_group,
+                              intra_separation=spec.intra_separation)
+        x_train = task.sample(y_train, gen)
+        x_test = task.sample(y_test, gen)
+    elif mode == "raw":
+        extra = {}
+        if spec.name == "femnist":
+            side = spec.raw_shape[0]
+            extra["strokes"] = _make_stroke_templates(
+                spec.num_classes, side, gen)
+        x_train = np.stack([
+            spec.raw_sampler(int(label), spec=spec, rng=gen, **extra)
+            for label in y_train])
+        x_test = np.stack([
+            spec.raw_sampler(int(label), spec=spec, rng=gen, **extra)
+            for label in y_test])
+    else:
+        raise ConfigurationError(
+            f"mode must be 'features' or 'raw', got {mode!r}")
+
+    train = Dataset(x_train, y_train, spec.num_classes, spec.labels, spec.name)
+    test = Dataset(x_test, y_test, spec.num_classes, spec.labels, spec.name)
+    return train, test
+
+
+def _ecg_raw(label: int, *, spec: SyntheticSpec,
+             rng: np.random.Generator) -> np.ndarray:
+    return _ecg_waveform(label, spec.raw_shape[0], rng)
+
+
+def _skin_raw(label: int, *, spec: SyntheticSpec,
+              rng: np.random.Generator) -> np.ndarray:
+    return _blob_image(label, spec.raw_shape[0], spec.num_classes, rng)
+
+
+def _femnist_raw(label: int, *, spec: SyntheticSpec,
+                 rng: np.random.Generator,
+                 strokes: np.ndarray) -> np.ndarray:
+    return _stroke_image(label, spec.raw_shape[0], strokes, rng)
+
+
+def _fashion_raw(label: int, *, spec: SyntheticSpec,
+                 rng: np.random.Generator) -> np.ndarray:
+    return _texture_image(label, spec.raw_shape[0], rng)
+
+
+# Separation/noise pairs put the two medical tasks well below the two
+# benchmark tasks in Bayes accuracy, mirroring the paper's observed
+# difficulty ordering (ECG/HAM converge slowly, FEMNIST/Fashion quickly).
+# The medical datasets' rare classes form a mutually-confusable hard
+# group, so sustained rare-class representation — FLIPS's whole point —
+# is required to hold their decision boundaries in place.
+DATASET_REGISTRY: dict[str, SyntheticSpec] = {
+    # S, V, F, Q: the four rare arrhythmia classes resemble each other.
+    "ecg": SyntheticSpec("ecg", ECG_LABELS, ECG_PRIORS,
+                         feature_dim=24, separation=2.6, noise=0.8,
+                         raw_shape=(96,), raw_sampler=_ecg_raw,
+                         hard_group=(1, 2, 3, 4), intra_separation=1.6),
+    # All six non-nv diagnostic categories are mutually confusable.
+    "skin": SyntheticSpec("skin", SKIN_LABELS, SKIN_PRIORS,
+                          feature_dim=32, separation=2.5, noise=0.8,
+                          raw_shape=(16, 16), raw_sampler=_skin_raw,
+                          hard_group=(0, 1, 2, 3, 4, 6),
+                          intra_separation=1.8),
+    "femnist": SyntheticSpec("femnist", FEMNIST_LABELS,
+                             tuple([0.1] * 10),
+                             feature_dim=24, separation=3.4, noise=1.0,
+                             raw_shape=(12, 12), raw_sampler=_femnist_raw),
+    "fashion": SyntheticSpec("fashion", FASHION_LABELS,
+                             tuple([0.1] * 10),
+                             feature_dim=24, separation=3.2, noise=1.0,
+                             raw_shape=(12, 12), raw_sampler=_fashion_raw),
+}
+
+
+def make_dataset(name: str, n_train: int = 4000, n_test: int = 1000,
+                 mode: str = "features",
+                 rng: "int | np.random.Generator | None" = None,
+                 ) -> tuple[Dataset, Dataset]:
+    """Generate ``(train, test)`` for a registered dataset family.
+
+    Parameters
+    ----------
+    name:
+        One of ``"ecg"``, ``"skin"``, ``"femnist"``, ``"fashion"``.
+    n_train, n_test:
+        Sample counts before partitioning across parties.
+    mode:
+        ``"features"`` for fast prototype vectors, ``"raw"`` for structured
+        waveforms/images suitable for the CNN models.
+    """
+    if name not in DATASET_REGISTRY:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; choose from "
+            f"{sorted(DATASET_REGISTRY)}")
+    return _generate(DATASET_REGISTRY[name], n_train, n_test, mode, rng)
+
+
+def make_synthetic_ecg(n_train: int = 4000, n_test: int = 1000,
+                       mode: str = "features",
+                       rng: "int | np.random.Generator | None" = None,
+                       ) -> tuple[Dataset, Dataset]:
+    """MIT-BIH-like arrhythmia task: 5 AAMI classes, ~78 % normal beats."""
+    return make_dataset("ecg", n_train, n_test, mode, rng)
+
+
+def make_synthetic_skin(n_train: int = 4000, n_test: int = 1000,
+                        mode: str = "features",
+                        rng: "int | np.random.Generator | None" = None,
+                        ) -> tuple[Dataset, Dataset]:
+    """HAM10000-like skin-lesion task: 7 classes, ``nv`` dominant."""
+    return make_dataset("skin", n_train, n_test, mode, rng)
+
+
+def make_synthetic_femnist(n_train: int = 4000, n_test: int = 1000,
+                           mode: str = "features",
+                           rng: "int | np.random.Generator | None" = None,
+                           ) -> tuple[Dataset, Dataset]:
+    """FEMNIST-like handwriting task: 10 balanced classes."""
+    return make_dataset("femnist", n_train, n_test, mode, rng)
+
+
+def make_synthetic_fashion(n_train: int = 4000, n_test: int = 1000,
+                           mode: str = "features",
+                           rng: "int | np.random.Generator | None" = None,
+                           ) -> tuple[Dataset, Dataset]:
+    """Fashion-MNIST-like task: 10 balanced clothing classes."""
+    return make_dataset("fashion", n_train, n_test, mode, rng)

@@ -1,0 +1,65 @@
+"""Experiment harness: configs, runner, caches, tables, figures.
+
+Everything the paper's evaluation section reports is regenerated from
+here: :mod:`repro.experiments.tables` rebuilds Tables 1–24,
+:mod:`repro.experiments.figures` rebuilds the convergence plots
+(Figs. 5–12), the elbow curve (Fig. 2) and the underrepresented-label
+curves (Fig. 13).  The benchmark files under ``benchmarks/`` are thin
+wrappers that call these generators and print the results.
+"""
+
+from repro.experiments.config import (
+    BENCH_TARGETS,
+    ExperimentConfig,
+    bench_config,
+    paper_config,
+    smoke_config,
+)
+from repro.experiments.runner import (
+    build_federation_for,
+    build_selector,
+    clear_cache,
+    mean_accuracy_series,
+    run_cached,
+    run_experiment,
+    run_repeated,
+)
+from repro.experiments.tables import (
+    TABLE_INDEX,
+    TableResult,
+    TableSpec,
+    format_table,
+    generate_table,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    convergence_figure,
+    elbow_figure,
+    format_figure,
+    underrepresented_figure,
+)
+
+__all__ = [
+    "BENCH_TARGETS",
+    "ExperimentConfig",
+    "FigureResult",
+    "TABLE_INDEX",
+    "TableResult",
+    "TableSpec",
+    "bench_config",
+    "build_federation_for",
+    "build_selector",
+    "clear_cache",
+    "convergence_figure",
+    "elbow_figure",
+    "format_figure",
+    "format_table",
+    "generate_table",
+    "mean_accuracy_series",
+    "paper_config",
+    "run_cached",
+    "run_experiment",
+    "run_repeated",
+    "smoke_config",
+    "underrepresented_figure",
+]

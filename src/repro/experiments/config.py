@@ -1,0 +1,185 @@
+"""Experiment configuration and scale presets.
+
+One :class:`ExperimentConfig` describes a single cell of the paper's
+grid: dataset × FL algorithm × selector × α × participation × straggler
+rate (× seed).  Three presets scale the *sizes* without touching any code
+path:
+
+* ``paper``  — the paper's own scale (200 parties, 400/200 rounds, raw
+  signals, CNN models).  Runs, but takes hours; provided for completeness.
+* ``bench``  — laptop scale (80 parties, 90/50 rounds, feature mode,
+  MLP).  What the benchmark harness uses; preserves the qualitative
+  shape of every table.
+* ``smoke``  — seconds-scale configs for the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = [
+    "BENCH_TARGETS",
+    "ExperimentConfig",
+    "bench_config",
+    "paper_config",
+    "smoke_config",
+]
+
+SELECTORS = ("random", "flips", "oort", "grad_cls", "tifl",
+             "power_of_choice")
+DATASETS = ("ecg", "skin", "femnist", "fashion")
+
+#: Target balanced accuracies for the "rounds to target" tables, per
+#: preset.  The paper's absolute targets (60 % for ECG/HAM, 80 % for
+#: FEMNIST/Fashion) assume its real datasets; the bench preset picks the
+#: analogous point of each synthetic task's accuracy range — high enough
+#: that slow selectors miss it inside the round budget.
+BENCH_TARGETS = {"ecg": 0.72, "skin": 0.66, "femnist": 0.88,
+                 "fashion": 0.85}
+PAPER_TARGETS = {"ecg": 0.60, "skin": 0.60, "femnist": 0.80,
+                 "fashion": 0.80}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment cell (a single FL job)."""
+
+    dataset: str
+    selector: str = "flips"
+    algorithm: str = "fedyogi"
+    alpha: float = 0.3
+    participation: float = 0.20
+    straggler_rate: float = 0.0
+    seed: int = 0
+
+    # scale knobs
+    n_parties: int = 80
+    n_train: int = 4500
+    n_test: int = 1200
+    rounds: int = 90
+    model: str = "mlp"
+    mode: str = "features"
+    partition: str = "dirichlet"
+
+    # local training
+    local_epochs: int = 5
+    batch_size: int = 16
+    learning_rate: float = 0.2
+    lr_decay: float = 1.0
+    lr_decay_every: int = 0
+
+    # server optimizer
+    server_lr: float | None = None  # None = the algorithm's default
+
+    # selection details
+    flips_k: int | None = None
+    target_accuracy: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.dataset not in DATASETS:
+            raise ConfigurationError(
+                f"unknown dataset {self.dataset!r}; choose from {DATASETS}")
+        if self.selector not in SELECTORS:
+            raise ConfigurationError(
+                f"unknown selector {self.selector!r}; choose from {SELECTORS}")
+        if not 0.0 < self.participation <= 1.0:
+            raise ConfigurationError("participation must be in (0, 1]")
+        if not 0.0 <= self.straggler_rate < 1.0:
+            raise ConfigurationError("straggler_rate must be in [0, 1)")
+        if self.rounds < 1 or self.n_parties < 2:
+            raise ConfigurationError("rounds >= 1 and n_parties >= 2 required")
+
+    @property
+    def parties_per_round(self) -> int:
+        """Nr = participation × N, at least 1."""
+        return max(1, int(round(self.participation * self.n_parties)))
+
+    @property
+    def oort_overprovision(self) -> float:
+        """Oort's 1.3× hedge, active only in straggler experiments
+        (matching §5.3)."""
+        return 1.3 if self.straggler_rate > 0 else 1.0
+
+    def cache_key(self) -> tuple:
+        """Hashable identity for the run cache: every field that affects
+        the result."""
+        return (self.dataset, self.selector, self.algorithm, self.alpha,
+                self.participation, self.straggler_rate, self.seed,
+                self.n_parties, self.n_train, self.n_test, self.rounds,
+                self.model, self.mode, self.partition, self.local_epochs,
+                self.batch_size, self.learning_rate, self.lr_decay,
+                self.lr_decay_every, self.flips_k, self.server_lr)
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        return replace(self, **kwargs)
+
+
+# Per-dataset bench scale: the medical tasks need a longer horizon (the
+# paper gives them 400 rounds vs 200), and the easy tasks converge fast.
+_BENCH_ROUNDS = {"ecg": 80, "skin": 80, "femnist": 50, "fashion": 50}
+_PAPER_ROUNDS = {"ecg": 400, "skin": 400, "femnist": 200, "fashion": 200}
+_PAPER_MODELS = {"ecg": "cnn1d", "skin": "densenet_lite",
+                 "femnist": "lenet5", "fashion": "lenet5"}
+
+
+def bench_config(dataset: str, **overrides) -> ExperimentConfig:
+    """Laptop-scale preset used by the benchmark harness.
+
+    Softmax-regression learner on feature-mode data: cheap enough that
+    every table cell averages several seeds, while the selection dynamics
+    (coverage of rare-label clusters per round) stay the paper's.
+    """
+    base = ExperimentConfig(
+        dataset=dataset,
+        rounds=_BENCH_ROUNDS.get(dataset, 80),
+        model="softmax",
+        local_epochs=4,
+        learning_rate=0.15,
+        batch_size=16,
+        n_train=4000,
+        n_test=1500,
+        target_accuracy=BENCH_TARGETS.get(dataset, 0.6),
+    )
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def paper_config(dataset: str, **overrides) -> ExperimentConfig:
+    """Paper-scale preset: 200 parties, raw signals, CNN models.
+
+    Provided for completeness — a single cell takes hours on a laptop.
+    The paper additionally decays the learning rate every 20 (ECG) or 30
+    (HAM) rounds, mirrored here.
+    """
+    decay_every = {"ecg": 20, "skin": 30}.get(dataset, 0)
+    base = ExperimentConfig(
+        dataset=dataset,
+        n_parties=200 if dataset != "fashion" else 100,
+        n_train=20000,
+        n_test=4000,
+        rounds=_PAPER_ROUNDS.get(dataset, 400),
+        model=_PAPER_MODELS.get(dataset, "mlp"),
+        mode="raw",
+        local_epochs=2,
+        learning_rate=0.05,
+        lr_decay=0.9 if decay_every else 1.0,
+        lr_decay_every=decay_every,
+        target_accuracy=PAPER_TARGETS.get(dataset, 0.6),
+    )
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def smoke_config(dataset: str = "ecg", **overrides) -> ExperimentConfig:
+    """Seconds-scale preset for unit/integration tests."""
+    base = ExperimentConfig(
+        dataset=dataset,
+        n_parties=12,
+        n_train=600,
+        n_test=300,
+        rounds=6,
+        local_epochs=2,
+        model="softmax",
+        target_accuracy=0.5,
+    )
+    return base.with_overrides(**overrides) if overrides else base

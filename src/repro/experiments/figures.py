@@ -1,0 +1,179 @@
+"""Regeneration of the paper's figures.
+
+* Fig. 2 — Davies-Bouldin vs cluster size with the chosen elbow
+  (:func:`elbow_figure`).
+* Figs. 5/7/9/11 — convergence (balanced accuracy vs round) for all five
+  selectors, per dataset, without stragglers
+  (:func:`convergence_figure` with ``straggler_rate=0``).
+* Figs. 6/8/10/12 — convergence for FLIPS/OORT/TiFL at 10 % and 20 %
+  stragglers (:func:`convergence_figure` with rates).
+* Fig. 13 — convergence of *underrepresented-label* accuracy: mean recall
+  over the arrhythmia (non-``N``) classes for ECG and recall of ``bcc``
+  for the skin dataset (:func:`underrepresented_figure`).
+
+Figures are returned as named series over rounds; :func:`format_figure`
+renders CSV-style text that plots 1:1 against the paper's axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.clustering.elbow import optimal_cluster_count
+from repro.data.label_distribution import normalize_rows
+from repro.experiments.config import bench_config, paper_config, smoke_config
+from repro.experiments.runner import (
+    build_federation_for,
+    mean_accuracy_series,
+    run_repeated,
+)
+from repro.experiments.tables import (
+    BASE_SELECTORS,
+    STRAGGLER_SELECTORS,
+)
+
+__all__ = [
+    "FIGURE_DATASET",
+    "FigureResult",
+    "convergence_figure",
+    "elbow_figure",
+    "format_figure",
+    "underrepresented_figure",
+]
+
+_PRESETS = {"bench": bench_config, "paper": paper_config,
+            "smoke": smoke_config}
+
+#: Paper figure number → (dataset, with_stragglers).
+FIGURE_DATASET = {
+    5: ("ecg", False), 6: ("ecg", True),
+    7: ("skin", False), 8: ("skin", True),
+    9: ("femnist", False), 10: ("femnist", True),
+    11: ("fashion", False), 12: ("fashion", True),
+}
+
+#: Fig. 13's underrepresented labels: ECG's arrhythmia classes (everything
+#: but ``N``) and HAM10000's ``bcc``.
+UNDERREPRESENTED = {"ecg": ("S", "V", "F", "Q"), "skin": ("bcc",)}
+
+
+@dataclass
+class FigureResult:
+    """One subplot: named series over a common x axis."""
+
+    name: str
+    x: np.ndarray
+    series: dict = field(default_factory=dict)
+    annotations: dict = field(default_factory=dict)
+
+    def add(self, label: str, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.x.shape:
+            raise ConfigurationError(
+                f"series {label!r} length {values.shape} does not match "
+                f"x axis {self.x.shape}")
+        self.series[label] = values
+
+
+def convergence_figure(dataset: str, *, algorithm: str = "fedyogi",
+                       alpha: float = 0.3, participation: float = 0.20,
+                       straggler_rates: "tuple[float, ...]" = (0.0,),
+                       preset: str = "bench",
+                       seeds: "tuple[int, ...]" = (0,),
+                       **overrides) -> FigureResult:
+    """One convergence subplot (one α × party% panel of Figs. 5–12).
+
+    ``straggler_rates=(0,)`` produces the five-selector no-straggler
+    panel; multiple non-zero rates produce the FLIPS/OORT/TiFL straggler
+    panel with one curve per (selector, rate) pair.
+    """
+    base = _PRESETS[preset](dataset, **overrides)
+    result = FigureResult(
+        name=(f"{dataset}/{algorithm} alpha={alpha} "
+              f"party={int(participation * 100)}%"),
+        x=np.arange(1, base.rounds + 1))
+    with_stragglers = any(r > 0 for r in straggler_rates)
+    selectors = (STRAGGLER_SELECTORS if with_stragglers
+                 else BASE_SELECTORS)
+    for rate in straggler_rates:
+        for selector in selectors:
+            config = base.with_overrides(
+                alpha=alpha, participation=participation,
+                selector=selector, algorithm=algorithm,
+                straggler_rate=rate)
+            label = (selector if rate == 0.0
+                     else f"{selector} {int(rate * 100)}% stragglers")
+            result.add(label,
+                       mean_accuracy_series(run_repeated(config, seeds)))
+    return result
+
+
+def elbow_figure(dataset: str = "ecg", *, n_parties: int = 80,
+                 alpha: float = 0.3, repeats: int = 20,
+                 preset: str = "bench", seed: int = 0,
+                 **overrides) -> FigureResult:
+    """Fig. 2: mean Davies-Bouldin index vs cluster size, elbow marked."""
+    base = _PRESETS[preset](dataset, **overrides).with_overrides(
+        n_parties=n_parties, alpha=alpha, seed=seed)
+    federation = build_federation_for(base)
+    points = normalize_rows(federation.label_distributions())
+    elbow = optimal_cluster_count(points, repeats=repeats, rng=seed)
+    result = FigureResult(name=f"elbow {dataset} alpha={alpha}",
+                          x=np.asarray(elbow.ks, dtype=np.float64))
+    result.add("davies_bouldin", np.asarray(elbow.dbi))
+    result.annotations["elbow_k"] = elbow.k
+    return result
+
+
+def underrepresented_figure(dataset: str, *, algorithm: str = "fedyogi",
+                            alpha: float = 0.3,
+                            participation: float = 0.20,
+                            preset: str = "bench",
+                            seeds: "tuple[int, ...]" = (0,),
+                            **overrides) -> FigureResult:
+    """Fig. 13: recall on the dataset's underrepresented labels, per
+    selector, over rounds."""
+    if dataset not in UNDERREPRESENTED:
+        raise ConfigurationError(
+            f"Fig. 13 covers {sorted(UNDERREPRESENTED)}, got {dataset!r}")
+    base = _PRESETS[preset](dataset, **overrides)
+    federation = build_federation_for(base)
+    label_names = list(federation.label_names)
+    label_ids = [label_names.index(name)
+                 for name in UNDERREPRESENTED[dataset]]
+    result = FigureResult(
+        name=f"underrepresented {dataset} alpha={alpha}",
+        x=np.arange(1, base.rounds + 1))
+    result.annotations["labels"] = UNDERREPRESENTED[dataset]
+    for selector in BASE_SELECTORS:
+        config = base.with_overrides(
+            alpha=alpha, participation=participation,
+            selector=selector, algorithm=algorithm)
+        histories = run_repeated(config, seeds)
+        length = min(len(h) for h in histories)
+        per_label = np.mean(
+            [np.mean([h.per_label_series(lid)[:length]
+                      for lid in label_ids], axis=0)
+             for h in histories], axis=0)
+        padded = np.full(base.rounds, np.nan)
+        padded[:length] = per_label
+        result.series[selector] = padded
+    return result
+
+
+def format_figure(figure: FigureResult, *, precision: int = 4) -> str:
+    """CSV-style rendering: one row per x value, one column per series."""
+    labels = list(figure.series)
+    lines = [f"# {figure.name}"]
+    for key, value in figure.annotations.items():
+        lines.append(f"# {key}: {value}")
+    lines.append(",".join(["x"] + labels))
+    for i, x in enumerate(figure.x):
+        row = [f"{x:g}"]
+        row.extend(f"{figure.series[label][i]:.{precision}f}"
+                   for label in labels)
+        lines.append(",".join(row))
+    return "\n".join(lines)

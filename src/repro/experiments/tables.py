@@ -1,0 +1,206 @@
+"""Regeneration of Tables 1–24.
+
+Every table in the paper's evaluation follows one scheme:
+
+* rows — the four settings (α ∈ {0.3, 0.6} × party % ∈ {20, 15});
+* columns — Random / FLIPS / OORT / GradCls / TiFL at 0 % stragglers,
+  then FLIPS / OORT / TiFL at 10 % and at 20 % stragglers;
+* the metric is either *rounds to the target accuracy* (``>R`` when the
+  budget is exhausted) or the *highest accuracy attained*.
+
+``TABLE_INDEX`` maps paper table numbers to specs:
+1–8 FedYogi, 9–16 FedProx, 17–24 FedAvg; within each algorithm the
+datasets appear as ECG, HAM10000(skin), FEMNIST, FashionMNIST with a
+(rounds, peak) pair per dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.experiments.config import (
+    BENCH_TARGETS,
+    ExperimentConfig,
+    bench_config,
+    paper_config,
+    smoke_config,
+)
+from repro.experiments.runner import mean_accuracy_series, run_repeated
+from repro.metrics.convergence import rounds_to_target
+
+__all__ = [
+    "TABLE_INDEX",
+    "TableResult",
+    "TableSpec",
+    "format_table",
+    "generate_table",
+]
+
+#: Row settings in paper order: (alpha, participation).
+ROW_SETTINGS = ((0.3, 0.20), (0.3, 0.15), (0.6, 0.20), (0.6, 0.15))
+
+#: Columns at 0 % stragglers, in paper order.
+BASE_SELECTORS = ("random", "flips", "oort", "grad_cls", "tifl")
+
+#: The paper carries only the three best selectors into the straggler
+#: experiments.
+STRAGGLER_SELECTORS = ("flips", "oort", "tifl")
+STRAGGLER_RATES = (0.10, 0.20)
+
+_PRESETS = {"bench": bench_config, "paper": paper_config,
+            "smoke": smoke_config}
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Identity of one paper table."""
+
+    number: int
+    dataset: str
+    algorithm: str
+    metric: str  # "rounds" | "peak"
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("rounds", "peak"):
+            raise ConfigurationError(
+                f"metric must be 'rounds' or 'peak', got {self.metric!r}")
+
+    @property
+    def title(self) -> str:
+        names = {"ecg": "MIT ECG", "skin": "HAM10000 (Skin lesion)",
+                 "femnist": "FEMNIST", "fashion": "Fashion MNIST"}
+        what = ("Rounds required to attain target accuracy"
+                if self.metric == "rounds"
+                else "Highest accuracy attained within the rounds threshold")
+        return (f"Table {self.number}: {names[self.dataset]} — {what}, "
+                f"FL Algorithm: {self.algorithm}")
+
+
+def _build_index() -> "dict[int, TableSpec]":
+    index: dict[int, TableSpec] = {}
+    number = 1
+    for algorithm in ("fedyogi", "fedprox", "fedavg"):
+        for dataset in ("ecg", "skin", "femnist", "fashion"):
+            index[number] = TableSpec(number, dataset, algorithm, "rounds")
+            index[number + 1] = TableSpec(number + 1, dataset, algorithm,
+                                          "peak")
+            number += 2
+    return index
+
+
+TABLE_INDEX: "dict[int, TableSpec]" = _build_index()
+
+
+@dataclass
+class TableResult:
+    """One regenerated table: cells[(alpha, party%, straggler, selector)]."""
+
+    spec: TableSpec
+    target: float
+    rounds_budget: int
+    cells: dict = field(default_factory=dict)
+
+    def cell(self, alpha: float, participation: float,
+             straggler_rate: float, selector: str):
+        return self.cells[(alpha, participation, straggler_rate, selector)]
+
+    def winner(self, alpha: float, participation: float,
+               straggler_rate: float = 0.0) -> str:
+        """Best selector for a setting under this table's metric."""
+        selectors = (BASE_SELECTORS if straggler_rate == 0.0
+                     else STRAGGLER_SELECTORS)
+        values = {s: self.cell(alpha, participation, straggler_rate, s)
+                  for s in selectors}
+        if self.spec.metric == "peak":
+            return max(values, key=lambda s: values[s])
+        # rounds: None means "> budget"; fewer rounds wins.
+        return min(values,
+                   key=lambda s: (values[s] is None,
+                                  values[s] if values[s] is not None
+                                  else np.inf))
+
+
+def _metric_value(histories, metric: str, target: float):
+    series = mean_accuracy_series(histories)
+    if metric == "peak":
+        return float(series.max())
+    return rounds_to_target(series, target)
+
+
+def generate_table(spec: TableSpec, *, preset: str = "bench",
+                   seeds: "tuple[int, ...]" = (0,),
+                   **overrides) -> TableResult:
+    """Run (or fetch from cache) every cell of one table.
+
+    The run cache means generating Table 2 after Table 1 re-executes
+    nothing, and the straggler columns are shared with the corresponding
+    convergence figures.
+    """
+    if preset not in _PRESETS:
+        raise ConfigurationError(
+            f"unknown preset {preset!r}; choose from {sorted(_PRESETS)}")
+    base: ExperimentConfig = _PRESETS[preset](spec.dataset, **overrides)
+    result = TableResult(spec=spec, target=base.target_accuracy,
+                         rounds_budget=base.rounds)
+    for alpha, participation in ROW_SETTINGS:
+        for selector in BASE_SELECTORS:
+            config = base.with_overrides(
+                alpha=alpha, participation=participation,
+                selector=selector, algorithm=spec.algorithm)
+            histories = run_repeated(config, seeds)
+            result.cells[(alpha, participation, 0.0, selector)] = \
+                _metric_value(histories, spec.metric, result.target)
+        for rate in STRAGGLER_RATES:
+            for selector in STRAGGLER_SELECTORS:
+                config = base.with_overrides(
+                    alpha=alpha, participation=participation,
+                    selector=selector, algorithm=spec.algorithm,
+                    straggler_rate=rate)
+                histories = run_repeated(config, seeds)
+                result.cells[(alpha, participation, rate, selector)] = \
+                    _metric_value(histories, spec.metric, result.target)
+    return result
+
+
+def _format_cell(value, metric: str, budget: int) -> str:
+    if metric == "rounds":
+        return f">{budget}" if value is None else str(int(value))
+    return f"{100.0 * value:.2f}"
+
+
+def format_table(result: TableResult) -> str:
+    """Render a TableResult in the paper's layout."""
+    spec = result.spec
+    lines = [result.spec.title,
+             f"(target accuracy {100 * result.target:.0f}%, "
+             f"round budget {result.rounds_budget})"]
+    header = (f"{'alpha':>5} {'party%':>6} | "
+              + " ".join(f"{s:>9}" for s in BASE_SELECTORS)
+              + " | " + " ".join(f"{s:>9}" for s in STRAGGLER_SELECTORS)
+              + " (10% strg) | "
+              + " ".join(f"{s:>9}" for s in STRAGGLER_SELECTORS)
+              + " (20% strg)")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for alpha, participation in ROW_SETTINGS:
+        cells = [
+            _format_cell(result.cell(alpha, participation, 0.0, s),
+                         spec.metric, result.rounds_budget)
+            for s in BASE_SELECTORS]
+        strg10 = [
+            _format_cell(result.cell(alpha, participation, 0.10, s),
+                         spec.metric, result.rounds_budget)
+            for s in STRAGGLER_SELECTORS]
+        strg20 = [
+            _format_cell(result.cell(alpha, participation, 0.20, s),
+                         spec.metric, result.rounds_budget)
+            for s in STRAGGLER_SELECTORS]
+        lines.append(
+            f"{alpha:>5} {int(participation * 100):>5}% | "
+            + " ".join(f"{c:>9}" for c in cells)
+            + " | " + " ".join(f"{c:>9}" for c in strg10)
+            + "             | " + " ".join(f"{c:>9}" for c in strg20))
+    return "\n".join(lines)

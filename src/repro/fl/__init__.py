@@ -1,0 +1,62 @@
+"""Federated-learning engine.
+
+Implements the FL loop of §2: an aggregator coordinates rounds in which a
+selected cohort of parties trains locally from the current global model,
+returns update vectors, and a server optimizer (FedAvg / FedProx /
+FedYogi / FedAdam / FedAdagrad / FedDyn / FedSGD) folds them into the next
+global model.  Stragglers are an environment property injected per round;
+communication is metered in bytes.
+"""
+
+from repro.fl.algorithms import (
+    ALGORITHM_REGISTRY,
+    FedAdagradServer,
+    FedAdamServer,
+    FedAvgServer,
+    FedDynServer,
+    FedYogiServer,
+    FLAlgorithm,
+    ServerOptimizer,
+    make_algorithm,
+    weighted_mean_delta,
+)
+from repro.fl.comm import CommunicationTracker
+from repro.fl.engine import FederatedTrainer, FLJobConfig
+from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.party import LocalTrainingConfig, Party
+from repro.fl.straggler import (
+    BernoulliStragglers,
+    ExactFractionStragglers,
+    NoStragglers,
+    SlowDeviceStragglers,
+    StragglerModel,
+    make_straggler_model,
+)
+from repro.fl.updates import ModelUpdate
+
+__all__ = [
+    "ALGORITHM_REGISTRY",
+    "BernoulliStragglers",
+    "CommunicationTracker",
+    "ExactFractionStragglers",
+    "FLAlgorithm",
+    "FLJobConfig",
+    "FedAdagradServer",
+    "FedAdamServer",
+    "FedAvgServer",
+    "FedDynServer",
+    "FedYogiServer",
+    "FederatedTrainer",
+    "LocalTrainingConfig",
+    "ModelUpdate",
+    "NoStragglers",
+    "Party",
+    "RoundRecord",
+    "ServerOptimizer",
+    "SlowDeviceStragglers",
+    "StragglerModel",
+    "TrainingHistory",
+    "make_algorithm",
+    "make_straggler_model",
+    "weighted_mean_delta",
+]

@@ -1,0 +1,136 @@
+"""Per-round records and whole-job history.
+
+The history is the single artifact every table and figure is derived
+from: Tables 1–24 read :meth:`TrainingHistory.rounds_to_target` and
+:meth:`TrainingHistory.peak_accuracy`; the convergence figures read
+:meth:`TrainingHistory.accuracy_series`; Fig. 13 reads
+:meth:`TrainingHistory.per_label_series`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.metrics.convergence import peak_accuracy as _peak
+from repro.metrics.convergence import rounds_to_target as _rounds_to
+
+__all__ = ["RoundRecord", "TrainingHistory"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything observed in one FL round."""
+
+    round_index: int
+    cohort: tuple[int, ...]
+    received: tuple[int, ...]
+    stragglers: tuple[int, ...]
+    balanced_accuracy: float
+    plain_accuracy: float
+    per_label_recall: tuple[float, ...]
+    mean_train_loss: float
+    comm_bytes: int
+    round_duration: float
+
+    @property
+    def n_overprovisioned(self) -> int:
+        """Cohort members beyond the configured parties-per-round are the
+        selector's straggler hedge."""
+        return 0 if not self.cohort else max(0, len(self.cohort))
+
+
+@dataclass
+class TrainingHistory:
+    """Round-by-round record of one FL job."""
+
+    job_name: str = "fl-job"
+    parties_per_round: int = 0
+    records: list = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        if self.records and record.round_index <= self.records[-1].round_index:
+            raise ConfigurationError("rounds must be appended in order")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- series ----------------------------------------------------------
+    def accuracy_series(self) -> np.ndarray:
+        """Balanced accuracy per round (the paper's Acc metric)."""
+        return np.array([r.balanced_accuracy for r in self.records])
+
+    def plain_accuracy_series(self) -> np.ndarray:
+        return np.array([r.plain_accuracy for r in self.records])
+
+    def loss_series(self) -> np.ndarray:
+        return np.array([r.mean_train_loss for r in self.records])
+
+    def per_label_series(self, label: int) -> np.ndarray:
+        """Recall of one label per round — Fig. 13's underrepresented-label
+        convergence curves."""
+        if not self.records:
+            return np.zeros(0)
+        width = len(self.records[0].per_label_recall)
+        if not 0 <= label < width:
+            raise ConfigurationError(
+                f"label must be in [0, {width}), got {label}")
+        return np.array([r.per_label_recall[label] for r in self.records])
+
+    # -- table scalars -----------------------------------------------------
+    def rounds_to_target(self, target: float) -> int | None:
+        """First round reaching ``target`` balanced accuracy (None = never)."""
+        if not self.records:
+            return None
+        return _rounds_to(self.accuracy_series(), target)
+
+    def peak_accuracy(self) -> float:
+        """Highest balanced accuracy within the round budget."""
+        if not self.records:
+            raise ConfigurationError("empty history")
+        return _peak(self.accuracy_series())
+
+    def total_comm_bytes(self) -> int:
+        return int(sum(r.comm_bytes for r in self.records))
+
+    def comm_bytes_to_target(self, target: float) -> int | None:
+        """Bytes spent up to (and including) the round that reached
+        ``target`` — the communication-cost savings the abstract claims."""
+        hit = self.rounds_to_target(target)
+        if hit is None:
+            return None
+        return int(sum(r.comm_bytes for r in self.records[:hit]))
+
+    def total_duration(self) -> float:
+        """Simulated wall time across all rounds (straggler-padded)."""
+        return float(sum(r.round_duration for r in self.records))
+
+    # -- fairness / participation ------------------------------------------
+    def participation_counts(self) -> Counter:
+        """How many times each party was placed in a cohort."""
+        counts: Counter = Counter()
+        for record in self.records:
+            counts.update(record.cohort)
+        return counts
+
+    def straggler_count(self) -> int:
+        return int(sum(len(r.stragglers) for r in self.records))
+
+    def summary(self, target: float | None = None) -> dict:
+        """Compact dict used by the experiment cache and the benches."""
+        out = {
+            "job": self.job_name,
+            "rounds": len(self.records),
+            "peak_accuracy": self.peak_accuracy() if self.records else None,
+            "total_comm_bytes": self.total_comm_bytes(),
+            "total_duration": self.total_duration(),
+            "stragglers": self.straggler_count(),
+        }
+        if target is not None:
+            out["rounds_to_target"] = self.rounds_to_target(target)
+            out["comm_bytes_to_target"] = self.comm_bytes_to_target(target)
+        return out

@@ -1,0 +1,209 @@
+"""FL party: local data, local training, simulated device profile.
+
+Implements the participant side of Algorithm 1 (lines 1–7): receive the
+global model, run τ local iterations of the local optimizer over private
+data, send the resulting model back.  FedProx's proximal pull and FedDyn's
+dynamic-regularization term enter as gradient modifications
+(:mod:`repro.ml.optim`); FedDyn's per-party state vector lives here and
+persists across the party's rounds.
+
+Parties also carry a *compute speed* used to simulate local-training
+latency; the TiFL baseline tiers parties on exactly this signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import as_generator
+from repro.data.dataset import Dataset
+from repro.fl.updates import ModelUpdate
+from repro.ml.models import Model
+from repro.ml.optim import SGD, Adam, LocalOptimizer
+
+__all__ = ["LocalTrainingConfig", "Party"]
+
+#: Seconds of simulated compute per (sample × epoch) at speed 1.0.
+_BASE_SECONDS_PER_SAMPLE = 1e-3
+
+#: Cap on how many local samples feed the post-training per-sample-loss
+#: statistics (Oort's utility signal); keeps big parties cheap to profile.
+_UTILITY_SAMPLE_CAP = 256
+
+
+@dataclass(frozen=True)
+class LocalTrainingConfig:
+    """Hyperparameters of one party-round of local training.
+
+    ``proximal_mu`` > 0 activates the FedProx term; ``dyn_alpha`` > 0
+    activates FedDyn's client-side correction.  ``optimizer`` selects the
+    local optimizer ("sgd" or "adam").
+    """
+
+    epochs: int = 2
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    proximal_mu: float = 0.0
+    dyn_alpha: float = 0.0
+    optimizer: str = "sgd"
+    lr_decay: float = 1.0
+    lr_decay_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ConfigurationError("epochs and batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be > 0")
+        if self.optimizer not in ("sgd", "adam"):
+            raise ConfigurationError(
+                f"optimizer must be 'sgd' or 'adam', got {self.optimizer!r}")
+        if self.lr_decay <= 0 or self.lr_decay > 1:
+            raise ConfigurationError("lr_decay must be in (0, 1]")
+
+    def effective_lr(self, round_index: int) -> float:
+        """Learning rate after the paper's periodic decay schedule.
+
+        The paper decays the rate every 20 rounds (ECG) / 30 rounds (HAM);
+        ``lr_decay_every = 0`` disables the schedule.
+        """
+        if not self.lr_decay_every or self.lr_decay == 1.0:
+            return self.learning_rate
+        steps = max(round_index - 1, 0) // self.lr_decay_every
+        return self.learning_rate * (self.lr_decay ** steps)
+
+    def with_overrides(self, **kwargs) -> "LocalTrainingConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+class Party:
+    """One federated participant.
+
+    Parameters
+    ----------
+    party_id:
+        Stable integer identity within the federation.
+    dataset:
+        The party's private training shard.
+    compute_speed:
+        Relative device speed; latency scales with its inverse.  TiFL
+        tiers on the resulting latencies.
+    rng:
+        Private generator driving batch order and latency jitter.
+    """
+
+    def __init__(self, party_id: int, dataset: Dataset, *,
+                 compute_speed: float = 1.0,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if party_id < 0:
+            raise ConfigurationError("party_id must be non-negative")
+        if compute_speed <= 0:
+            raise ConfigurationError("compute_speed must be positive")
+        if len(dataset) == 0:
+            raise ConfigurationError(
+                f"party {party_id} has no training data")
+        self.party_id = int(party_id)
+        self.dataset = dataset
+        self.compute_speed = float(compute_speed)
+        self._rng = as_generator(rng)
+        self._dyn_state: np.ndarray | None = None
+        self.rounds_participated = 0
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.dataset)
+
+    def label_distribution(self) -> np.ndarray:
+        """The party's private label-count vector (what FLIPS clusters)."""
+        return np.bincount(self.dataset.y,
+                           minlength=self.dataset.num_classes
+                           ).astype(np.float64)
+
+    def _build_optimizer(self, model: Model, config: LocalTrainingConfig,
+                         global_params: np.ndarray,
+                         lr: float) -> LocalOptimizer:
+        anchor = None
+        proximal_mu = config.proximal_mu
+        linear = None
+        if config.dyn_alpha > 0:
+            if self._dyn_state is None:
+                self._dyn_state = np.zeros_like(global_params)
+            # FedDyn local objective adds  -<h_i, w> + (alpha/2)||w - m||^2;
+            # its gradient is  -h_i + alpha (w - m): a linear term plus a
+            # proximal term with mu = alpha.
+            linear = -self._dyn_state
+            proximal_mu = proximal_mu + config.dyn_alpha
+            anchor = global_params
+        elif proximal_mu > 0:
+            anchor = global_params
+        common = dict(weight_decay=config.weight_decay,
+                      proximal_mu=proximal_mu, anchor=anchor,
+                      linear_term=linear)
+        if config.optimizer == "adam":
+            return Adam(model.parameters(), lr, **common)
+        return SGD(model.parameters(), lr, momentum=config.momentum,
+                   **common)
+
+    def simulate_latency(self, config: LocalTrainingConfig) -> float:
+        """Simulated seconds for one local-training invocation."""
+        work = config.epochs * self.num_samples * _BASE_SECONDS_PER_SAMPLE
+        jitter = float(self._rng.lognormal(mean=0.0, sigma=0.15))
+        return work / self.compute_speed * jitter
+
+    def local_train(self, model: Model, global_parameters: np.ndarray,
+                    config: LocalTrainingConfig,
+                    round_index: int) -> ModelUpdate:
+        """Run τ local epochs from the global model; return the update.
+
+        The party borrows the (shared) ``model`` object: parameters are
+        swapped in, trained, read out — so simulating thousands of parties
+        costs one model's memory.
+        """
+        model.set_parameters(global_parameters)
+        lr = config.effective_lr(round_index)
+        optimizer = self._build_optimizer(model, config, global_parameters, lr)
+
+        last_epoch_losses: list[float] = []
+        for epoch in range(config.epochs):
+            epoch_losses = []
+            for xb, yb in self.dataset.batches(config.batch_size, self._rng):
+                epoch_losses.append(model.loss_and_backward(xb, yb))
+                optimizer.step()
+            last_epoch_losses = epoch_losses
+
+        local_parameters = model.get_parameters()
+
+        if config.dyn_alpha > 0 and self._dyn_state is not None:
+            # h_i <- h_i - alpha (x_i - m): accumulate the local drift.
+            self._dyn_state = self._dyn_state - config.dyn_alpha * (
+                local_parameters - global_parameters)
+
+        # Per-sample loss statistics for Oort, on a capped subsample.
+        if self.num_samples > _UTILITY_SAMPLE_CAP:
+            probe = self._rng.choice(self.num_samples, _UTILITY_SAMPLE_CAP,
+                                     replace=False)
+            losses = model.per_sample_losses(self.dataset.x[probe],
+                                             self.dataset.y[probe])
+        else:
+            losses = model.per_sample_losses(self.dataset.x, self.dataset.y)
+
+        self.rounds_participated += 1
+        return ModelUpdate(
+            party_id=self.party_id,
+            parameters=local_parameters,
+            num_samples=self.num_samples,
+            train_loss=float(np.mean(last_epoch_losses)),
+            loss_sq_sum=float(np.sum(losses ** 2)),
+            loss_count=int(len(losses)),
+            latency=self.simulate_latency(config),
+            round_index=round_index,
+        )
+
+    def __repr__(self) -> str:
+        return (f"Party(id={self.party_id}, n={self.num_samples}, "
+                f"speed={self.compute_speed:.2f})")

@@ -1,0 +1,149 @@
+"""Straggler models (§2.3, §5.3).
+
+The paper emulates platform heterogeneity by dropping 10 % or 20 % of the
+participants in an FL round.  Stragglers here are a property of the
+*environment*, drawn after the selector commits to a cohort, exactly as in
+that emulation — the selector only ever observes which updates failed to
+arrive.
+
+Three models:
+
+* :class:`ExactFractionStragglers` — drop ``round(rate × |cohort|)``
+  members uniformly (the paper's emulation; default for the benches).
+* :class:`BernoulliStragglers` — each member drops independently with
+  probability ``rate`` (noisier; used in robustness tests).
+* :class:`SlowDeviceStragglers` — a fixed sub-population of slow devices
+  misses the round deadline whenever selected; models persistent platform
+  heterogeneity rather than transient failures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.validation import check_fraction
+
+__all__ = [
+    "StragglerModel",
+    "NoStragglers",
+    "ExactFractionStragglers",
+    "BernoulliStragglers",
+    "SlowDeviceStragglers",
+    "make_straggler_model",
+]
+
+
+class StragglerModel(ABC):
+    """Decides which cohort members fail to report in a round."""
+
+    @abstractmethod
+    def draw(self, cohort: "list[int]", round_index: int,
+             rng: np.random.Generator) -> "set[int]":
+        """Subset of ``cohort`` whose updates never arrive."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NoStragglers(StragglerModel):
+    """The ideal-platform baseline: every update arrives."""
+
+    def draw(self, cohort: "list[int]", round_index: int,
+             rng: np.random.Generator) -> "set[int]":
+        return set()
+
+
+class ExactFractionStragglers(StragglerModel):
+    """Drop exactly ``round(rate × |cohort|)`` random members.
+
+    Mirrors the paper's "10 % / 20 % stragglers" emulation: the count is
+    deterministic, the identities random.
+    """
+
+    def __init__(self, rate: float) -> None:
+        check_fraction(rate, "straggler rate")
+        self.rate = float(rate)
+
+    def draw(self, cohort: "list[int]", round_index: int,
+             rng: np.random.Generator) -> "set[int]":
+        if not cohort or self.rate == 0.0:
+            return set()
+        n_drop = int(round(self.rate * len(cohort)))
+        n_drop = min(n_drop, len(cohort))
+        if n_drop == 0:
+            return set()
+        dropped = rng.choice(len(cohort), size=n_drop, replace=False)
+        return {cohort[i] for i in dropped}
+
+    def __repr__(self) -> str:
+        return f"ExactFractionStragglers(rate={self.rate})"
+
+
+class BernoulliStragglers(StragglerModel):
+    """Each cohort member independently drops with probability ``rate``."""
+
+    def __init__(self, rate: float) -> None:
+        check_fraction(rate, "straggler rate")
+        self.rate = float(rate)
+
+    def draw(self, cohort: "list[int]", round_index: int,
+             rng: np.random.Generator) -> "set[int]":
+        if not cohort or self.rate == 0.0:
+            return set()
+        mask = rng.random(len(cohort)) < self.rate
+        return {p for p, dropped in zip(cohort, mask) if dropped}
+
+    def __repr__(self) -> str:
+        return f"BernoulliStragglers(rate={self.rate})"
+
+
+class SlowDeviceStragglers(StragglerModel):
+    """A designated slow sub-population misses deadlines when selected.
+
+    Parameters
+    ----------
+    slow_parties:
+        Ids of persistently slow devices.
+    miss_probability:
+        Chance a slow device misses the deadline in a given round
+        (1.0 = always too slow).
+    """
+
+    def __init__(self, slow_parties: "set[int] | list[int]",
+                 miss_probability: float = 1.0) -> None:
+        check_fraction(miss_probability, "miss_probability")
+        self.slow_parties = frozenset(int(p) for p in slow_parties)
+        if any(p < 0 for p in self.slow_parties):
+            raise ConfigurationError("party ids must be non-negative")
+        self.miss_probability = float(miss_probability)
+
+    def draw(self, cohort: "list[int]", round_index: int,
+             rng: np.random.Generator) -> "set[int]":
+        dropped = set()
+        for party in cohort:
+            if party in self.slow_parties and (
+                    self.miss_probability >= 1.0
+                    or rng.random() < self.miss_probability):
+                dropped.add(party)
+        return dropped
+
+    def __repr__(self) -> str:
+        return (f"SlowDeviceStragglers(n_slow={len(self.slow_parties)}, "
+                f"p={self.miss_probability})")
+
+
+def make_straggler_model(rate: float, kind: str = "exact",
+                         ) -> StragglerModel:
+    """Straggler model from a config scalar (0.0 → :class:`NoStragglers`)."""
+    check_fraction(rate, "straggler rate")
+    if rate == 0.0:
+        return NoStragglers()
+    if kind == "exact":
+        return ExactFractionStragglers(rate)
+    if kind == "bernoulli":
+        return BernoulliStragglers(rate)
+    raise ConfigurationError(
+        f"unknown straggler kind {kind!r}; choose 'exact' or 'bernoulli'")

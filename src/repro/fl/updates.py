@@ -1,0 +1,69 @@
+"""Model-update message exchanged between parties and aggregator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = ["ModelUpdate"]
+
+
+@dataclass(frozen=True)
+class ModelUpdate:
+    """One party's contribution to a round.
+
+    Attributes
+    ----------
+    party_id:
+        Sender.
+    parameters:
+        The party's local model *after* local training (flat vector) —
+        FedAvg-family algorithms reconstruct the delta against the round's
+        global model.
+    num_samples:
+        Local training-set size (``n_i`` in the weighted average).
+    train_loss:
+        Mean mini-batch loss over the final local epoch.
+    loss_sq_sum / loss_count:
+        Σ per-sample-loss² and how many samples that sum covers — shipped
+        so the aggregator can compute Oort's statistical utility without
+        seeing raw data.
+    latency:
+        Simulated seconds from model receipt to update upload.
+    round_index:
+        The round this update belongs to.
+    """
+
+    party_id: int
+    parameters: np.ndarray
+    num_samples: int
+    train_loss: float
+    loss_sq_sum: float
+    loss_count: int
+    latency: float
+    round_index: int
+
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0:
+            raise ConfigurationError("num_samples must be positive")
+        if self.loss_count < 0 or self.latency < 0:
+            raise ConfigurationError(
+                "loss_count and latency must be non-negative")
+
+    def delta(self, global_parameters: np.ndarray) -> np.ndarray:
+        """Update direction ``x_i - m`` relative to the round's model."""
+        if global_parameters.shape != self.parameters.shape:
+            raise ConfigurationError(
+                "global parameter vector shape mismatch")
+        return self.parameters - global_parameters
+
+    @property
+    def statistical_utility(self) -> float:
+        """Oort's statistical utility ``|B| * sqrt(mean per-sample loss²)``."""
+        if self.loss_count == 0:
+            return 0.0
+        return float(self.num_samples
+                     * np.sqrt(self.loss_sq_sum / self.loss_count))

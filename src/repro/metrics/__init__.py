@@ -1,0 +1,31 @@
+"""Evaluation metrics (§4.4 of the paper).
+
+The paper scores the global model each round on a global test set held in
+the aggregator's TEE using *label-balanced* accuracy — the mean over
+labels of per-label recall — to keep rare arrhythmia / lesion classes from
+being drowned out by the majority class.  Experiment tables then report
+(i) rounds to a target accuracy and (ii) highest accuracy within the round
+budget, plus communication cost.
+"""
+
+from repro.metrics.accuracy import (
+    balanced_accuracy,
+    confusion_matrix,
+    per_label_recall,
+    plain_accuracy,
+)
+from repro.metrics.convergence import (
+    area_under_curve,
+    peak_accuracy,
+    rounds_to_target,
+)
+
+__all__ = [
+    "area_under_curve",
+    "balanced_accuracy",
+    "confusion_matrix",
+    "peak_accuracy",
+    "per_label_recall",
+    "plain_accuracy",
+    "rounds_to_target",
+]

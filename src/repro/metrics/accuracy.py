@@ -1,0 +1,84 @@
+"""Accuracy metrics, including the paper's label-balanced accuracy.
+
+The paper computes ``Acc = (lA_1 + ... + lA_m) / m`` where ``lA_i`` is the
+fraction of label-``i`` test points classified correctly — i.e. macro-
+averaged recall.  This de-weights the dominant class (``N`` beats, ``nv``
+lesions) so improvements on rare labels are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = [
+    "confusion_matrix",
+    "per_label_recall",
+    "balanced_accuracy",
+    "plain_accuracy",
+]
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray,
+              num_classes: int) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ConfigurationError(
+            f"label arrays must be 1-D and aligned, got "
+            f"{y_true.shape} vs {y_pred.shape}")
+    if len(y_true) == 0:
+        raise ConfigurationError("empty evaluation set")
+    if num_classes < 1:
+        raise ConfigurationError("num_classes must be positive")
+    for arr, name in ((y_true, "y_true"), (y_pred, "y_pred")):
+        if arr.min() < 0 or arr.max() >= num_classes:
+            raise ConfigurationError(
+                f"{name} outside [0, {num_classes})")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """``C[i, j]`` = count of label-``i`` examples predicted as ``j``."""
+    y_true, y_pred = _validate(y_true, y_pred, num_classes)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def per_label_recall(y_true: np.ndarray, y_pred: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """Recall per label (the paper's ``lA_i``); NaN for absent labels."""
+    cm = confusion_matrix(y_true, y_pred, num_classes)
+    support = cm.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        recall = np.where(support > 0,
+                          np.diag(cm) / np.where(support > 0, support, 1.0),
+                          np.nan)
+    return recall
+
+
+def balanced_accuracy(y_true: np.ndarray, y_pred: np.ndarray,
+                      num_classes: int) -> float:
+    """Mean per-label recall over the labels present in ``y_true``.
+
+    Matches the paper's Acc definition; absent labels are excluded rather
+    than counted as zero (a test set is expected to contain every label —
+    the synthetic generators guarantee this).
+    """
+    recall = per_label_recall(y_true, y_pred, num_classes)
+    present = ~np.isnan(recall)
+    if not present.any():
+        raise ConfigurationError("no labels present in y_true")
+    return float(recall[present].mean())
+
+
+def plain_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Unweighted fraction correct (reported alongside balanced accuracy)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or len(y_true) == 0:
+        raise ConfigurationError("label arrays must be aligned and non-empty")
+    return float((y_true == y_pred).mean())

@@ -1,0 +1,50 @@
+"""Convergence summaries for accuracy-vs-round series.
+
+These produce the two numbers every table in the paper reports: the round
+at which a target accuracy is first reached (``> R`` rendered as ``None``
+here and ``">R"`` by the table formatter) and the highest accuracy inside
+the round budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = ["rounds_to_target", "peak_accuracy", "area_under_curve"]
+
+
+def rounds_to_target(accuracies: "list[float] | np.ndarray",
+                     target: float) -> int | None:
+    """First 1-based round index whose accuracy reaches ``target``.
+
+    Returns ``None`` when the series never reaches the target — the
+    paper's ``> 400`` cells.
+    """
+    arr = np.asarray(accuracies, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ConfigurationError("accuracy series must be 1-D")
+    hits = np.flatnonzero(arr >= target)
+    return int(hits[0]) + 1 if len(hits) else None
+
+
+def peak_accuracy(accuracies: "list[float] | np.ndarray") -> float:
+    """Highest accuracy attained within the rounds threshold."""
+    arr = np.asarray(accuracies, dtype=np.float64)
+    if arr.ndim != 1 or len(arr) == 0:
+        raise ConfigurationError("accuracy series must be 1-D and non-empty")
+    return float(arr.max())
+
+
+def area_under_curve(accuracies: "list[float] | np.ndarray") -> float:
+    """Mean accuracy across rounds — a convergence-speed scalar.
+
+    Not in the paper's tables, but used by the ablation benches: a
+    selector that converges earlier dominates this metric even when peak
+    accuracies tie.
+    """
+    arr = np.asarray(accuracies, dtype=np.float64)
+    if arr.ndim != 1 or len(arr) == 0:
+        raise ConfigurationError("accuracy series must be 1-D and non-empty")
+    return float(arr.mean())

@@ -1,0 +1,81 @@
+"""ML substrate: a from-scratch numpy deep-learning engine.
+
+The paper trains PyTorch models (1-D CNN for ECG, DenseNet-121 for
+HAM10000, LeNet-5 for FEMNIST/Fashion-MNIST) on a GPU cluster.  Offline,
+this package supplies the equivalent substrate: composable layers with
+hand-written backward passes (verified against numerical gradients in the
+test suite), local optimizers including the FedProx proximal and FedDyn
+dynamic-regularization terms, and factory functions for compact analogues
+of the paper's architectures.
+
+All model parameters round-trip through a single flat ``float64`` vector
+(:func:`repro.ml.serialization.pack_parameters`), which is what the FL
+engine ships between parties and aggregator — making communication-cost
+accounting exact and server optimizers model-agnostic.
+"""
+
+from repro.ml.layers import (
+    Conv1D,
+    Conv2D,
+    Dense,
+    Dropout,
+    EnsureChannels,
+    Flatten,
+    Layer,
+    MaxPool1D,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    Tanh,
+)
+from repro.ml.losses import SoftmaxCrossEntropy
+from repro.ml.models import (
+    MODEL_REGISTRY,
+    Model,
+    make_cnn1d,
+    make_densenet_lite,
+    make_lenet5,
+    make_mlp,
+    make_model,
+    make_softmax_regression,
+)
+from repro.ml.optim import SGD, Adam, LocalOptimizer
+from repro.ml.serialization import (
+    pack_gradients,
+    pack_parameters,
+    parameter_count,
+    unpack_parameters,
+    update_nbytes,
+)
+
+__all__ = [
+    "Adam",
+    "Conv1D",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "EnsureChannels",
+    "Flatten",
+    "Layer",
+    "LocalOptimizer",
+    "MODEL_REGISTRY",
+    "MaxPool1D",
+    "MaxPool2D",
+    "Model",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "SoftmaxCrossEntropy",
+    "Tanh",
+    "make_cnn1d",
+    "make_densenet_lite",
+    "make_lenet5",
+    "make_mlp",
+    "make_model",
+    "make_softmax_regression",
+    "pack_gradients",
+    "pack_parameters",
+    "parameter_count",
+    "unpack_parameters",
+    "update_nbytes",
+]

@@ -1,0 +1,441 @@
+"""Neural-network layers with hand-written forward/backward passes.
+
+Conventions
+-----------
+* Batched inputs: the leading axis is always the batch.
+* Images are ``(n, c, h, w)``; 1-D signals are ``(n, c, length)``.
+  :class:`EnsureChannels` adapts channel-less dataset arrays.
+* ``forward(x, training=...)`` caches whatever ``backward`` needs;
+  ``backward(grad)`` accumulates parameter gradients and returns the
+  gradient w.r.t. the layer input.
+* Every trainable array is a :class:`Parameter` so the whole model can be
+  flattened to one update vector for federated aggregation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import as_generator
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Flatten",
+    "Dropout",
+    "EnsureChannels",
+    "Conv1D",
+    "Conv2D",
+    "MaxPool1D",
+    "MaxPool2D",
+]
+
+
+@dataclass
+class Parameter:
+    """A trainable tensor and its accumulated gradient."""
+
+    value: np.ndarray
+    name: str = "param"
+    grad: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.value = np.asarray(self.value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+
+class Layer(ABC):
+    """Base class: a differentiable transformation with parameters."""
+
+    @abstractmethod
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        """Compute the layer output, caching state for :meth:`backward`."""
+
+    @abstractmethod
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop ``grad`` (dL/d-output) to dL/d-input, accumulating
+        parameter gradients."""
+
+    def parameters(self) -> "list[Parameter]":
+        """Trainable parameters, in a stable order."""
+        return []
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+
+def he_init(shape: tuple[int, ...], fan_in: int,
+            rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialisation — appropriate for ReLU networks."""
+    return rng.normal(scale=np.sqrt(2.0 / max(fan_in, 1)), size=shape)
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if in_features < 1 or out_features < 1:
+            raise ConfigurationError("Dense dimensions must be positive")
+        gen = as_generator(rng)
+        self.weight = Parameter(
+            he_init((in_features, out_features), in_features, gen), "dense.W")
+        self.bias = Parameter(np.zeros(out_features), "dense.b")
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if x.ndim != 2:
+            raise ConfigurationError(
+                f"Dense expects (n, features), got {x.shape}")
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward before forward"
+        self.weight.grad += self._x.T @ grad
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T
+
+    def parameters(self) -> "list[Parameter]":
+        return [self.weight, self.bias]
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return grad * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation (LeNet's classic nonlinearity)."""
+
+    def __init__(self) -> None:
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._out is not None
+        return grad * (1.0 - self._out ** 2)
+
+
+class Flatten(Layer):
+    """Collapse everything after the batch axis."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(len(x), -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        return grad.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at evaluation time."""
+
+    def __init__(self, rate: float,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError(f"dropout rate must be in [0,1), got {rate}")
+        self.rate = float(rate)
+        self._rng = as_generator(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class EnsureChannels(Layer):
+    """Insert a channel axis when the dataset stores channel-less arrays.
+
+    ``(n, h, w) -> (n, 1, h, w)`` and ``(n, length) -> (n, 1, length)``;
+    inputs that already carry channels pass through untouched.
+    """
+
+    def __init__(self, spatial_ndim: int) -> None:
+        if spatial_ndim not in (1, 2):
+            raise ConfigurationError("spatial_ndim must be 1 or 2")
+        self.spatial_ndim = spatial_ndim
+        self._added: bool = False
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        expected_with_channels = 2 + self.spatial_ndim
+        if x.ndim == expected_with_channels:
+            self._added = False
+            return x
+        if x.ndim == expected_with_channels - 1:
+            self._added = True
+            return x[:, None]
+        raise ConfigurationError(
+            f"cannot adapt input of shape {x.shape} for "
+            f"{self.spatial_ndim}-D convolutions")
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad[:, 0] if self._added else grad
+
+
+def _im2col1d(x: np.ndarray, k: int, stride: int) -> np.ndarray:
+    """(n, c, L) -> (n, c*k, out_len) patches for 1-D convolution."""
+    n, c, length = x.shape
+    out_len = (length - k) // stride + 1
+    cols = np.empty((n, c, k, out_len), dtype=x.dtype)
+    for offset in range(k):
+        cols[:, :, offset, :] = x[:, :, offset:offset + stride * out_len:stride]
+    return cols.reshape(n, c * k, out_len)
+
+
+def _col2im1d(cols: np.ndarray, x_shape: tuple[int, int, int],
+              k: int, stride: int) -> np.ndarray:
+    n, c, length = x_shape
+    out_len = (length - k) // stride + 1
+    cols = cols.reshape(n, c, k, out_len)
+    x = np.zeros(x_shape, dtype=cols.dtype)
+    for offset in range(k):
+        x[:, :, offset:offset + stride * out_len:stride] += cols[:, :, offset, :]
+    return x
+
+
+class Conv1D(Layer):
+    """1-D convolution (valid padding) — the ECG model's workhorse."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if min(in_channels, out_channels, kernel_size, stride) < 1:
+            raise ConfigurationError("Conv1D arguments must be positive")
+        gen = as_generator(rng)
+        fan_in = in_channels * kernel_size
+        self.weight = Parameter(
+            he_init((out_channels, fan_in), fan_in, gen), "conv1d.W")
+        self.bias = Parameter(np.zeros(out_channels), "conv1d.b")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int] | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ConfigurationError(
+                f"Conv1D expects (n, {self.in_channels}, L), got {x.shape}")
+        if x.shape[2] < self.kernel_size:
+            raise ConfigurationError("input shorter than kernel")
+        self._x_shape = x.shape
+        self._cols = _im2col1d(x, self.kernel_size, self.stride)
+        out = np.einsum("of,nfl->nol", self.weight.value, self._cols)
+        return out + self.bias.value[None, :, None]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cols is not None and self._x_shape is not None
+        self.bias.grad += grad.sum(axis=(0, 2))
+        self.weight.grad += np.einsum("nol,nfl->of", grad, self._cols)
+        grad_cols = np.einsum("of,nol->nfl", self.weight.value, grad)
+        return _col2im1d(grad_cols, self._x_shape,
+                         self.kernel_size, self.stride)
+
+    def parameters(self) -> "list[Parameter]":
+        return [self.weight, self.bias]
+
+
+def _im2col2d(x: np.ndarray, kh: int, kw: int,
+              stride: int) -> np.ndarray:
+    """(n, c, h, w) -> (n, c*kh*kw, oh*ow) patches."""
+    n, c, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, i, j] = x[:, :,
+                                 i:i + stride * oh:stride,
+                                 j:j + stride * ow:stride]
+    return cols.reshape(n, c * kh * kw, oh * ow)
+
+
+def _col2im2d(cols: np.ndarray, x_shape: tuple[int, int, int, int],
+              kh: int, kw: int, stride: int) -> np.ndarray:
+    n, c, h, w = x_shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    x = np.zeros(x_shape, dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            x[:, :, i:i + stride * oh:stride,
+              j:j + stride * ow:stride] += cols[:, :, i, j]
+    return x
+
+
+class Conv2D(Layer):
+    """2-D convolution (valid padding) via im2col."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        if min(in_channels, out_channels, kernel_size, stride) < 1:
+            raise ConfigurationError("Conv2D arguments must be positive")
+        gen = as_generator(rng)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            he_init((out_channels, fan_in), fan_in, gen), "conv2d.W")
+        self.bias = Parameter(np.zeros(out_channels), "conv2d.b")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ConfigurationError(
+                f"Conv2D expects (n, {self.in_channels}, h, w), got {x.shape}")
+        k, s = self.kernel_size, self.stride
+        n, _, h, w = x.shape
+        if h < k or w < k:
+            raise ConfigurationError("input smaller than kernel")
+        oh, ow = (h - k) // s + 1, (w - k) // s + 1
+        self._x_shape = x.shape
+        self._out_hw = (oh, ow)
+        self._cols = _im2col2d(x, k, k, s)
+        out = np.einsum("of,nfp->nop", self.weight.value, self._cols)
+        out += self.bias.value[None, :, None]
+        return out.reshape(n, self.out_channels, oh, ow)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert (self._cols is not None and self._x_shape is not None
+                and self._out_hw is not None)
+        n = grad.shape[0]
+        grad2 = grad.reshape(n, self.out_channels, -1)
+        self.bias.grad += grad2.sum(axis=(0, 2))
+        self.weight.grad += np.einsum("nop,nfp->of", grad2, self._cols)
+        grad_cols = np.einsum("of,nop->nfp", self.weight.value, grad2)
+        return _col2im2d(grad_cols, self._x_shape,
+                         self.kernel_size, self.kernel_size, self.stride)
+
+    def parameters(self) -> "list[Parameter]":
+        return [self.weight, self.bias]
+
+
+class MaxPool1D(Layer):
+    """Non-overlapping 1-D max pooling.
+
+    A trailing remainder shorter than the pool window is dropped (the
+    usual floor-division semantics); its positions receive zero gradient.
+    """
+
+    def __init__(self, pool: int = 2) -> None:
+        if pool < 1:
+            raise ConfigurationError("pool must be >= 1")
+        self.pool = pool
+        self._argmax: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        n, c, length = x.shape
+        out_len = length // self.pool
+        if out_len < 1:
+            raise ConfigurationError(
+                f"length {length} shorter than pool {self.pool}")
+        self._x_shape = x.shape
+        trimmed = x[:, :, :out_len * self.pool]
+        windows = trimmed.reshape(n, c, out_len, self.pool)
+        self._argmax = windows.argmax(axis=3)
+        return windows.max(axis=3)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._argmax is not None and self._x_shape is not None
+        n, c, length = self._x_shape
+        out_len = length // self.pool
+        out = np.zeros((n, c, out_len, self.pool), dtype=grad.dtype)
+        idx_n, idx_c, idx_w = np.indices(self._argmax.shape)
+        out[idx_n, idx_c, idx_w, self._argmax] = grad
+        full = np.zeros(self._x_shape, dtype=grad.dtype)
+        full[:, :, :out_len * self.pool] = out.reshape(n, c, -1)
+        return full
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping 2-D max pooling.
+
+    Trailing rows/columns that do not fill a window are dropped (floor
+    semantics) and receive zero gradient.
+    """
+
+    def __init__(self, pool: int = 2) -> None:
+        if pool < 1:
+            raise ConfigurationError("pool must be >= 1")
+        self.pool = pool
+        self._argmax: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        p = self.pool
+        oh, ow = h // p, w // p
+        if oh < 1 or ow < 1:
+            raise ConfigurationError(
+                f"spatial dims {(h, w)} smaller than pool {p}")
+        self._x_shape = x.shape
+        trimmed = x[:, :, :oh * p, :ow * p]
+        windows = trimmed.reshape(n, c, oh, p, ow, p)
+        windows = windows.transpose(0, 1, 2, 4, 3, 5).reshape(
+            n, c, oh, ow, p * p)
+        self._argmax = windows.argmax(axis=4)
+        return windows.max(axis=4)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._argmax is not None and self._x_shape is not None
+        n, c, h, w = self._x_shape
+        p = self.pool
+        oh, ow = h // p, w // p
+        flat = np.zeros((n, c, oh, ow, p * p), dtype=grad.dtype)
+        idx = np.indices(self._argmax.shape)
+        flat[idx[0], idx[1], idx[2], idx[3], self._argmax] = grad
+        flat = flat.reshape(n, c, oh, ow, p, p)
+        full = np.zeros(self._x_shape, dtype=grad.dtype)
+        full[:, :, :oh * p, :ow * p] = flat.transpose(
+            0, 1, 2, 4, 3, 5).reshape(n, c, oh * p, ow * p)
+        return full

@@ -1,0 +1,61 @@
+"""Loss functions.
+
+Only softmax cross-entropy is needed for the paper's classification tasks;
+it is implemented fused (log-sum-exp stabilised) with an analytic gradient,
+and optionally returns per-sample losses because the Oort selector's
+statistical utility is ``|B| * sqrt(mean(per-sample loss^2))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = ["SoftmaxCrossEntropy", "log_softmax"]
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(softmax(logits))`` along the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy.
+
+    :meth:`forward` returns the mean loss and caches probabilities;
+    :meth:`backward` returns dL/dlogits for the *mean* loss (i.e. already
+    divided by the batch size).
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, y: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ConfigurationError(
+                f"logits must be (n, classes), got {logits.shape}")
+        y = np.asarray(y, dtype=np.int64)
+        if y.shape != (len(logits),):
+            raise ConfigurationError("labels must align with logits rows")
+        if len(y) == 0:
+            raise ConfigurationError("empty batch")
+        log_p = log_softmax(logits)
+        self._probs = np.exp(log_p)
+        self._y = y
+        return float(-log_p[np.arange(len(y)), y].mean())
+
+    def per_sample(self, logits: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Per-sample cross-entropy losses (no caching) — Oort's raw signal."""
+        y = np.asarray(y, dtype=np.int64)
+        log_p = log_softmax(logits)
+        return -log_p[np.arange(len(y)), y]
+
+    def backward(self) -> np.ndarray:
+        assert self._probs is not None and self._y is not None, \
+            "backward before forward"
+        grad = self._probs.copy()
+        grad[np.arange(len(self._y)), self._y] -= 1.0
+        return grad / len(self._y)

@@ -1,0 +1,320 @@
+"""Model container and factories for the paper's architectures.
+
+The paper trains a 1-D CNN (MIT-BIH ECG), DenseNet-121 (HAM10000) and
+LeNet-5 (FEMNIST, Fashion-MNIST).  :func:`make_model` provides compact
+numpy analogues of each plus two fast models (softmax regression and an
+MLP) used by the feature-mode datasets in the benchmark harness — the
+selection dynamics FLIPS studies depend on which *data* enters a round,
+not on model depth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import as_generator
+from repro.ml.layers import (
+    Conv1D,
+    Conv2D,
+    Dense,
+    Dropout,
+    EnsureChannels,
+    Flatten,
+    Layer,
+    MaxPool1D,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+)
+from repro.ml.losses import SoftmaxCrossEntropy
+from repro.ml.serialization import (
+    pack_gradients,
+    pack_parameters,
+    parameter_count,
+    unpack_parameters,
+)
+
+__all__ = [
+    "Model",
+    "DenseBlock2D",
+    "MODEL_REGISTRY",
+    "make_model",
+    "make_softmax_regression",
+    "make_mlp",
+    "make_lenet5",
+    "make_cnn1d",
+    "make_densenet_lite",
+]
+
+
+class DenseBlock2D(Layer):
+    """A minimal DenseNet-style block: concat(input, relu(conv(input))).
+
+    Captures DenseNet's defining dense connectivity (each block's output
+    carries its input forward) at a size trainable on a laptop.  The
+    convolution uses kernel 3 with implicit zero padding 1 so spatial
+    dimensions are preserved and concatenation is well-defined.
+    """
+
+    def __init__(self, in_channels: int, growth: int,
+                 rng: "int | np.random.Generator | None" = None) -> None:
+        self.conv = Conv2D(in_channels, growth, kernel_size=3, rng=rng)
+        self.relu = ReLU()
+        self.in_channels = in_channels
+        self.growth = growth
+        self._x_padded_shape: tuple[int, ...] | None = None
+
+    @staticmethod
+    def _pad(x: np.ndarray) -> np.ndarray:
+        return np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        padded = self._pad(x)
+        self._x_padded_shape = padded.shape
+        new = self.relu.forward(self.conv.forward(padded, training=training),
+                                training=training)
+        return np.concatenate([x, new], axis=1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad_skip = grad[:, :self.in_channels]
+        grad_new = grad[:, self.in_channels:]
+        grad_padded = self.conv.backward(self.relu.backward(grad_new))
+        return grad_skip + grad_padded[:, :, 1:-1, 1:-1]
+
+    def parameters(self) -> "list[Parameter]":
+        return self.conv.parameters()
+
+
+class Model:
+    """A sequential feed-forward classifier with a flat-vector interface.
+
+    The FL engine treats a model as: ``get_parameters()`` →
+    train-on-batches → ``get_parameters()`` again, with the difference
+    being the update that travels to the aggregator.  One model instance is
+    shared across all simulated parties (parameters are swapped in/out),
+    which keeps memory flat no matter how many parties a federation has.
+    """
+
+    def __init__(self, layers: "list[Layer]", num_classes: int,
+                 name: str = "model") -> None:
+        if not layers:
+            raise ConfigurationError("a model needs at least one layer")
+        self.layers = layers
+        self.num_classes = int(num_classes)
+        self.name = name
+        self.loss = SoftmaxCrossEntropy()
+        self._params: list[Parameter] = [
+            p for layer in layers for p in layer.parameters()]
+        if not self._params:
+            raise ConfigurationError("a model needs trainable parameters")
+
+    # -- parameter plumbing -------------------------------------------------
+    def parameters(self) -> "list[Parameter]":
+        return self._params
+
+    @property
+    def dimension(self) -> int:
+        """Scalar parameter count = length of the update vector."""
+        return parameter_count(self._params)
+
+    def get_parameters(self) -> np.ndarray:
+        return pack_parameters(self._params)
+
+    def set_parameters(self, vector: np.ndarray) -> None:
+        unpack_parameters(vector, self._params)
+
+    def get_gradients(self) -> np.ndarray:
+        return pack_gradients(self._params)
+
+    def zero_grad(self) -> None:
+        for p in self._params:
+            p.zero_grad()
+
+    # -- forward / backward -------------------------------------------------
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        grad = grad_logits
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def loss_and_backward(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One training step's worth of gradient accumulation.
+
+        Zeroes gradients, runs forward in training mode, and backprops the
+        mean cross-entropy.  Returns the batch loss.
+        """
+        self.zero_grad()
+        logits = self.forward(x, training=True)
+        loss = self.loss.forward(logits, y)
+        self.backward(self.loss.backward())
+        return loss
+
+    # -- inference ----------------------------------------------------------
+    def predict_logits(self, x: np.ndarray,
+                       batch_size: int = 512) -> np.ndarray:
+        chunks = [self.forward(x[i:i + batch_size], training=False)
+                  for i in range(0, len(x), batch_size)]
+        return np.concatenate(chunks) if chunks else np.zeros(
+            (0, self.num_classes))
+
+    def predict(self, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        return np.argmax(self.predict_logits(x, batch_size), axis=1)
+
+    def evaluate_loss(self, x: np.ndarray, y: np.ndarray,
+                      batch_size: int = 512) -> float:
+        """Mean cross-entropy over a dataset (no gradient state touched)."""
+        logits = self.predict_logits(x, batch_size)
+        return float(self.loss.per_sample(logits, y).mean())
+
+    def per_sample_losses(self, x: np.ndarray, y: np.ndarray,
+                          batch_size: int = 512) -> np.ndarray:
+        """Per-example losses — the raw signal for Oort's utility."""
+        logits = self.predict_logits(x, batch_size)
+        return self.loss.per_sample(logits, y)
+
+    def __repr__(self) -> str:
+        return (f"Model(name={self.name!r}, dim={self.dimension}, "
+                f"layers={len(self.layers)})")
+
+
+# ---------------------------------------------------------------------------
+# Factories
+# ---------------------------------------------------------------------------
+
+def _flat_dim(feature_shape: tuple[int, ...]) -> int:
+    return int(np.prod(feature_shape))
+
+
+def make_softmax_regression(feature_shape: tuple[int, ...], num_classes: int,
+                            rng: "int | np.random.Generator | None" = None,
+                            ) -> Model:
+    """Multinomial logistic regression — the fastest learner; used by the
+    bench preset where thousands of FL runs must finish in minutes."""
+    gen = as_generator(rng)
+    return Model([Flatten(),
+                  Dense(_flat_dim(feature_shape), num_classes, gen)],
+                 num_classes, "softmax")
+
+
+def make_mlp(feature_shape: tuple[int, ...], num_classes: int,
+             rng: "int | np.random.Generator | None" = None,
+             hidden: tuple[int, ...] = (32,), dropout: float = 0.0) -> Model:
+    """One-or-more hidden-layer perceptron for feature-mode datasets."""
+    gen = as_generator(rng)
+    layers: list[Layer] = [Flatten()]
+    width = _flat_dim(feature_shape)
+    for h in hidden:
+        layers.extend([Dense(width, h, gen), ReLU()])
+        if dropout:
+            layers.append(Dropout(dropout, gen))
+        width = h
+    layers.append(Dense(width, num_classes, gen))
+    return Model(layers, num_classes, "mlp")
+
+
+def make_lenet5(feature_shape: tuple[int, ...], num_classes: int,
+                rng: "int | np.random.Generator | None" = None) -> Model:
+    """LeNet-5-style CNN for the 12×12 FEMNIST/Fashion image mode.
+
+    conv(1→6,k3) → relu → pool2 → conv(6→12,k3) → relu → flatten →
+    dense(48) → relu → dense(classes); ~6k parameters.
+    """
+    if len(feature_shape) != 2:
+        raise ConfigurationError(
+            f"lenet5 expects (h, w) images, got {feature_shape}")
+    h, w = feature_shape
+    gen = as_generator(rng)
+    pooled = ((h - 2) // 2, (w - 2) // 2)
+    after_conv2 = (pooled[0] - 2, pooled[1] - 2)
+    if min(after_conv2) < 1:
+        raise ConfigurationError(
+            f"image {feature_shape} too small for the lenet5 architecture")
+    flat = 12 * after_conv2[0] * after_conv2[1]
+    return Model([
+        EnsureChannels(2),
+        Conv2D(1, 6, 3, rng=gen), ReLU(), MaxPool2D(2),
+        Conv2D(6, 12, 3, rng=gen), ReLU(),
+        Flatten(),
+        Dense(flat, 48, gen), ReLU(),
+        Dense(48, num_classes, gen),
+    ], num_classes, "lenet5")
+
+
+def make_cnn1d(feature_shape: tuple[int, ...], num_classes: int,
+               rng: "int | np.random.Generator | None" = None) -> Model:
+    """1-D CNN for ECG waveforms (the MIT-BIH model of the paper)."""
+    if len(feature_shape) != 1:
+        raise ConfigurationError(
+            f"cnn1d expects (length,) signals, got {feature_shape}")
+    length = feature_shape[0]
+    gen = as_generator(rng)
+    pooled1 = (length - 6) // 2              # conv k7 then pool 2
+    pooled2 = (pooled1 - 4) // 2             # conv k5 then pool 2
+    if pooled2 < 1:
+        raise ConfigurationError(
+            f"signal length {length} too short for the cnn1d architecture")
+    return Model([
+        EnsureChannels(1),
+        Conv1D(1, 8, 7, rng=gen), ReLU(), MaxPool1D(2),
+        Conv1D(8, 16, 5, rng=gen), ReLU(), MaxPool1D(2),
+        Flatten(),
+        Dense(16 * pooled2, 32, gen), ReLU(),
+        Dense(32, num_classes, gen),
+    ], num_classes, "cnn1d")
+
+
+def make_densenet_lite(feature_shape: tuple[int, ...], num_classes: int,
+                       rng: "int | np.random.Generator | None" = None,
+                       growth: int = 4, blocks: int = 2) -> Model:
+    """Miniature DenseNet (HAM10000's model, scaled to laptop size).
+
+    stem conv → `blocks` densely connected blocks (channel concatenation)
+    → pool → dense classifier.
+    """
+    if len(feature_shape) != 2:
+        raise ConfigurationError(
+            f"densenet_lite expects (h, w) images, got {feature_shape}")
+    h, w = feature_shape
+    gen = as_generator(rng)
+    layers: list[Layer] = [EnsureChannels(2), Conv2D(1, 4, 3, rng=gen), ReLU()]
+    ch, hh, ww = 4, h - 2, w - 2
+    if min(hh, ww) < 2:
+        raise ConfigurationError(
+            f"image {feature_shape} too small for densenet_lite")
+    for _ in range(blocks):
+        layers.append(DenseBlock2D(ch, growth, rng=gen))
+        ch += growth
+    layers.append(MaxPool2D(2))
+    layers.append(Flatten())
+    layers.append(Dense(ch * (hh // 2) * (ww // 2), num_classes, gen))
+    return Model(layers, num_classes, "densenet_lite")
+
+
+MODEL_REGISTRY: dict[str, Callable[..., Model]] = {
+    "softmax": make_softmax_regression,
+    "mlp": make_mlp,
+    "lenet5": make_lenet5,
+    "cnn1d": make_cnn1d,
+    "densenet_lite": make_densenet_lite,
+}
+
+
+def make_model(name: str, feature_shape: tuple[int, ...], num_classes: int,
+               rng: "int | np.random.Generator | None" = None,
+               **kwargs) -> Model:
+    """Build a registered model by name.
+
+    ``name`` ∈ {"softmax", "mlp", "lenet5", "cnn1d", "densenet_lite"}.
+    """
+    if name not in MODEL_REGISTRY:
+        raise ConfigurationError(
+            f"unknown model {name!r}; choose from {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[name](feature_shape, num_classes, rng, **kwargs)

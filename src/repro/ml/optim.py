@@ -1,0 +1,151 @@
+"""Local (client-side) optimizers.
+
+Parties run a few epochs of mini-batch SGD per round (Algorithm 1, lines
+4–6).  FedProx adds a proximal pull towards the round's global model and
+FedDyn adds a linear dynamic-regularization term; both are expressed here
+as per-step gradient modifications so every FL algorithm can reuse the
+same training loop.
+
+The anchor / linear terms are supplied as *flat* vectors (the wire format)
+and sliced onto each parameter once at construction, so the per-step cost
+stays O(model size) with no repeated flattening.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.ml.layers import Parameter
+from repro.ml.serialization import parameter_count
+
+__all__ = ["LocalOptimizer", "SGD", "Adam"]
+
+
+def _slice_like(vector: np.ndarray | None,
+                params: "list[Parameter]") -> "list[np.ndarray] | None":
+    """Split a flat vector into views shaped like each parameter."""
+    if vector is None:
+        return None
+    vector = np.asarray(vector, dtype=np.float64)
+    expected = parameter_count(params)
+    if vector.shape != (expected,):
+        raise ConfigurationError(
+            f"auxiliary vector has shape {vector.shape}, "
+            f"model needs ({expected},)")
+    out = []
+    offset = 0
+    for p in params:
+        out.append(vector[offset:offset + p.size].reshape(p.value.shape))
+        offset += p.size
+    return out
+
+
+class LocalOptimizer(ABC):
+    """Steps a list of :class:`Parameter` given accumulated gradients.
+
+    Parameters
+    ----------
+    params:
+        The model's parameter list (shared references — stepping mutates
+        the model).
+    lr:
+        Learning rate.
+    weight_decay:
+        L2 coefficient applied to the raw gradient.
+    proximal_mu:
+        FedProx µ: adds ``mu * (w - anchor)`` to the gradient.
+    anchor:
+        Flat global-model vector the proximal term pulls towards; required
+        when ``proximal_mu > 0``.
+    linear_term:
+        Flat vector added to the gradient verbatim each step (FedDyn's
+        ``-h_i + alpha * (w - w_global)`` splits into this plus a
+        proximal term).
+    """
+
+    def __init__(self, params: "list[Parameter]", lr: float, *,
+                 weight_decay: float = 0.0,
+                 proximal_mu: float = 0.0,
+                 anchor: np.ndarray | None = None,
+                 linear_term: np.ndarray | None = None) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be > 0, got {lr}")
+        if weight_decay < 0 or proximal_mu < 0:
+            raise ConfigurationError(
+                "weight_decay and proximal_mu must be >= 0")
+        if proximal_mu > 0 and anchor is None:
+            raise ConfigurationError(
+                "proximal_mu > 0 requires an anchor (the global model)")
+        self.params = params
+        self.lr = float(lr)
+        self.weight_decay = float(weight_decay)
+        self.proximal_mu = float(proximal_mu)
+        self._anchor = _slice_like(anchor, params)
+        self._linear = _slice_like(linear_term, params)
+
+    def _effective_grad(self, i: int, p: Parameter) -> np.ndarray:
+        grad = p.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.value
+        if self.proximal_mu and self._anchor is not None:
+            grad = grad + self.proximal_mu * (p.value - self._anchor[i])
+        if self._linear is not None:
+            grad = grad + self._linear[i]
+        return grad
+
+    @abstractmethod
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class SGD(LocalOptimizer):
+    """Mini-batch SGD with optional Polyak momentum."""
+
+    def __init__(self, params: "list[Parameter]", lr: float, *,
+                 momentum: float = 0.0, **kwargs) -> None:
+        super().__init__(params, lr, **kwargs)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(
+                f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.value) for p in params]
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            grad = self._effective_grad(i, p)
+            if self.momentum:
+                self._velocity[i] = self.momentum * self._velocity[i] + grad
+                grad = self._velocity[i]
+            p.value -= self.lr * grad
+
+
+class Adam(LocalOptimizer):
+    """Adam (Kingma & Ba) as a local optimizer."""
+
+    def __init__(self, params: "list[Parameter]", lr: float, *,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8, **kwargs) -> None:
+        super().__init__(params, lr, **kwargs)
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ConfigurationError("betas must be in [0, 1)")
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._v = [np.zeros_like(p.value) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for i, p in enumerate(self.params):
+            grad = self._effective_grad(i, p)
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad ** 2
+            m_hat = self._m[i] / (1 - self.beta1 ** self._t)
+            v_hat = self._v[i] / (1 - self.beta2 ** self._t)
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,71 @@
+"""Flat-vector (de)serialization of model parameters.
+
+Federated learning ships *update vectors*, not layer objects.  These
+helpers define the canonical packing order (the order layers report their
+parameters) so that party → aggregator → party round-trips are lossless,
+and expose the byte size used for communication-cost accounting
+(the paper reports 20–60 % lower communication costs for FLIPS, which in
+this reproduction is measured as bytes = participants × directions ×
+``update_nbytes``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.ml.layers import Parameter
+
+__all__ = [
+    "pack_parameters",
+    "unpack_parameters",
+    "pack_gradients",
+    "parameter_count",
+    "update_nbytes",
+]
+
+
+def parameter_count(params: "list[Parameter]") -> int:
+    """Total scalar count across a parameter list."""
+    return int(sum(p.size for p in params))
+
+
+def pack_parameters(params: "list[Parameter]") -> np.ndarray:
+    """Concatenate all parameter values into one flat ``float64`` vector."""
+    if not params:
+        return np.zeros(0)
+    return np.concatenate([p.value.ravel() for p in params])
+
+
+def pack_gradients(params: "list[Parameter]") -> np.ndarray:
+    """Concatenate all accumulated gradients, in packing order."""
+    if not params:
+        return np.zeros(0)
+    return np.concatenate([p.grad.ravel() for p in params])
+
+
+def unpack_parameters(vector: np.ndarray,
+                      params: "list[Parameter]") -> None:
+    """Write ``vector`` back into ``params`` (in packing order), in place."""
+    vector = np.asarray(vector, dtype=np.float64)
+    expected = parameter_count(params)
+    if vector.shape != (expected,):
+        raise ConfigurationError(
+            f"parameter vector has shape {vector.shape}, "
+            f"model needs ({expected},)")
+    offset = 0
+    for p in params:
+        chunk = vector[offset:offset + p.size]
+        p.value[...] = chunk.reshape(p.value.shape)
+        offset += p.size
+
+
+def update_nbytes(dimension: int) -> int:
+    """Bytes on the wire for one model update of ``dimension`` floats.
+
+    float64 payload; protocol framing is ignored (identical across
+    selection strategies, so it cancels in every comparison).
+    """
+    if dimension < 0:
+        raise ConfigurationError("dimension must be non-negative")
+    return 8 * int(dimension)

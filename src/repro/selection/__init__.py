@@ -1,0 +1,40 @@
+"""Participant-selection strategies.
+
+The paper compares FLIPS against four selection mechanisms; all five share
+the :class:`~repro.selection.base.SelectionStrategy` interface so the FL
+engine is selector-agnostic:
+
+* :class:`RandomSelection` — the predominant baseline (§4.1).
+* :class:`OortSelection` — utility-guided selection (Lai et al., OSDI'21).
+* :class:`GradClusSelection` — clustered sampling over gradient similarity
+  (Fraboni et al., ICML'21).
+* :class:`TiflSelection` — latency tiers with adaptive, accuracy-aware
+  tier credits (Chai et al., HPDC'20).
+* :class:`PowerOfChoiceSelection` — loss-biased sampling (Cho et al.),
+  discussed in §3 and provided as an extension baseline.
+
+FLIPS itself lives in :mod:`repro.core` (it is the paper's contribution,
+not a baseline).
+"""
+
+from repro.selection.base import (
+    RoundOutcome,
+    SelectionContext,
+    SelectionStrategy,
+)
+from repro.selection.gradclus import GradClusSelection
+from repro.selection.oort import OortSelection
+from repro.selection.power_of_choice import PowerOfChoiceSelection
+from repro.selection.random_selection import RandomSelection
+from repro.selection.tifl import TiflSelection
+
+__all__ = [
+    "GradClusSelection",
+    "OortSelection",
+    "PowerOfChoiceSelection",
+    "RandomSelection",
+    "RoundOutcome",
+    "SelectionContext",
+    "SelectionStrategy",
+    "TiflSelection",
+]

@@ -1,0 +1,144 @@
+"""Selection-strategy interface shared by FLIPS and every baseline.
+
+A strategy is a *stateful observer* of the FL job: each round the engine
+asks it for a cohort (:meth:`SelectionStrategy.select`) and afterwards
+reports what actually happened (:meth:`SelectionStrategy.report_round`) —
+which parties returned updates, their training losses and latencies, and
+which straggled.  Oort updates utilities from losses, TiFL re-tiers on
+latency/accuracy, GradClus refreshes its gradient sketches, and FLIPS
+tracks straggler clusters for over-provisioning.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError, NotFittedError
+
+__all__ = ["SelectionContext", "RoundOutcome", "SelectionStrategy"]
+
+
+@dataclass(frozen=True)
+class SelectionContext:
+    """Population facts handed to every strategy at job start.
+
+    Only public knowledge goes here — anything privacy-sensitive (label
+    distributions) must be obtained explicitly, e.g. through the TEE
+    clustering service.
+    """
+
+    n_parties: int
+    parties_per_round: int
+    total_rounds: int
+    party_sizes: np.ndarray
+    num_classes: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_parties <= 0:
+            raise ConfigurationError("n_parties must be positive")
+        if not 1 <= self.parties_per_round <= self.n_parties:
+            raise ConfigurationError(
+                f"parties_per_round must be in [1, {self.n_parties}], "
+                f"got {self.parties_per_round}")
+        if len(self.party_sizes) != self.n_parties:
+            raise ConfigurationError("party_sizes must cover every party")
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """What the engine observed in one completed round.
+
+    Attributes
+    ----------
+    round_index:
+        1-based round number.
+    cohort:
+        Parties the model was sent to (includes any over-provisioned).
+    received:
+        Parties whose updates arrived before the deadline.
+    stragglers:
+        Cohort members that failed to report (dropped/late).
+    train_losses:
+        Mean local training loss per received party.
+    loss_sq_sums / loss_counts:
+        Σ per-sample-loss² and the sample count per received party —
+        the raw ingredients of Oort's statistical utility.
+    latencies:
+        Simulated local-training wall time per received party.
+    update_deltas:
+        ``x_i - m`` per received party; populated only when the strategy
+        declares :attr:`SelectionStrategy.wants_update_vectors` (GradClus).
+    """
+
+    round_index: int
+    cohort: tuple[int, ...]
+    received: tuple[int, ...]
+    stragglers: tuple[int, ...]
+    train_losses: dict[int, float] = field(default_factory=dict)
+    loss_sq_sums: dict[int, float] = field(default_factory=dict)
+    loss_counts: dict[int, int] = field(default_factory=dict)
+    latencies: dict[int, float] = field(default_factory=dict)
+    update_deltas: dict[int, np.ndarray] = field(default_factory=dict)
+    global_accuracy: float | None = None
+
+
+class SelectionStrategy(ABC):
+    """Base class for participant-selection strategies.
+
+    Lifecycle: ``initialize(context)`` once, then per round
+    ``select(round_index, n_select, rng)`` followed by
+    ``report_round(outcome)``.
+
+    ``select`` may return *more* than ``n_select`` parties — that is how
+    FLIPS (straggler over-provisioning) and Oort (1.3× pre-selection)
+    hedge against drops.  It must never return duplicates or unknown ids;
+    the engine validates.
+    """
+
+    #: human-readable name used in tables ("flips", "oort", ...)
+    name: str = "base"
+
+    #: set True by strategies that need the raw update vectors each round
+    wants_update_vectors: bool = False
+
+    def __init__(self) -> None:
+        self._context: SelectionContext | None = None
+
+    @property
+    def context(self) -> SelectionContext:
+        if self._context is None:
+            raise NotFittedError(
+                f"{type(self).__name__} used before initialize()")
+        return self._context
+
+    def initialize(self, context: SelectionContext) -> None:
+        """Receive population facts; strategies may override and extend."""
+        self._context = context
+
+    @abstractmethod
+    def select(self, round_index: int, n_select: int,
+               rng: np.random.Generator) -> "list[int]":
+        """Choose the round's cohort (ids in ``[0, n_parties)``)."""
+
+    def report_round(self, outcome: RoundOutcome) -> None:
+        """Observe the completed round; default: no state."""
+
+    # -- shared helpers -------------------------------------------------
+    def _validate_selection(self, cohort: "list[int]") -> "list[int]":
+        seen: set[int] = set()
+        for party in cohort:
+            if party in seen:
+                raise ConfigurationError(
+                    f"{self.name} selected party {party} twice")
+            if not 0 <= party < self.context.n_parties:
+                raise ConfigurationError(
+                    f"{self.name} selected unknown party {party}")
+            seen.add(party)
+        return list(cohort)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,197 @@
+"""Oort: guided participant selection (Lai et al., OSDI 2021).
+
+Oort scores each explored party by a *statistical utility* — the
+root-mean-square of its per-sample training losses scaled by its data
+size, ``|B_i| · sqrt(Σ loss²/|B_i|)`` — multiplied by a *systemic utility*
+that penalises parties slower than a preferred round duration:
+``(T / t_i)^α`` for ``t_i > T``.  Selection is ε-greedy: a decaying
+exploration fraction samples never-seen parties, the rest exploits the
+highest-utility explored ones, with a staleness (UCB-style) bonus so old
+measurements get refreshed.
+
+Faithfulness notes (vs. the OSDI paper): exploration factor 0.9 decayed
+×0.98 per round to a floor of 0.2; systemic-utility exponent α = 2;
+preferred duration T tracked as a rolling percentile of observed
+latencies; parties that straggle have their utility damped.  Pacer/tier
+machinery for production deployments is out of scope — the paper under
+reproduction exercises Oort's selection logic only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.selection.base import RoundOutcome, SelectionContext, \
+    SelectionStrategy
+
+__all__ = ["OortSelection"]
+
+
+class OortSelection(SelectionStrategy):
+    """Utility-guided ε-greedy selection.
+
+    Parameters
+    ----------
+    overprovision:
+        Cohort-size multiplier; the paper's straggler experiments run Oort
+        with 1.3×.
+    exploration_factor / exploration_decay / min_exploration:
+        ε schedule for exploring unseen parties.
+    systemic_alpha:
+        Exponent of the slow-party penalty.
+    straggler_penalty:
+        Multiplier applied to a party's utility each time it straggles.
+    duration_percentile:
+        Percentile of observed latencies used as the preferred round
+        duration T.
+    """
+
+    name = "oort"
+
+    def __init__(self, *, overprovision: float = 1.0,
+                 exploration_factor: float = 0.9,
+                 exploration_decay: float = 0.98,
+                 min_exploration: float = 0.2,
+                 systemic_alpha: float = 2.0,
+                 straggler_penalty: float = 0.5,
+                 duration_percentile: float = 80.0,
+                 staleness_weight: float = 0.1,
+                 size_cap_percentile: float = 80.0) -> None:
+        super().__init__()
+        if overprovision < 1.0:
+            raise ConfigurationError("overprovision must be >= 1.0")
+        if not 0.0 <= min_exploration <= exploration_factor <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= min_exploration <= exploration_factor <= 1")
+        if not 0.0 < exploration_decay <= 1.0:
+            raise ConfigurationError("exploration_decay must be in (0, 1]")
+        if not 0.0 <= straggler_penalty <= 1.0:
+            raise ConfigurationError("straggler_penalty must be in [0, 1]")
+        self.overprovision = float(overprovision)
+        self.exploration_factor = float(exploration_factor)
+        self.exploration_decay = float(exploration_decay)
+        self.min_exploration = float(min_exploration)
+        self.systemic_alpha = float(systemic_alpha)
+        self.straggler_penalty = float(straggler_penalty)
+        self.duration_percentile = float(duration_percentile)
+        self.staleness_weight = float(staleness_weight)
+        self.size_cap_percentile = float(size_cap_percentile)
+
+        self._size_cap = float("inf")
+        self._epsilon = self.exploration_factor
+        self._stat_utility: dict[int, float] = {}
+        self._latency: dict[int, float] = {}
+        self._last_round: dict[int, int] = {}
+        self._observed_latencies: list[float] = []
+        self._round = 0
+
+    # -- utilities -----------------------------------------------------
+    def _preferred_duration(self) -> float:
+        if not self._observed_latencies:
+            return float("inf")
+        return float(np.percentile(self._observed_latencies,
+                                   self.duration_percentile))
+
+    def _total_utility(self, party: int, round_index: int) -> float:
+        stat = self._stat_utility.get(party, 0.0)
+        utility = stat
+        preferred = self._preferred_duration()
+        latency = self._latency.get(party)
+        if latency is not None and np.isfinite(preferred) \
+                and latency > preferred > 0:
+            utility *= (preferred / latency) ** self.systemic_alpha
+        # Confidence/staleness bonus: long-unseen parties get re-examined.
+        last = self._last_round.get(party)
+        if last is not None and round_index > 1:
+            staleness = np.sqrt(
+                self.staleness_weight * np.log(round_index) / max(last, 1))
+            utility += staleness * max(stat, 1e-12)
+        return float(utility)
+
+    # -- strategy interface ---------------------------------------------
+    def initialize(self, context: SelectionContext) -> None:
+        super().initialize(context)
+        self._epsilon = self.exploration_factor
+        self._stat_utility.clear()
+        self._latency.clear()
+        self._last_round.clear()
+        self._observed_latencies.clear()
+        # Oort's reference implementation caps the |B_i| factor so huge
+        # clients cannot monopolise selection purely on data volume.
+        self._size_cap = float(np.percentile(context.party_sizes,
+                                             self.size_cap_percentile))
+
+    def select(self, round_index: int, n_select: int,
+               rng: np.random.Generator) -> "list[int]":
+        n_parties = self.context.n_parties
+        n_total = min(int(np.ceil(n_select * self.overprovision)), n_parties)
+
+        explored = [p for p in range(n_parties) if p in self._stat_utility]
+        unexplored = [p for p in range(n_parties)
+                      if p not in self._stat_utility]
+
+        n_explore = min(int(round(self._epsilon * n_total)), len(unexplored))
+        n_exploit = min(n_total - n_explore, len(explored))
+        # Backfill whichever pool ran short.
+        n_explore = min(n_total - n_exploit, len(unexplored))
+
+        cohort: list[int] = []
+        if n_exploit > 0:
+            scores = np.array([self._total_utility(p, round_index)
+                               for p in explored])
+            order = np.argsort(-scores, kind="stable")
+            # Oort's cutoff sampling: admit every party whose utility is
+            # within 95 % of the k-th ranked one, then sample k of them
+            # weighted by utility — exploitation with diversity.
+            kth_utility = scores[order[n_exploit - 1]]
+            cutoff = 0.95 * kth_utility
+            pool = [i for i in order if scores[i] >= cutoff]
+            weights = scores[pool]
+            if weights.sum() <= 0:
+                probabilities = np.full(len(pool), 1.0 / len(pool))
+            else:
+                probabilities = weights / weights.sum()
+            picks = rng.choice(len(pool), size=n_exploit, replace=False,
+                               p=probabilities)
+            cohort.extend(int(explored[pool[i]]) for i in picks)
+        if n_explore > 0:
+            picks = rng.choice(len(unexplored), size=n_explore, replace=False)
+            cohort.extend(int(unexplored[i]) for i in picks)
+
+        # Degenerate early rounds: top up uniformly from the remainder.
+        if len(cohort) < n_total:
+            rest = [p for p in range(n_parties) if p not in set(cohort)]
+            extra = rng.choice(len(rest), size=n_total - len(cohort),
+                               replace=False)
+            cohort.extend(int(rest[i]) for i in extra)
+
+        self._epsilon = max(self.min_exploration,
+                            self._epsilon * self.exploration_decay)
+        return cohort
+
+    def report_round(self, outcome: RoundOutcome) -> None:
+        self._round = outcome.round_index
+        for party in outcome.received:
+            count = outcome.loss_counts.get(party, 0)
+            sq_sum = outcome.loss_sq_sums.get(party, 0.0)
+            size = min(float(self.context.party_sizes[party]),
+                       self._size_cap)
+            if count > 0:
+                self._stat_utility[party] = size * float(
+                    np.sqrt(sq_sum / count))
+            else:
+                self._stat_utility.setdefault(party, 0.0)
+            latency = outcome.latencies.get(party)
+            if latency is not None:
+                self._latency[party] = latency
+                self._observed_latencies.append(latency)
+            self._last_round[party] = outcome.round_index
+        for party in outcome.stragglers:
+            if party in self._stat_utility:
+                self._stat_utility[party] *= self.straggler_penalty
+            else:
+                # A party that straggled before ever reporting: mark it
+                # explored with zero utility so exploration moves on.
+                self._stat_utility[party] = 0.0
+            self._last_round[party] = outcome.round_index

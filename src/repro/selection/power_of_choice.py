@@ -1,0 +1,55 @@
+"""Power-of-Choice selection (Cho, Wang & Joshi 2021).
+
+Discussed in §3 of the paper as prior work: sample a candidate set of
+``d ≥ Nr`` parties uniformly, then keep the ``Nr`` with the highest local
+losses.  Biasing towards high-loss parties provably speeds convergence
+(at some fairness cost).  Provided as an extension baseline for the
+ablation benches; it is not part of the paper's headline comparison.
+
+Local losses are taken from the most recent observation of each party
+(candidates never observed score ``+inf`` so they get explored first,
+mimicking the real protocol where candidates evaluate the current global
+model before the final pick).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.selection.base import RoundOutcome, SelectionContext, \
+    SelectionStrategy
+
+__all__ = ["PowerOfChoiceSelection"]
+
+
+class PowerOfChoiceSelection(SelectionStrategy):
+    """Loss-biased sampling with candidate factor ``d_factor``."""
+
+    name = "power_of_choice"
+
+    def __init__(self, d_factor: float = 2.0) -> None:
+        super().__init__()
+        if d_factor < 1.0:
+            raise ConfigurationError("d_factor must be >= 1.0")
+        self.d_factor = float(d_factor)
+        self._last_loss: dict[int, float] = {}
+
+    def initialize(self, context: SelectionContext) -> None:
+        super().initialize(context)
+        self._last_loss.clear()
+
+    def select(self, round_index: int, n_select: int,
+               rng: np.random.Generator) -> "list[int]":
+        n_parties = self.context.n_parties
+        d = min(int(np.ceil(self.d_factor * n_select)), n_parties)
+        candidates = rng.choice(n_parties, size=d, replace=False)
+        losses = np.array([self._last_loss.get(int(p), np.inf)
+                           for p in candidates])
+        # Highest loss first; unseen (inf) parties sort to the front.
+        order = np.argsort(-losses, kind="stable")
+        return [int(candidates[i]) for i in order[:n_select]]
+
+    def report_round(self, outcome: RoundOutcome) -> None:
+        for party, loss in outcome.train_losses.items():
+            self._last_loss[party] = loss

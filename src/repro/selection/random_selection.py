@@ -1,0 +1,43 @@
+"""Random participant selection — the predominant FL baseline.
+
+Uniform sampling without replacement, as used by FedAvg/FedProx/FedYogi
+deployments.  The paper's argument (§2.2): with small cohorts and non-IID
+data, random selection repeatedly omits rare-label parties, biasing the
+global model towards over-represented classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.selection.base import SelectionStrategy
+
+__all__ = ["RandomSelection"]
+
+
+class RandomSelection(SelectionStrategy):
+    """Uniform random cohorts; optional over-provisioning factor.
+
+    Parameters
+    ----------
+    overprovision:
+        Multiplier on the requested cohort size (1.0 = none).  Provided so
+        straggler experiments can hedge the baseline identically to Oort.
+    """
+
+    name = "random"
+
+    def __init__(self, overprovision: float = 1.0) -> None:
+        super().__init__()
+        if overprovision < 1.0:
+            raise ConfigurationError("overprovision must be >= 1.0")
+        self.overprovision = float(overprovision)
+
+    def select(self, round_index: int, n_select: int,
+               rng: np.random.Generator) -> "list[int]":
+        n_total = min(int(np.ceil(n_select * self.overprovision)),
+                      self.context.n_parties)
+        chosen = rng.choice(self.context.n_parties, size=n_total,
+                            replace=False)
+        return [int(p) for p in chosen]

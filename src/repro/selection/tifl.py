@@ -1,0 +1,150 @@
+"""TiFL: tier-based federated learning (Chai et al., HPDC 2020).
+
+TiFL groups parties into latency tiers and draws each round's whole
+cohort from a single tier, so fast parties never wait on slow ones.  An
+*adaptive* tier-selection policy re-weights tiers by observed model
+accuracy (lower-accuracy tiers get picked more, within per-tier credit
+budgets) to counter the data bias pure latency tiering introduces.
+
+Implementation notes: profiling is online — parties start in a single
+provisional tier and are re-tiered by quantiles of their observed mean
+latencies every ``retier_every`` rounds (the HPDC paper profiles with a
+dedicated pre-round; an online profile converges to the same ordering).
+Per-tier credits default to ``ceil(total_rounds / n_tiers)`` as in the
+paper, and exhausted tiers drop out of the draw.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.selection.base import RoundOutcome, SelectionContext, \
+    SelectionStrategy
+
+__all__ = ["TiflSelection"]
+
+
+class TiflSelection(SelectionStrategy):
+    """Adaptive latency-tiered selection.
+
+    Parameters
+    ----------
+    n_tiers:
+        Number of latency tiers (TiFL's default experiments use 5).
+    retier_every:
+        Recompute tier membership from observed latencies every this many
+        rounds.
+    credits_per_tier:
+        Selection budget per tier; ``None`` → ``ceil(R / n_tiers)``.
+    """
+
+    name = "tifl"
+
+    def __init__(self, n_tiers: int = 5, retier_every: int = 10,
+                 credits_per_tier: int | None = None) -> None:
+        super().__init__()
+        if n_tiers < 1 or retier_every < 1:
+            raise ConfigurationError(
+                "n_tiers and retier_every must be >= 1")
+        if credits_per_tier is not None and credits_per_tier < 1:
+            raise ConfigurationError("credits_per_tier must be >= 1")
+        self.n_tiers = int(n_tiers)
+        self.retier_every = int(retier_every)
+        self.credits_per_tier = credits_per_tier
+
+        self._tier_of: np.ndarray | None = None
+        self._credits: np.ndarray | None = None
+        self._tier_accuracy: np.ndarray | None = None
+        self._latency_sum: defaultdict = defaultdict(float)
+        self._latency_count: defaultdict = defaultdict(int)
+        self._last_selected_tier: int | None = None
+
+    def initialize(self, context: SelectionContext) -> None:
+        super().initialize(context)
+        n_tiers = min(self.n_tiers, context.n_parties)
+        self.n_tiers = n_tiers
+        # Provisional tiers: round-robin by party id until profiled.
+        self._tier_of = np.arange(context.n_parties) % n_tiers
+        credits = self.credits_per_tier or int(
+            np.ceil(context.total_rounds / n_tiers))
+        self._credits = np.full(n_tiers, credits, dtype=np.int64)
+        # Optimistic accuracy estimate so every tier gets tried early.
+        self._tier_accuracy = np.zeros(n_tiers)
+        self._latency_sum.clear()
+        self._latency_count.clear()
+
+    # -- tiering ---------------------------------------------------------
+    def _observed_latency(self, party: int) -> float | None:
+        count = self._latency_count[party]
+        return self._latency_sum[party] / count if count else None
+
+    def _retier(self) -> None:
+        assert self._tier_of is not None
+        n = self.context.n_parties
+        observed = np.array([
+            lat if (lat := self._observed_latency(p)) is not None else np.nan
+            for p in range(n)])
+        if np.all(np.isnan(observed)):
+            return
+        fill = float(np.nanmedian(observed))
+        latencies = np.where(np.isnan(observed), fill, observed)
+        order = np.argsort(latencies, kind="stable")
+        tiers = np.empty(n, dtype=np.int64)
+        for tier, chunk in enumerate(np.array_split(order, self.n_tiers)):
+            tiers[chunk] = tier
+        self._tier_of = tiers
+
+    # -- strategy interface ------------------------------------------------
+    def select(self, round_index: int, n_select: int,
+               rng: np.random.Generator) -> "list[int]":
+        assert (self._tier_of is not None and self._credits is not None
+                and self._tier_accuracy is not None)
+        if round_index > 1 and (round_index - 1) % self.retier_every == 0:
+            self._retier()
+
+        eligible = [t for t in range(self.n_tiers) if self._credits[t] > 0]
+        if not eligible:
+            # All budgets spent: TiFL resets credits rather than stalling.
+            self._credits[:] = max(
+                1, int(np.ceil(self.context.total_rounds / self.n_tiers)))
+            eligible = list(range(self.n_tiers))
+
+        # Adaptive tier probabilities ∝ (1 - estimated accuracy).
+        weights = np.array([max(1.0 - self._tier_accuracy[t], 1e-3)
+                            for t in eligible])
+        tier = int(rng.choice(eligible, p=weights / weights.sum()))
+        self._credits[tier] -= 1
+        self._last_selected_tier = tier
+
+        members = np.flatnonzero(self._tier_of == tier)
+        cohort = []
+        if len(members) >= n_select:
+            picks = rng.choice(len(members), size=n_select, replace=False)
+            cohort = [int(members[i]) for i in picks]
+        else:
+            # Small tier: take everyone, top up from the nearest tiers so
+            # the round still fields Nr parties.
+            cohort = [int(p) for p in members]
+            others = [int(p) for p in np.argsort(
+                np.abs(self._tier_of - tier), kind="stable")
+                if int(p) not in set(cohort)]
+            cohort.extend(others[:n_select - len(cohort)])
+        return cohort
+
+    def report_round(self, outcome: RoundOutcome) -> None:
+        for party, latency in outcome.latencies.items():
+            self._latency_sum[party] += latency
+            self._latency_count[party] += 1
+        if (self._last_selected_tier is not None
+                and outcome.global_accuracy is not None
+                and self._tier_accuracy is not None):
+            tier = self._last_selected_tier
+            # Exponential moving average of the accuracy the model reaches
+            # in rounds this tier trained.
+            prev = self._tier_accuracy[tier]
+            acc = outcome.global_accuracy
+            self._tier_accuracy[tier] = acc if prev == 0 else (
+                0.5 * prev + 0.5 * acc)

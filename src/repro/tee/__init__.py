@@ -1,0 +1,40 @@
+"""TEE substrate: simulated enclave, attestation, secure channels.
+
+FLIPS treats two artifacts as private beyond standard FL (§3.3): the
+parties' label distributions and the resulting cluster memberships.  This
+package simulates the machinery of Fig. 3 — a measured enclave whose
+quotes an attestation server verifies, attested per-party secure channels
+carrying sealed label distributions, and a clustering service whose
+outputs stay inside enclave sealed state.
+
+The crypto is stdlib-built simulation (see :mod:`repro.tee.crypto`), but
+the *protocol* is real: tampered ciphertexts, replayed nonces, unapproved
+code measurements and out-of-enclave reads of sealed state all raise
+:class:`repro.common.exceptions.SecurityError`, and the §5.1 TEE-overhead
+bench measures the genuine cost of this stack.
+"""
+
+from repro.tee.attestation import AttestationServer
+from repro.tee.channel import SecureChannel, decode_vector, encode_vector
+from repro.tee.clustering_service import PrivateClusteringService
+from repro.tee.crypto import (
+    DiffieHellmanKeyPair,
+    decrypt,
+    derive_key,
+    encrypt,
+)
+from repro.tee.enclave import Quote, SimulatedEnclave
+
+__all__ = [
+    "AttestationServer",
+    "DiffieHellmanKeyPair",
+    "PrivateClusteringService",
+    "Quote",
+    "SecureChannel",
+    "SimulatedEnclave",
+    "decode_vector",
+    "decrypt",
+    "derive_key",
+    "encode_vector",
+    "encrypt",
+]

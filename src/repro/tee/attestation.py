@@ -1,0 +1,83 @@
+"""Attestation service (Fig. 3's attestation server).
+
+All parties share one attestation server that verifies the aggregator's
+TEE before any party sends its label distribution.  Verification checks
+three things, each with its own failure mode surfaced as
+:class:`SecurityError` subtypes of information in the message:
+
+1. the quote's signature under the hardware root key (genuine TEE),
+2. the measurement against the registry of approved code (the clustering
+   code the parties audited), and
+3. nonce freshness (replay defence).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+
+from repro.common.exceptions import ConfigurationError, SecurityError
+from repro.tee.enclave import Quote
+
+__all__ = ["AttestationServer"]
+
+
+class AttestationServer:
+    """Verifies enclave quotes against approved measurements.
+
+    Parameters
+    ----------
+    hardware_root_key:
+        The manufacturer key shared with genuine TEE hardware.
+    """
+
+    def __init__(self, hardware_root_key: bytes) -> None:
+        if len(hardware_root_key) < 16:
+            raise ConfigurationError(
+                "hardware root key must be at least 16 bytes")
+        self._root_key = hardware_root_key
+        self._approved: dict[bytes, str] = {}
+        self._outstanding_nonces: set[bytes] = set()
+        self._used_nonces: set[bytes] = set()
+
+    # -- registry ---------------------------------------------------------
+    def approve_measurement(self, measurement: bytes,
+                            description: str = "") -> None:
+        """Whitelist a code measurement (parties audited this code)."""
+        if len(measurement) != 32:
+            raise ConfigurationError("measurement must be 32 bytes")
+        self._approved[measurement] = description
+
+    def revoke_measurement(self, measurement: bytes) -> None:
+        self._approved.pop(measurement, None)
+
+    @property
+    def approved_measurements(self) -> "dict[bytes, str]":
+        return dict(self._approved)
+
+    # -- challenge/response --------------------------------------------------
+    def issue_nonce(self) -> bytes:
+        """Fresh challenge for one attestation round-trip."""
+        nonce = secrets.token_bytes(16)
+        self._outstanding_nonces.add(nonce)
+        return nonce
+
+    def verify_quote(self, quote: Quote) -> bool:
+        """Full verification; raises :class:`SecurityError` on failure."""
+        if quote.nonce in self._used_nonces:
+            raise SecurityError("attestation nonce replayed")
+        if quote.nonce not in self._outstanding_nonces:
+            raise SecurityError("attestation nonce was not issued here")
+        payload = (quote.measurement + quote.nonce
+                   + quote.enclave_public_key.to_bytes(256, "big"))
+        expected = hmac.new(self._root_key, payload,
+                            hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, quote.signature):
+            raise SecurityError("quote signature invalid — not a genuine TEE")
+        if quote.measurement not in self._approved:
+            raise SecurityError(
+                "enclave runs unapproved code (measurement mismatch)")
+        self._outstanding_nonces.discard(quote.nonce)
+        self._used_nonces.add(quote.nonce)
+        return True

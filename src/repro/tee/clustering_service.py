@@ -1,0 +1,161 @@
+"""Private clustering service — the clustering code loaded into the TEE.
+
+End-to-end flow (Fig. 3): each party establishes an attested secure
+channel, seals its label-distribution vector and submits the ciphertext.
+The service stores only ciphertexts outside the enclave; decryption,
+clustering and the resulting cluster memberships all live in enclave
+sealed state.  Queries that a party is allowed to ask ("am I selected?")
+are answered; queries that would leak memberships raise
+:class:`SecurityError` unless made from enclave-resident code (the FLIPS
+middleware).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError, SecurityError
+from repro.tee.channel import SecureChannel, decode_vector
+from repro.tee.enclave import SimulatedEnclave
+
+__all__ = ["PrivateClusteringService"]
+
+
+def _enclave_store_ld(sealed: dict, party_id: int,
+                      vector: np.ndarray) -> None:
+    sealed.setdefault("label_distributions", {})[party_id] = vector
+
+
+def _enclave_cluster(sealed: dict, *, k, elbow_repeats, rng) -> int:
+    # Imported inside the enclave code unit: repro.core depends on
+    # repro.tee for the middleware facade, so the dependency back into
+    # repro.core must resolve at call time, not import time.
+    from repro.core.clustering_stage import cluster_label_distributions
+
+    lds = sealed.get("label_distributions", {})
+    if not lds:
+        raise ConfigurationError("no label distributions submitted")
+    party_ids = sorted(lds)
+    matrix = np.stack([lds[p] for p in party_ids])
+    model = cluster_label_distributions(
+        matrix, k=k, elbow_repeats=elbow_repeats, rng=rng)
+    sealed["cluster_model"] = model
+    sealed["party_order"] = party_ids
+    return model.k
+
+
+def _enclave_get_model(sealed: dict):
+    model = sealed.get("cluster_model")
+    if model is None:
+        raise ConfigurationError("clustering has not been run yet")
+    return model
+
+
+def _enclave_wipe(sealed: dict) -> None:
+    sealed.clear()
+
+
+class PrivateClusteringService:
+    """Enclave-hosted label-distribution clustering.
+
+    Parameters
+    ----------
+    enclave:
+        The attested enclave the clustering code is loaded into.
+
+    Usage::
+
+        service = PrivateClusteringService(enclave)
+        channel = SecureChannel.establish(party_id, enclave, attestation)
+        service.register_channel(party_id, channel)
+        service.submit(party_id, channel.seal_vector(my_label_counts))
+        ...
+        service.run_clustering()            # inside the enclave
+        selector = FlipsSelector(clustering_service=service)
+    """
+
+    def __init__(self, enclave: SimulatedEnclave) -> None:
+        self.enclave = enclave
+        enclave.load_code("store_ld", _enclave_store_ld)
+        enclave.load_code("cluster", _enclave_cluster)
+        enclave.load_code("get_model", _enclave_get_model)
+        enclave.load_code("wipe", _enclave_wipe)
+        self._channels: dict[int, SecureChannel] = {}
+        self._submitted: set[int] = set()
+        self._finalized = False
+
+    # -- party-facing API ---------------------------------------------------
+    def register_channel(self, party_id: int,
+                         channel: SecureChannel) -> None:
+        if party_id in self._channels:
+            raise ConfigurationError(
+                f"party {party_id} already registered")
+        if channel.party_id != party_id:
+            raise SecurityError(
+                "channel identity does not match the registering party")
+        self._channels[party_id] = channel
+
+    def submit(self, party_id: int, sealed_vector: bytes) -> None:
+        """Accept one party's encrypted label distribution.
+
+        The ciphertext is opened *inside* the enclave; a tampered message
+        raises :class:`SecurityError` out of the MAC check.
+        """
+        if self._finalized:
+            raise ConfigurationError(
+                "clustering already finalized; submissions closed")
+        channel = self._channels.get(party_id)
+        if channel is None:
+            raise SecurityError(
+                f"party {party_id} has no attested channel")
+        payload = channel.unseal(sealed_vector)
+        vector = decode_vector(payload)
+        if np.any(vector < 0):
+            raise ConfigurationError(
+                "label distributions are counts; negatives rejected")
+        self.enclave.call("store_ld", party_id, vector)
+        self._submitted.add(party_id)
+
+    @property
+    def n_submissions(self) -> int:
+        return len(self._submitted)
+
+    # -- aggregator-facing API ------------------------------------------------
+    def run_clustering(self, k: int | None = None,
+                       elbow_repeats: int = 5,
+                       rng: "int | np.random.Generator | None" = None,
+                       ) -> int:
+        """Cluster all submitted distributions inside the enclave.
+
+        Returns only the *number* of clusters — memberships stay sealed.
+        """
+        if not self._submitted:
+            raise ConfigurationError("no submissions to cluster")
+        n_clusters = self.enclave.call(
+            "cluster", k=k, elbow_repeats=elbow_repeats, rng=rng)
+        self._finalized = True
+        return int(n_clusters)
+
+    def cluster_model(self) -> ClusterModel:
+        """Cluster model for enclave-resident selection code.
+
+        This models the FLIPS selection module running *inside* the TEE
+        (Fig. 4): the memberships never cross the enclave boundary toward
+        parties — only per-round selection decisions do.
+        """
+        if not self._finalized:
+            raise ConfigurationError("run_clustering() first")
+        return self.enclave.call("get_model")
+
+    def party_order(self) -> "list[int]":
+        """Party ids backing the cluster model's row order (sorted, as the
+        enclave clustering code stacks them)."""
+        if not self._finalized:
+            raise ConfigurationError("run_clustering() first")
+        return sorted(self._submitted)
+
+    def wipe(self) -> None:
+        """Delete all enclave-held data (end-of-job, attestable)."""
+        self.enclave.call("wipe")
+        self._submitted.clear()
+        self._finalized = False

@@ -1,0 +1,164 @@
+"""Simulated trusted execution environment (secure enclave).
+
+Models the properties FLIPS relies on (§2.4, §3.3):
+
+* **Measured code** — the enclave's identity is a hash over the code
+  units loaded into it; attestation binds quotes to that measurement, so
+  swapping the clustering code changes the measurement and breaks
+  attestation.
+* **Sealed state** — data written inside enclave calls is reachable only
+  through further enclave calls; reading it from outside raises
+  :class:`SecurityError`.
+* **Quotes** — the (simulated) hardware signs ``measurement ‖ nonce ‖
+  enclave-public-key`` with a root key shared with the attestation
+  service, mirroring SEV/SGX attestation flows.
+* **Teardown** — ``destroy()`` wipes sealed state, modelling the paper's
+  "the TEE deletes all information at the end of the FL job".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.exceptions import ConfigurationError, SecurityError
+from repro.tee.crypto import DiffieHellmanKeyPair
+
+__all__ = ["Quote", "SimulatedEnclave"]
+
+
+@dataclass(frozen=True)
+class Quote:
+    """Attestation evidence produced by the (simulated) hardware."""
+
+    measurement: bytes
+    nonce: bytes
+    enclave_public_key: int
+    signature: bytes
+
+
+class SimulatedEnclave:
+    """A measured, sealed execution container.
+
+    Parameters
+    ----------
+    hardware_root_key:
+        Secret shared with the attestation service (stands in for the
+        manufacturer's endorsement key).
+    seed:
+        Optional determinism for the enclave's DH keypair.
+    """
+
+    def __init__(self, hardware_root_key: bytes,
+                 seed: int | None = None) -> None:
+        if len(hardware_root_key) < 16:
+            raise ConfigurationError(
+                "hardware root key must be at least 16 bytes")
+        self._root_key = hardware_root_key
+        self._code: dict[str, Callable] = {}
+        self._measurement_parts: list[bytes] = []
+        self._sealed: dict[str, Any] = {}
+        self._keys = DiffieHellmanKeyPair(seed)
+        self._destroyed = False
+        self._depth = 0  # >0 while executing inside an enclave call
+
+    # -- code loading / measurement ------------------------------------
+    def load_code(self, name: str, fn: Callable) -> None:
+        """Install a named entry point; extends the measurement."""
+        self._assert_alive()
+        if name in self._code:
+            raise ConfigurationError(f"entry point {name!r} already loaded")
+        if self._sealed:
+            raise SecurityError(
+                "cannot load code after the enclave holds sealed data")
+        self._code[name] = fn
+        try:
+            source = inspect.getsource(fn).encode("utf-8")
+        except (OSError, TypeError):
+            source = repr(fn).encode("utf-8")
+        self._measurement_parts.append(
+            hashlib.blake2b(name.encode() + b"\x00" + source,
+                            digest_size=32).digest())
+
+    @property
+    def measurement(self) -> bytes:
+        """Hash over all loaded code units, in load order."""
+        h = hashlib.blake2b(digest_size=32)
+        for part in self._measurement_parts:
+            h.update(part)
+        return h.digest()
+
+    @property
+    def public_key(self) -> int:
+        return self._keys.public
+
+    # -- attestation ------------------------------------------------------
+    def generate_quote(self, nonce: bytes) -> Quote:
+        """Hardware-signed attestation of the current measurement."""
+        self._assert_alive()
+        if len(nonce) < 8:
+            raise SecurityError("attestation nonce too short")
+        measurement = self.measurement
+        payload = measurement + nonce + self._keys.public.to_bytes(256, "big")
+        signature = hmac.new(self._root_key, payload,
+                             hashlib.sha256).digest()
+        return Quote(measurement=measurement, nonce=nonce,
+                     enclave_public_key=self._keys.public,
+                     signature=signature)
+
+    def establish_shared_key(self, peer_public: int) -> bytes:
+        """DH agreement between the enclave keypair and a party.
+
+        Only the shared secret derivation runs here; channel framing is
+        :mod:`repro.tee.channel`'s job.
+        """
+        self._assert_alive()
+        return self._keys.shared_with(peer_public)
+
+    # -- sealed execution --------------------------------------------------
+    def call(self, entry_point: str, *args, **kwargs):
+        """Invoke a loaded entry point with access to sealed state.
+
+        The entry point receives the sealed-state dict as its first
+        argument.  This is the *only* doorway to sealed data.
+        """
+        self._assert_alive()
+        if entry_point not in self._code:
+            raise SecurityError(
+                f"no entry point {entry_point!r} loaded in the enclave")
+        self._depth += 1
+        try:
+            return self._code[entry_point](self._sealed, *args, **kwargs)
+        finally:
+            self._depth -= 1
+
+    @property
+    def executing(self) -> bool:
+        """True while inside an enclave call (used by guards)."""
+        return self._depth > 0
+
+    def read_sealed(self, key: str):
+        """Direct sealed-state read — allowed only from inside a call.
+
+        Outside callers get :class:`SecurityError`; this models the
+        hardware memory-encryption boundary.
+        """
+        if not self.executing:
+            raise SecurityError(
+                "sealed enclave state is not readable from outside")
+        return self._sealed.get(key)
+
+    # -- lifecycle ----------------------------------------------------------
+    def destroy(self) -> None:
+        """Wipe sealed state and keys (end-of-job teardown, attestable)."""
+        self._sealed.clear()
+        self._code.clear()
+        self._measurement_parts.clear()
+        self._destroyed = True
+
+    def _assert_alive(self) -> None:
+        if self._destroyed:
+            raise SecurityError("enclave has been destroyed")

@@ -1,0 +1,108 @@
+"""Optimal-k selection via the Davies-Bouldin elbow (Eq. 3 / Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.clustering import (
+    davies_bouldin_curve,
+    find_elbow,
+    optimal_cluster_count,
+)
+
+
+def planted_clusters(k=5, per=12, spread=0.05, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(k, dim)) * 4
+    return np.concatenate([c + spread * rng.normal(size=(per, dim))
+                           for c in centers])
+
+
+class TestCurve:
+    def test_curve_length(self):
+        x = planted_clusters()
+        curve = davies_bouldin_curve(x, [2, 3, 4], repeats=2, rng=0)
+        assert curve.shape == (3,)
+
+    def test_minimum_near_true_k(self):
+        x = planted_clusters(k=4, spread=0.02)
+        ks = list(range(2, 9))
+        curve = davies_bouldin_curve(x, ks, repeats=3, rng=0)
+        assert ks[int(np.argmin(curve))] in (4, 5)
+
+    def test_invalid_k(self):
+        x = planted_clusters()
+        with pytest.raises(ConfigurationError):
+            davies_bouldin_curve(x, [1], repeats=1)
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ConfigurationError):
+            davies_bouldin_curve(planted_clusters(), [2], repeats=0)
+
+
+class TestFindElbow:
+    def test_picks_sharp_drop(self):
+        # Sharp bend at k=4: the curve plunges then flattens.
+        ks = [2, 3, 4, 5, 6]
+        dbi = np.array([1.0, 0.95, 0.30, 0.29, 0.28])
+        assert find_elbow(ks, dbi) == 4
+
+    def test_first_of_equally_sharp(self):
+        ks = [2, 3, 4, 5]
+        dbi = np.array([1.0, 0.5, 0.25, 0.125])  # equal relative changes
+        assert find_elbow(ks, dbi) == 3
+
+    def test_flat_curve_returns_smallest(self):
+        ks = [2, 3, 4]
+        dbi = np.array([0.5, 0.5, 0.5])
+        assert find_elbow(ks, dbi) == 2
+
+    def test_sensitivity_one_is_argmax(self):
+        ks = [2, 3, 4, 5]
+        dbi = np.array([1.0, 0.9, 0.85, 0.2])
+        assert find_elbow(ks, dbi, sensitivity=1.0) == 5
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            find_elbow([2, 3], np.array([1.0]))
+
+    def test_bad_sensitivity(self):
+        with pytest.raises(ConfigurationError):
+            find_elbow([2, 3], np.array([1.0, 0.5]), sensitivity=0.0)
+
+    def test_handles_inf_entries(self):
+        ks = [2, 3, 4, 5]
+        dbi = np.array([np.inf, 1.0, 0.3, 0.29])
+        assert find_elbow(ks, dbi) == 4
+
+
+class TestOptimalClusterCount:
+    def test_finds_planted_k(self):
+        x = planted_clusters(k=5, per=15, spread=0.03)
+        result = optimal_cluster_count(x, repeats=3, rng=0)
+        assert 4 <= result.k <= 6
+
+    def test_result_series_matches(self):
+        x = planted_clusters(k=3)
+        result = optimal_cluster_count(x, k_max=6, repeats=2, rng=0)
+        assert list(result.ks) == [2, 3, 4, 5, 6]
+        assert len(result.dbi) == 5
+        series = result.as_series()
+        assert series[0] == (2, result.dbi[0])
+
+    def test_needs_three_points(self):
+        with pytest.raises(ConfigurationError):
+            optimal_cluster_count(np.zeros((2, 2)))
+
+    def test_default_kmax_scales_with_dim(self):
+        """The default scan cap follows the label-space dimension, not N."""
+        rng = np.random.default_rng(0)
+        x = rng.random(size=(50, 3))
+        result = optimal_cluster_count(x, repeats=1, rng=0)
+        assert result.ks[-1] == 10  # max(10, 2*3) = 10
+
+    def test_deterministic(self):
+        x = planted_clusters(k=4)
+        a = optimal_cluster_count(x, repeats=2, rng=5)
+        b = optimal_cluster_count(x, repeats=2, rng=5)
+        assert a.k == b.k and a.dbi == b.dbi

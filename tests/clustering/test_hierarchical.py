@@ -1,0 +1,99 @@
+"""Agglomerative clustering (the GradClus substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.clustering import AgglomerativeClustering
+from repro.clustering.hierarchical import pairwise_distances
+
+
+class TestPairwiseDistances:
+    def test_euclidean_known(self):
+        x = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = pairwise_distances(x)
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[0, 0] == 0.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(10, 3))
+        d = pairwise_distances(x)
+        assert np.allclose(d, d.T)
+
+    def test_cosine_opposite_vectors(self):
+        x = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        d = pairwise_distances(x, "cosine")
+        assert d[0, 1] == pytest.approx(2.0)
+
+    def test_cosine_parallel_vectors(self):
+        x = np.array([[1.0, 1.0], [2.0, 2.0]])
+        d = pairwise_distances(x, "cosine")
+        assert d[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_zero_vector_safe(self):
+        x = np.array([[0.0, 0.0], [1.0, 0.0]])
+        d = pairwise_distances(x, "cosine")
+        assert np.isfinite(d).all()
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError):
+            pairwise_distances(np.zeros((2, 2)), "manhattan")
+
+
+class TestAgglomerative:
+    def blobs(self, k=3, per=10, seed=0):
+        rng = np.random.default_rng(seed)
+        centers = rng.normal(size=(k, 2)) * 10
+        x = np.concatenate([c + 0.05 * rng.normal(size=(per, 2))
+                            for c in centers])
+        return x, np.repeat(np.arange(k), per)
+
+    def test_recovers_blobs(self):
+        x, truth = self.blobs(3)
+        labels = AgglomerativeClustering(3).fit_predict(x)
+        for blob in range(3):
+            assert len(np.unique(labels[truth == blob])) == 1
+        assert len(np.unique(labels)) == 3
+
+    def test_n_clusters_respected(self):
+        x, _ = self.blobs(4)
+        for k in (1, 2, 5, 7):
+            labels = AgglomerativeClustering(k).fit_predict(x)
+            assert len(np.unique(labels)) == k
+
+    def test_precomputed_matrix(self):
+        x, truth = self.blobs(2)
+        dist = pairwise_distances(x)
+        labels = AgglomerativeClustering(
+            2, metric="precomputed").fit_predict(dist)
+        assert len(np.unique(labels)) == 2
+        for blob in range(2):
+            assert len(np.unique(labels[truth == blob])) == 1
+
+    def test_precomputed_must_be_square(self):
+        with pytest.raises(ConfigurationError):
+            AgglomerativeClustering(2, metric="precomputed").fit(
+                np.zeros((3, 4)))
+
+    def test_labels_are_compact_range(self):
+        x, _ = self.blobs(3)
+        labels = AgglomerativeClustering(5).fit_predict(x)
+        assert set(labels) == set(range(5))
+
+    def test_too_many_clusters(self):
+        with pytest.raises(ConfigurationError):
+            AgglomerativeClustering(10).fit(np.zeros((3, 2)))
+
+    def test_invalid_n_clusters(self):
+        with pytest.raises(ConfigurationError):
+            AgglomerativeClustering(0)
+
+    def test_cosine_clusters_by_direction(self):
+        """Vectors along the same ray cluster together under cosine even
+        when their magnitudes differ wildly."""
+        x = np.array([[1.0, 0.0], [100.0, 0.0], [0.0, 1.0], [0.0, 50.0]])
+        labels = AgglomerativeClustering(2, metric="cosine").fit_predict(x)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]

@@ -1,0 +1,122 @@
+"""K-Means / k-means++ correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.exceptions import ConfigurationError, NotFittedError
+from repro.clustering import KMeans, kmeans_plus_plus_init
+
+
+def blobs(k=3, per=30, spread=0.05, seed=0, dim=2):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(k, dim)) * 5
+    x = np.concatenate([c + spread * rng.normal(size=(per, dim))
+                        for c in centers])
+    labels = np.repeat(np.arange(k), per)
+    return x, labels, centers
+
+
+class TestInit:
+    def test_returns_k_centers(self):
+        x, _, _ = blobs()
+        centers = kmeans_plus_plus_init(x, 3, rng=0)
+        assert centers.shape == (3, 2)
+
+    def test_centers_are_data_points(self):
+        x, _, _ = blobs()
+        centers = kmeans_plus_plus_init(x, 4, rng=1)
+        for c in centers:
+            assert np.any(np.all(np.isclose(x, c), axis=1))
+
+    def test_spreads_across_blobs(self):
+        """k-means++ should land one seed per well-separated blob almost
+        surely."""
+        x, labels, _ = blobs(k=4, spread=0.01, seed=3)
+        centers = kmeans_plus_plus_init(x, 4, rng=0)
+        seeded_blobs = set()
+        for c in centers:
+            idx = np.argmin(np.linalg.norm(x - c, axis=1))
+            seeded_blobs.add(labels[idx])
+        assert len(seeded_blobs) == 4
+
+    def test_duplicate_points_fallback(self):
+        x = np.zeros((10, 3))
+        centers = kmeans_plus_plus_init(x, 3, rng=0)
+        assert centers.shape == (3, 3)
+
+    def test_bad_k(self):
+        x, _, _ = blobs()
+        with pytest.raises(ConfigurationError):
+            kmeans_plus_plus_init(x, 0)
+        with pytest.raises(ConfigurationError):
+            kmeans_plus_plus_init(x, len(x) + 1)
+
+    def test_requires_2d(self):
+        with pytest.raises(ConfigurationError):
+            kmeans_plus_plus_init(np.zeros(5), 2)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        x, truth, _ = blobs(k=3, spread=0.05)
+        labels = KMeans(3, n_init=4).fit_predict(x, rng=0)
+        # Perfect clustering up to label permutation: every true blob maps
+        # to exactly one predicted cluster.
+        for blob in range(3):
+            assert len(np.unique(labels[truth == blob])) == 1
+        assert len(np.unique(labels)) == 3
+
+    def test_inertia_decreases_with_k(self):
+        x, _, _ = blobs(k=4, spread=0.5)
+        inertias = [KMeans(k, n_init=3).fit(x, rng=0).inertia_
+                    for k in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+    def test_predict_matches_fit_labels(self):
+        x, _, _ = blobs()
+        model = KMeans(3).fit(x, rng=0)
+        assert np.array_equal(model.predict(x), model.labels_)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KMeans(2).predict(np.zeros((3, 2)))
+
+    def test_k_one(self):
+        x, _, _ = blobs()
+        model = KMeans(1).fit(x, rng=0)
+        assert np.allclose(model.cluster_centers_[0], x.mean(axis=0))
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+    def test_deterministic_given_rng(self):
+        x, _, _ = blobs(k=3, spread=0.5)
+        a = KMeans(3, n_init=2).fit_predict(x, rng=7)
+        b = KMeans(3, n_init=2).fit_predict(x, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            KMeans(0)
+        with pytest.raises(ConfigurationError):
+            KMeans(2, n_init=0)
+        with pytest.raises(ConfigurationError):
+            KMeans(2, max_iter=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(k=st.integers(min_value=1, max_value=6),
+           seed=st.integers(min_value=0, max_value=100))
+    def test_property_assignments_valid(self, k, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(30, 3))
+        labels = KMeans(k, n_init=1).fit_predict(x, rng=seed)
+        assert labels.shape == (30,)
+        assert labels.min() >= 0 and labels.max() < k
+
+    def test_assignment_is_nearest_center(self):
+        x, _, _ = blobs(k=3, spread=0.3)
+        model = KMeans(3).fit(x, rng=0)
+        d = ((x[:, None, :] - model.cluster_centers_[None]) ** 2).sum(-1)
+        assert np.array_equal(model.labels_, d.argmin(axis=1))

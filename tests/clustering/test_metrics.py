@@ -1,0 +1,93 @@
+"""Cluster-quality metrics (Davies-Bouldin, Eq. 1 distances, silhouette)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.clustering import (
+    davies_bouldin_index,
+    inter_cluster_distance,
+    intra_cluster_distance,
+    silhouette_score,
+)
+
+
+def two_blobs(gap=10.0, spread=0.1, per=20, seed=0):
+    rng = np.random.default_rng(seed)
+    a = spread * rng.normal(size=(per, 2))
+    b = np.array([gap, 0.0]) + spread * rng.normal(size=(per, 2))
+    x = np.concatenate([a, b])
+    labels = np.repeat([0, 1], per)
+    return x, labels
+
+
+class TestIntraInter:
+    def test_intra_zero_for_singleton(self):
+        x = np.array([[0.0, 0.0], [5.0, 0.0]])
+        assert intra_cluster_distance(x, np.array([0, 1]), 0) == 0.0
+
+    def test_intra_known_value(self):
+        x = np.array([[0.0, 0.0], [2.0, 0.0]])
+        assert intra_cluster_distance(x, np.array([0, 0]), 0) == \
+            pytest.approx(2.0)
+
+    def test_inter_known_value(self):
+        x = np.array([[0.0, 0.0], [3.0, 4.0]])
+        assert inter_cluster_distance(x, np.array([0, 1]), 0, 1) == \
+            pytest.approx(5.0)
+
+    def test_inter_empty_cluster(self):
+        x = np.array([[0.0, 0.0]])
+        with pytest.raises(ConfigurationError):
+            inter_cluster_distance(x, np.array([0]), 0, 1)
+
+
+class TestDaviesBouldin:
+    def test_lower_for_separated_blobs(self):
+        x_far, labels = two_blobs(gap=20.0)
+        x_near, _ = two_blobs(gap=1.0)
+        assert davies_bouldin_index(x_far, labels) < \
+            davies_bouldin_index(x_near, labels)
+
+    def test_tight_blobs_near_zero(self):
+        x, labels = two_blobs(gap=100.0, spread=0.001)
+        assert davies_bouldin_index(x, labels) < 0.01
+
+    def test_requires_two_clusters(self):
+        x, _ = two_blobs()
+        with pytest.raises(ConfigurationError):
+            davies_bouldin_index(x, np.zeros(len(x), dtype=int))
+
+    def test_coincident_centroids_inf(self):
+        x = np.array([[0.0, 0.0], [1.0, 1.0], [0.0, 0.0], [1.0, 1.0]])
+        labels = np.array([0, 0, 1, 1])
+        assert davies_bouldin_index(x, labels) == float("inf")
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(40, 4))
+        labels = rng.integers(0, 3, 40)
+        if len(np.unique(labels)) >= 2:
+            assert davies_bouldin_index(x, labels) >= 0.0
+
+
+class TestSilhouette:
+    def test_high_for_separated_blobs(self):
+        x, labels = two_blobs(gap=20.0)
+        assert silhouette_score(x, labels) > 0.9
+
+    def test_low_for_random_labels(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(60, 2))
+        labels = rng.integers(0, 2, 60)
+        assert silhouette_score(x, labels) < 0.3
+
+    def test_requires_two_clusters(self):
+        x, _ = two_blobs()
+        with pytest.raises(ConfigurationError):
+            silhouette_score(x, np.zeros(len(x), dtype=int))
+
+    def test_bounded(self):
+        x, labels = two_blobs(gap=3.0, spread=1.0)
+        s = silhouette_score(x, labels)
+        assert -1.0 <= s <= 1.0

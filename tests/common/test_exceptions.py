@@ -1,0 +1,31 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.common.exceptions import (
+    CommunicationError,
+    ConfigurationError,
+    NotFittedError,
+    ReproError,
+    SecurityError,
+)
+
+
+@pytest.mark.parametrize("exc", [ConfigurationError, NotFittedError,
+                                 SecurityError, CommunicationError])
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_configuration_error_is_value_error():
+    """Callers used to ValueError semantics keep working."""
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_not_fitted_is_runtime_error():
+    assert issubclass(NotFittedError, RuntimeError)
+
+
+def test_security_error_catchable_as_root():
+    with pytest.raises(ReproError):
+        raise SecurityError("tampered")

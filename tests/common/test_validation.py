@@ -1,0 +1,62 @@
+"""Argument-validation helpers raise ConfigurationError loudly."""
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    ConfigurationError,
+    check_fraction,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive(0, "x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0, "x", strict=False) == 0
+
+    def test_rejects_negative_always(self):
+        with pytest.raises(ConfigurationError):
+            check_positive(-1, "x", strict=False)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_fraction(value, "f") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ConfigurationError):
+            check_fraction(value, "f")
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction(0.0, "f", inclusive_low=False)
+        with pytest.raises(ConfigurationError):
+            check_fraction(1.0, "f", inclusive_high=False)
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_simplex_point(self):
+        vec = check_probability_vector(np.array([0.2, 0.3, 0.5]), "p")
+        assert vec.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector(np.array([0.5, -0.1, 0.6]), "p")
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector(np.array([0.5, 0.6]), "p")
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector(np.ones((2, 2)) / 4, "p")

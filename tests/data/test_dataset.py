@@ -1,0 +1,101 @@
+"""Dataset container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.data import Dataset
+
+
+def make(n=20, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.normal(size=(n, 4)), rng.integers(0, classes, n),
+                   classes, name="t")
+
+
+class TestConstruction:
+    def test_basic(self):
+        ds = make()
+        assert len(ds) == 20
+        assert ds.feature_shape == (4,)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int), 2)
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((3, 2)), np.array([0, 1, 5]), 2)
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((2, 2)), np.array([0, -1]), 2)
+
+    def test_label_names_must_match_classes(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((2, 2)), np.array([0, 1]), 2, ("only-one",))
+
+    def test_2d_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((2, 2)), np.zeros((2, 1), dtype=int), 2)
+
+
+class TestOperations:
+    def test_class_counts_sum_to_n(self):
+        ds = make(50, 4)
+        assert ds.class_counts().sum() == 50
+        assert len(ds.class_counts()) == 4
+
+    def test_subset_preserves_labels(self):
+        ds = make(30)
+        sub = ds.subset([0, 5, 10])
+        assert len(sub) == 3
+        assert np.array_equal(sub.y, ds.y[[0, 5, 10]])
+
+    def test_split_partitions_exactly(self):
+        ds = make(40)
+        a, b = ds.split(0.25, rng=0)
+        assert len(a) == 10 and len(b) == 30
+
+    def test_split_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            make().split(0.0)
+        with pytest.raises(ConfigurationError):
+            make().split(1.0)
+
+    def test_split_deterministic_by_seed(self):
+        ds = make(40)
+        a1, _ = ds.split(0.5, rng=3)
+        a2, _ = ds.split(0.5, rng=3)
+        assert np.array_equal(a1.y, a2.y)
+
+    def test_batches_cover_everything(self):
+        ds = make(23)
+        seen = sum(len(yb) for _, yb in ds.batches(8, rng=0))
+        assert seen == 23
+
+    def test_batches_drop_last(self):
+        ds = make(23)
+        sizes = [len(yb) for _, yb in ds.batches(8, rng=0, drop_last=True)]
+        assert sizes == [8, 8]
+
+    def test_batches_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            list(make().batches(0))
+
+    def test_shuffled_is_permutation(self):
+        ds = make(15)
+        shuffled = ds.shuffled(rng=1)
+        assert sorted(shuffled.y.tolist()) == sorted(ds.y.tolist())
+
+    def test_merged_with(self):
+        a, b = make(10, seed=1), make(12, seed=2)
+        merged = a.merged_with(b)
+        assert len(merged) == 22
+
+    def test_merge_label_space_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            make(10, classes=3).merged_with(make(10, classes=4))
+
+    def test_repr_contains_name(self):
+        assert "t" in repr(make())

@@ -1,0 +1,87 @@
+"""FederatedDataset construction and derived facts."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.data import (
+    Dataset,
+    DirichletPartitioner,
+    FederatedDataset,
+    build_federation,
+    make_dataset,
+)
+
+
+class TestFromPartition:
+    def test_round_trip(self):
+        train, test = make_dataset("ecg", 600, 200, rng=0)
+        fed = FederatedDataset.from_partition(
+            train, test, DirichletPartitioner(0.3), 8, rng=0)
+        assert fed.n_parties == 8
+        assert sum(len(p) for p in fed.parties) == 600
+
+    def test_label_distribution_matrix_shape(self, small_federation):
+        matrix = small_federation.label_distributions()
+        assert matrix.shape == (12, 5)
+        assert matrix.sum() == sum(len(p) for p in small_federation.parties)
+
+    def test_matrix_cached(self, small_federation):
+        assert small_federation.label_distributions() is \
+            small_federation.label_distributions()
+
+    def test_party_sizes(self, small_federation):
+        sizes = small_federation.party_sizes()
+        assert len(sizes) == 12
+        assert (sizes > 0).all()
+
+    def test_test_label_space_must_match(self):
+        train, _ = make_dataset("ecg", 300, 100, rng=0)
+        bad_test = Dataset(np.zeros((10, 24)), np.zeros(10, dtype=int), 3)
+        with pytest.raises(ConfigurationError):
+            FederatedDataset.from_partition(
+                train, bad_test, DirichletPartitioner(0.3), 4, rng=0)
+
+    def test_no_parties_rejected(self):
+        _, test = make_dataset("ecg", 50, 20, rng=0)
+        with pytest.raises(ConfigurationError):
+            FederatedDataset([], test)
+
+
+class TestBuildFederation:
+    def test_deterministic(self):
+        a = build_federation("ecg", 10, alpha=0.3, n_train=500,
+                             n_test=100, seed=4)
+        b = build_federation("ecg", 10, alpha=0.3, n_train=500,
+                             n_test=100, seed=4)
+        assert np.array_equal(a.label_distributions(),
+                              b.label_distributions())
+
+    def test_alpha_changes_only_partition(self):
+        """Same seed, different alpha: identical pooled data, different
+        party shards."""
+        a = build_federation("ecg", 10, alpha=0.3, n_train=500,
+                             n_test=100, seed=4)
+        b = build_federation("ecg", 10, alpha=5.0, n_train=500,
+                             n_test=100, seed=4)
+        pooled_a = a.label_distributions().sum(axis=0)
+        pooled_b = b.label_distributions().sum(axis=0)
+        assert np.array_equal(pooled_a, pooled_b)
+        assert not np.array_equal(a.label_distributions(),
+                                  b.label_distributions())
+
+    def test_heterogeneity_monotone_in_alpha(self):
+        hets = []
+        for alpha in (0.1, 0.6, 50.0):
+            fed = build_federation("ecg", 15, alpha=alpha, n_train=1500,
+                                   n_test=100, seed=2)
+            hets.append(fed.heterogeneity())
+        assert hets[0] > hets[1] > hets[2]
+
+    def test_shard_partition_supported(self):
+        fed = build_federation("femnist", 10, partition="shard",
+                               n_train=500, n_test=100, seed=1)
+        assert fed.n_parties == 10
+
+    def test_repr(self, small_federation):
+        assert "parties=12" in repr(small_federation)

@@ -1,0 +1,84 @@
+"""Label-distribution vectors — the signal FLIPS clusters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.exceptions import ConfigurationError
+from repro.data import (
+    Dataset,
+    label_distribution,
+    label_distribution_matrix,
+    normalize_distribution,
+    total_variation_from_global,
+)
+from repro.data.label_distribution import normalize_rows
+
+
+class TestLabelDistribution:
+    def test_counts(self):
+        ld = label_distribution(np.array([0, 0, 2, 1, 0]), 4)
+        assert ld.tolist() == [3.0, 1.0, 1.0, 0.0]
+
+    def test_empty(self):
+        assert label_distribution(np.array([], dtype=int), 3).tolist() == \
+            [0.0, 0.0, 0.0]
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            label_distribution(np.array([0, 7]), 3)
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=1,
+                    max_size=100))
+    def test_property_sums_to_n(self, labels):
+        assert label_distribution(np.array(labels), 5).sum() == len(labels)
+
+
+class TestNormalize:
+    def test_proportions(self):
+        p = normalize_distribution(np.array([2.0, 2.0]))
+        assert p.tolist() == [0.5, 0.5]
+
+    def test_zero_vector_uniform(self):
+        p = normalize_distribution(np.zeros(4))
+        assert np.allclose(p, 0.25)
+
+    def test_rows(self):
+        rows = normalize_rows(np.array([[1.0, 3.0], [0.0, 0.0]]))
+        assert np.allclose(rows[0], [0.25, 0.75])
+        assert np.allclose(rows[1], [0.5, 0.5])
+
+
+class TestMatrix:
+    def test_stacks_per_party(self):
+        parties = [Dataset(np.zeros((3, 2)), np.array([0, 0, 1]), 2),
+                   Dataset(np.zeros((2, 2)), np.array([1, 1]), 2)]
+        matrix = label_distribution_matrix(parties)
+        assert matrix.tolist() == [[2.0, 1.0], [0.0, 2.0]]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            label_distribution_matrix([])
+
+    def test_label_space_mismatch(self):
+        parties = [Dataset(np.zeros((1, 2)), np.array([0]), 2),
+                   Dataset(np.zeros((1, 2)), np.array([0]), 3)]
+        with pytest.raises(ConfigurationError):
+            label_distribution_matrix(parties)
+
+
+class TestTotalVariation:
+    def test_identical_parties_zero(self):
+        counts = np.array([[5.0, 5.0], [10.0, 10.0]])
+        assert np.allclose(total_variation_from_global(counts), 0.0)
+
+    def test_single_label_parties_high(self):
+        counts = np.array([[10.0, 0.0], [0.0, 10.0]])
+        tv = total_variation_from_global(counts)
+        assert np.allclose(tv, 0.5)
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        counts = rng.integers(0, 50, size=(20, 6)).astype(float)
+        tv = total_variation_from_global(counts)
+        assert (tv >= 0).all() and (tv <= 1).all()

@@ -1,0 +1,132 @@
+"""Partitioners produce true partitions with the right heterogeneity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.exceptions import ConfigurationError
+from repro.data import (
+    DirichletPartitioner,
+    IIDPartitioner,
+    ShardPartitioner,
+    make_dataset,
+    make_partitioner,
+)
+from repro.data.label_distribution import (
+    label_distribution,
+    total_variation_from_global,
+)
+
+
+def _assert_partition(indices, n_total):
+    """Disjoint index arrays covering exactly [0, n_total)."""
+    merged = np.concatenate(indices)
+    assert len(merged) == n_total
+    assert len(np.unique(merged)) == n_total
+    assert merged.min() == 0 and merged.max() == n_total - 1
+
+
+@pytest.fixture(scope="module")
+def ecg_train():
+    train, _ = make_dataset("ecg", 1200, 100, rng=0)
+    return train
+
+
+class TestDirichlet:
+    def test_is_partition(self, ecg_train):
+        parts = DirichletPartitioner(0.3).partition(ecg_train, 10, rng=0)
+        _assert_partition(parts, len(ecg_train))
+
+    def test_every_party_nonempty(self, ecg_train):
+        parts = DirichletPartitioner(0.1, min_samples_per_party=3).partition(
+            ecg_train, 20, rng=1)
+        assert all(len(p) >= 3 for p in parts)
+
+    def test_alpha_controls_heterogeneity(self, ecg_train):
+        """Smaller alpha → larger TV distance from the global distribution
+        (averaged over repetitions to beat sampling noise)."""
+        def mean_tv(alpha):
+            tvs = []
+            for seed in range(5):
+                parts = DirichletPartitioner(alpha).partition(
+                    ecg_train, 12, rng=seed)
+                counts = np.stack([
+                    label_distribution(ecg_train.y[p], 5) for p in parts])
+                tvs.append(total_variation_from_global(counts).mean())
+            return np.mean(tvs)
+
+        assert mean_tv(0.1) > mean_tv(1.0) > mean_tv(100.0)
+
+    def test_deterministic(self, ecg_train):
+        a = DirichletPartitioner(0.3).partition(ecg_train, 8, rng=5)
+        b = DirichletPartitioner(0.3).partition(ecg_train, 8, rng=5)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            DirichletPartitioner(0.0)
+
+    def test_more_parties_than_samples(self, ecg_train):
+        small = ecg_train.subset(range(5))
+        with pytest.raises(ConfigurationError):
+            DirichletPartitioner(0.3).partition(small, 10)
+
+    @settings(max_examples=15, deadline=None)
+    @given(alpha=st.floats(min_value=0.05, max_value=10.0),
+           n_parties=st.integers(min_value=2, max_value=25),
+           seed=st.integers(min_value=0, max_value=1000))
+    def test_property_always_a_partition(self, ecg_train, alpha,
+                                         n_parties, seed):
+        parts = DirichletPartitioner(alpha, min_samples_per_party=1
+                                     ).partition(ecg_train, n_parties, seed)
+        _assert_partition(parts, len(ecg_train))
+
+
+class TestShard:
+    def test_is_partition(self, ecg_train):
+        parts = ShardPartitioner(2).partition(ecg_train, 10, rng=0)
+        _assert_partition(parts, len(ecg_train))
+
+    def test_label_concentration(self, ecg_train):
+        """Each party sees few distinct labels (pathological non-IID)."""
+        parts = ShardPartitioner(2).partition(ecg_train, 20, rng=0)
+        label_counts = [len(np.unique(ecg_train.y[p])) for p in parts]
+        assert np.mean(label_counts) <= 3.0
+
+    def test_too_many_shards(self, ecg_train):
+        small = ecg_train.subset(range(8))
+        with pytest.raises(ConfigurationError):
+            ShardPartitioner(3).partition(small, 4)
+
+    def test_invalid_shards(self):
+        with pytest.raises(ConfigurationError):
+            ShardPartitioner(0)
+
+
+class TestIID:
+    def test_is_partition(self, ecg_train):
+        parts = IIDPartitioner().partition(ecg_train, 7, rng=0)
+        _assert_partition(parts, len(ecg_train))
+
+    def test_sizes_nearly_equal(self, ecg_train):
+        parts = IIDPartitioner().partition(ecg_train, 7, rng=0)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_low_heterogeneity(self, ecg_train):
+        parts = IIDPartitioner().partition(ecg_train, 6, rng=0)
+        counts = np.stack([label_distribution(ecg_train.y[p], 5)
+                           for p in parts])
+        assert total_variation_from_global(counts).mean() < 0.15
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_partitioner("dirichlet", alpha=0.5),
+                          DirichletPartitioner)
+        assert isinstance(make_partitioner("shard"), ShardPartitioner)
+        assert isinstance(make_partitioner("iid"), IIDPartitioner)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_partitioner("zipf")

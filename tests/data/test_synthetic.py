@@ -1,0 +1,129 @@
+"""Synthetic dataset generators preserve the paper-relevant properties."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.data import make_dataset
+from repro.data.synthetic import (
+    DATASET_REGISTRY,
+    ECG_PRIORS,
+    SKIN_PRIORS,
+    _sample_labels,
+)
+
+
+class TestRegistry:
+    def test_four_datasets(self):
+        assert set(DATASET_REGISTRY) == {"ecg", "skin", "femnist", "fashion"}
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("mnist")
+
+    @pytest.mark.parametrize("name", sorted(DATASET_REGISTRY))
+    def test_labels_match_classes(self, name):
+        spec = DATASET_REGISTRY[name]
+        assert len(spec.labels) == spec.num_classes
+        assert np.isclose(sum(spec.priors), 1.0, atol=1e-6)
+
+
+class TestFeatureMode:
+    @pytest.mark.parametrize("name", sorted(DATASET_REGISTRY))
+    def test_shapes_and_coverage(self, name):
+        train, test = make_dataset(name, 400, 200, rng=0)
+        spec = DATASET_REGISTRY[name]
+        assert train.x.shape == (400, spec.feature_dim)
+        assert test.x.shape == (200, spec.feature_dim)
+        # every class appears in both splits
+        assert (train.class_counts() > 0).all()
+        assert (test.class_counts() > 0).all()
+
+    def test_deterministic_by_seed(self):
+        a, _ = make_dataset("ecg", 100, 50, rng=5)
+        b, _ = make_dataset("ecg", 100, 50, rng=5)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+    def test_seeds_differ(self):
+        a, _ = make_dataset("ecg", 100, 50, rng=5)
+        b, _ = make_dataset("ecg", 100, 50, rng=6)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_ecg_class_imbalance(self):
+        """~78 % normal beats — the property FLIPS's argument needs."""
+        train, _ = make_dataset("ecg", 4000, 200, rng=0)
+        fraction_normal = train.class_counts()[0] / len(train)
+        assert 0.70 <= fraction_normal <= 0.85
+
+    def test_skin_nv_dominant(self):
+        train, _ = make_dataset("skin", 4000, 200, rng=0)
+        nv = train.label_names.index("nv")
+        assert train.class_counts()[nv] / len(train) > 0.5
+
+    def test_benchmarks_near_balanced(self):
+        for name in ("femnist", "fashion"):
+            train, _ = make_dataset(name, 3000, 200, rng=0)
+            props = train.class_counts() / len(train)
+            assert props.max() < 0.2
+
+    def test_classes_are_separable(self):
+        """A nearest-prototype rule must beat chance by a wide margin —
+        otherwise the FL tasks would be pure noise."""
+        train, test = make_dataset("femnist", 2000, 500, rng=0)
+        centroids = np.stack([train.x[train.y == c].mean(axis=0)
+                              for c in range(train.num_classes)])
+        d = ((test.x[:, None, :] - centroids[None]) ** 2).sum(-1)
+        acc = (np.argmin(d, axis=1) == test.y).mean()
+        assert acc > 0.6
+
+    def test_ecg_hard_group_confusable(self):
+        """Rare classes sit nearer each other than to the normal class."""
+        spec = DATASET_REGISTRY["ecg"]
+        train, _ = make_dataset("ecg", 4000, 200, rng=0)
+        protos = np.stack([train.x[train.y == c].mean(axis=0)
+                           for c in range(spec.num_classes)])
+        intra = np.linalg.norm(protos[1] - protos[2])
+        to_normal = np.linalg.norm(protos[1] - protos[0])
+        assert intra < to_normal
+
+
+class TestRawMode:
+    def test_ecg_waveforms(self):
+        train, _ = make_dataset("ecg", 60, 20, mode="raw", rng=0)
+        assert train.x.shape == (60, 96)
+
+    def test_images(self):
+        train, _ = make_dataset("femnist", 40, 20, mode="raw", rng=0)
+        assert train.x.shape == (40, 12, 12)
+        train, _ = make_dataset("skin", 30, 14, mode="raw", rng=0)
+        assert train.x.shape == (30, 16, 16)
+
+    def test_bad_mode(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("ecg", 50, 20, mode="pixels")
+
+    def test_raw_classes_distinguishable(self):
+        """Class-mean waveforms differ (the CNN has signal to learn)."""
+        train, _ = make_dataset("ecg", 300, 20, mode="raw", rng=0)
+        mean_n = train.x[train.y == 0].mean(axis=0)
+        mean_v = train.x[train.y == 2].mean(axis=0)
+        assert np.linalg.norm(mean_n - mean_v) > 0.5
+
+
+class TestSampleLabels:
+    def test_every_class_present(self):
+        rng = np.random.default_rng(0)
+        y = _sample_labels(rng, 10, np.asarray(ECG_PRIORS))
+        assert set(np.unique(y)) == set(range(5))
+
+    def test_too_few_samples_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            _sample_labels(rng, 3, np.asarray(SKIN_PRIORS))
+
+    def test_priors_approximately_respected(self):
+        rng = np.random.default_rng(0)
+        y = _sample_labels(rng, 20000, np.asarray(ECG_PRIORS))
+        observed = np.bincount(y, minlength=5) / len(y)
+        assert np.allclose(observed, ECG_PRIORS, atol=0.02)

@@ -1,0 +1,79 @@
+"""Experiment configuration and presets."""
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.experiments import (
+    BENCH_TARGETS,
+    ExperimentConfig,
+    bench_config,
+    paper_config,
+    smoke_config,
+)
+
+
+class TestExperimentConfig:
+    def test_parties_per_round(self):
+        config = ExperimentConfig("ecg", participation=0.15, n_parties=80)
+        assert config.parties_per_round == 12
+
+    def test_parties_per_round_floor_one(self):
+        config = ExperimentConfig("ecg", participation=0.01, n_parties=10)
+        assert config.parties_per_round == 1
+
+    def test_oort_overprovision_only_with_stragglers(self):
+        assert ExperimentConfig("ecg").oort_overprovision == 1.0
+        assert ExperimentConfig(
+            "ecg", straggler_rate=0.1).oort_overprovision == 1.3
+
+    def test_cache_key_distinguishes_fields(self):
+        a = ExperimentConfig("ecg", selector="flips")
+        b = ExperimentConfig("ecg", selector="random")
+        assert a.cache_key() != b.cache_key()
+        assert a.cache_key() == ExperimentConfig(
+            "ecg", selector="flips").cache_key()
+
+    def test_invalid_dataset(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig("cifar")
+
+    def test_invalid_selector(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig("ecg", selector="psychic")
+
+    def test_invalid_participation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig("ecg", participation=0.0)
+
+    def test_with_overrides(self):
+        config = ExperimentConfig("ecg").with_overrides(alpha=0.6)
+        assert config.alpha == 0.6
+
+
+class TestPresets:
+    def test_bench_targets_cover_datasets(self):
+        assert set(BENCH_TARGETS) == {"ecg", "skin", "femnist", "fashion"}
+
+    def test_bench_rounds_ordering(self):
+        """Medical datasets get the longer horizon, as in the paper."""
+        assert bench_config("ecg").rounds > bench_config("femnist").rounds
+
+    def test_paper_preset_uses_paper_models(self):
+        assert paper_config("ecg").model == "cnn1d"
+        assert paper_config("skin").model == "densenet_lite"
+        assert paper_config("femnist").model == "lenet5"
+        assert paper_config("ecg").rounds == 400
+        assert paper_config("ecg").n_parties == 200
+
+    def test_paper_lr_decay_schedule(self):
+        assert paper_config("ecg").lr_decay_every == 20
+        assert paper_config("skin").lr_decay_every == 30
+
+    def test_smoke_is_tiny(self):
+        config = smoke_config()
+        assert config.n_parties <= 16
+        assert config.rounds <= 10
+
+    def test_preset_overrides(self):
+        config = bench_config("ecg", rounds=5, selector="oort")
+        assert config.rounds == 5 and config.selector == "oort"

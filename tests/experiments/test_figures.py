@@ -1,0 +1,87 @@
+"""Figure regeneration harness (Figs. 2, 5–13)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.experiments import (
+    convergence_figure,
+    elbow_figure,
+    format_figure,
+    underrepresented_figure,
+)
+from repro.experiments.figures import FIGURE_DATASET, FigureResult
+
+
+class TestFigureResult:
+    def test_add_checks_length(self):
+        fig = FigureResult("f", np.arange(3))
+        with pytest.raises(ConfigurationError):
+            fig.add("s", np.zeros(4))
+
+    def test_figure_dataset_map(self):
+        assert FIGURE_DATASET[5] == ("ecg", False)
+        assert FIGURE_DATASET[6] == ("ecg", True)
+        assert FIGURE_DATASET[12] == ("fashion", True)
+
+
+class TestConvergenceFigure:
+    def test_no_straggler_panel_has_five_series(self):
+        fig = convergence_figure("ecg", preset="smoke")
+        assert set(fig.series) == {"random", "flips", "oort", "grad_cls",
+                                   "tifl"}
+        for series in fig.series.values():
+            assert series.shape == fig.x.shape
+            assert np.isfinite(series).all()
+
+    def test_straggler_panel_series_names(self):
+        fig = convergence_figure("ecg", preset="smoke",
+                                 straggler_rates=(0.1, 0.2))
+        assert "flips 10% stragglers" in fig.series
+        assert "tifl 20% stragglers" in fig.series
+        assert len(fig.series) == 6
+
+    def test_x_axis_is_rounds(self):
+        fig = convergence_figure("ecg", preset="smoke")
+        assert fig.x[0] == 1
+        assert len(fig.x) == fig.series["flips"].shape[0]
+
+
+class TestElbowFigure:
+    def test_series_and_annotation(self):
+        fig = elbow_figure("ecg", n_parties=16, repeats=2, preset="smoke")
+        assert "davies_bouldin" in fig.series
+        assert fig.annotations["elbow_k"] >= 2
+        assert len(fig.x) == len(fig.series["davies_bouldin"])
+
+
+class TestUnderrepresentedFigure:
+    def test_ecg_arrhythmia_series(self):
+        fig = underrepresented_figure("ecg", preset="smoke")
+        assert set(fig.series) == {"random", "flips", "oort", "grad_cls",
+                                   "tifl"}
+        assert fig.annotations["labels"] == ("S", "V", "F", "Q")
+        for series in fig.series.values():
+            assert np.all((series[~np.isnan(series)] >= 0)
+                          & (series[~np.isnan(series)] <= 1))
+
+    def test_skin_bcc_series(self):
+        fig = underrepresented_figure("skin", preset="smoke")
+        assert fig.annotations["labels"] == ("bcc",)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            underrepresented_figure("femnist", preset="smoke")
+
+
+class TestFormatFigure:
+    def test_csv_layout(self):
+        fig = FigureResult("demo", np.array([1.0, 2.0]))
+        fig.add("a", np.array([0.1, 0.2]))
+        fig.annotations["note"] = 7
+        text = format_figure(fig)
+        lines = text.splitlines()
+        assert lines[0] == "# demo"
+        assert "# note: 7" in lines
+        assert "x,a" in lines
+        assert lines[-1].startswith("2,")

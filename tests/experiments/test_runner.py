@@ -1,0 +1,126 @@
+"""Experiment runner: selector wiring, caching, repetition."""
+
+import numpy as np
+import pytest
+
+from repro.core import FlipsSelector
+from repro.experiments import (
+    build_federation_for,
+    build_selector,
+    clear_cache,
+    mean_accuracy_series,
+    run_cached,
+    run_experiment,
+    run_repeated,
+    smoke_config,
+)
+from repro.selection import (
+    GradClusSelection,
+    OortSelection,
+    PowerOfChoiceSelection,
+    RandomSelection,
+    TiflSelection,
+)
+
+
+class TestFederationCache:
+    def test_same_config_same_object(self, smoke):
+        assert build_federation_for(smoke) is build_federation_for(smoke)
+
+    def test_selector_does_not_change_federation(self, smoke):
+        a = build_federation_for(smoke)
+        b = build_federation_for(smoke.with_overrides(selector="random"))
+        assert a is b
+
+    def test_alpha_changes_federation(self, smoke):
+        a = build_federation_for(smoke)
+        b = build_federation_for(smoke.with_overrides(alpha=0.9))
+        assert a is not b
+
+
+class TestBuildSelector:
+    @pytest.mark.parametrize("name,cls", [
+        ("random", RandomSelection),
+        ("flips", FlipsSelector),
+        ("oort", OortSelection),
+        ("grad_cls", GradClusSelection),
+        ("tifl", TiflSelection),
+        ("power_of_choice", PowerOfChoiceSelection),
+    ])
+    def test_each_selector(self, smoke, name, cls):
+        fed = build_federation_for(smoke)
+        selector = build_selector(smoke.with_overrides(selector=name), fed)
+        assert isinstance(selector, cls)
+
+    def test_oort_overprovision_wired(self, smoke):
+        fed = build_federation_for(smoke)
+        oort = build_selector(
+            smoke.with_overrides(selector="oort", straggler_rate=0.1), fed)
+        assert oort.overprovision == 1.3
+
+
+class TestRunExperiment:
+    def test_produces_history(self, smoke):
+        history = run_experiment(smoke)
+        assert len(history) == smoke.rounds
+        assert np.isfinite(history.accuracy_series()).all()
+
+    def test_deterministic(self, smoke):
+        a = run_experiment(smoke)
+        b = run_experiment(smoke)
+        assert np.array_equal(a.accuracy_series(), b.accuracy_series())
+
+    def test_straggler_config_applied(self, smoke):
+        # participation raised so round(rate × cohort) is at least one.
+        history = run_experiment(
+            smoke.with_overrides(straggler_rate=0.25, participation=0.5))
+        assert history.straggler_count() > 0
+
+    def test_selectors_share_data_and_seeds(self, smoke):
+        """Identical cohorts → identical training: only the selection
+        policy may differ between strategies."""
+        flips = run_experiment(smoke.with_overrides(selector="flips"))
+        random = run_experiment(smoke.with_overrides(selector="random"))
+        # Same federation, same initial model: round-1 cohorts differ but
+        # both start from the same global accuracy baseline.
+        assert flips.records[0].cohort != random.records[0].cohort or \
+            flips.records[0].balanced_accuracy == pytest.approx(
+                random.records[0].balanced_accuracy, abs=0.2)
+
+
+class TestRunCache:
+    def test_cache_hit_is_same_object(self, smoke):
+        clear_cache()
+        a = run_cached(smoke)
+        b = run_cached(smoke)
+        assert a is b
+
+    def test_different_seed_misses(self, smoke):
+        clear_cache()
+        a = run_cached(smoke)
+        b = run_cached(smoke.with_overrides(seed=smoke.seed + 1))
+        assert a is not b
+
+    def test_clear_cache(self, smoke):
+        a = run_cached(smoke)
+        clear_cache()
+        assert run_cached(smoke) is not a
+
+
+class TestRepetition:
+    def test_run_repeated_lengths(self, smoke):
+        histories = run_repeated(smoke, seeds=(0, 1))
+        assert len(histories) == 2
+
+    def test_mean_series(self, smoke):
+        histories = run_repeated(smoke, seeds=(0, 1))
+        mean = mean_accuracy_series(histories)
+        assert mean.shape == (smoke.rounds,)
+        manual = (histories[0].accuracy_series()
+                  + histories[1].accuracy_series()) / 2
+        assert np.allclose(mean, manual)
+
+    def test_empty_seeds_rejected(self, smoke):
+        from repro.common.exceptions import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            run_repeated(smoke, seeds=())

@@ -1,0 +1,92 @@
+"""Table regeneration harness (Tables 1–24)."""
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.experiments import TABLE_INDEX, format_table, generate_table
+from repro.experiments.tables import (
+    BASE_SELECTORS,
+    ROW_SETTINGS,
+    STRAGGLER_RATES,
+    STRAGGLER_SELECTORS,
+    TableSpec,
+)
+
+
+class TestTableIndex:
+    def test_24_tables(self):
+        assert sorted(TABLE_INDEX) == list(range(1, 25))
+
+    def test_algorithm_blocks(self):
+        assert TABLE_INDEX[1].algorithm == "fedyogi"
+        assert TABLE_INDEX[9].algorithm == "fedprox"
+        assert TABLE_INDEX[17].algorithm == "fedavg"
+
+    def test_dataset_order_within_block(self):
+        assert [TABLE_INDEX[i].dataset for i in (1, 3, 5, 7)] == \
+            ["ecg", "skin", "femnist", "fashion"]
+
+    def test_metric_alternates(self):
+        assert TABLE_INDEX[1].metric == "rounds"
+        assert TABLE_INDEX[2].metric == "peak"
+
+    def test_titles_match_paper_phrasing(self):
+        assert "Rounds required" in TABLE_INDEX[1].title
+        assert "Highest accuracy" in TABLE_INDEX[2].title
+
+    def test_invalid_metric(self):
+        with pytest.raises(ConfigurationError):
+            TableSpec(99, "ecg", "fedavg", "latency")
+
+
+@pytest.fixture(scope="module")
+def table_one():
+    return generate_table(TABLE_INDEX[1], preset="smoke")
+
+
+@pytest.fixture(scope="module")
+def table_two():
+    return generate_table(TABLE_INDEX[2], preset="smoke")
+
+
+class TestGenerateTable:
+    def test_all_cells_present(self, table_one):
+        expected = len(ROW_SETTINGS) * (
+            len(BASE_SELECTORS)
+            + len(STRAGGLER_RATES) * len(STRAGGLER_SELECTORS))
+        assert len(table_one.cells) == expected
+
+    def test_rounds_cells_valid(self, table_one):
+        for value in table_one.cells.values():
+            assert value is None or (
+                1 <= value <= table_one.rounds_budget)
+
+    def test_peak_cells_valid(self, table_two):
+        for value in table_two.cells.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_winner_helper(self, table_two):
+        winner = table_two.winner(0.3, 0.20)
+        assert winner in BASE_SELECTORS
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            generate_table(TABLE_INDEX[1], preset="galaxy")
+
+
+class TestFormatTable:
+    def test_contains_title_and_rows(self, table_one):
+        text = format_table(table_one)
+        assert "Table 1" in text
+        assert "random" in text and "flips" in text
+        assert text.count("%") >= 4  # one per row setting
+
+    def test_rounds_rendering(self, table_one):
+        text = format_table(table_one)
+        # every rounds cell is either an int or the ">budget" marker
+        assert (">" + str(table_one.rounds_budget)) in text or \
+            any(ch.isdigit() for ch in text)
+
+    def test_peak_rendering_percent(self, table_two):
+        text = format_table(table_two)
+        assert "." in text  # accuracy cells carry decimals

@@ -1,0 +1,169 @@
+"""Server optimizers and the FL-algorithm registry (§2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.fl import (
+    ALGORITHM_REGISTRY,
+    FedAdagradServer,
+    FedAdamServer,
+    FedAvgServer,
+    FedDynServer,
+    FedYogiServer,
+    ModelUpdate,
+    make_algorithm,
+    weighted_mean_delta,
+)
+from repro.fl.party import LocalTrainingConfig
+
+
+def update(params, n=10, pid=0):
+    return ModelUpdate(pid, np.asarray(params, dtype=float), n, 0.1,
+                       0.0, 1, 0.01, 1)
+
+
+GLOBAL = np.array([1.0, 1.0])
+
+
+class TestWeightedMeanDelta:
+    def test_weights_by_sample_count(self):
+        updates = [update([2.0, 1.0], n=30), update([0.0, 1.0], n=10)]
+        delta = weighted_mean_delta(GLOBAL, updates)
+        # party 0: delta (1,0) weight .75 ; party 1: delta (-1,0) weight .25
+        assert np.allclose(delta, [0.5, 0.0])
+
+    def test_empty_round_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_mean_delta(GLOBAL, [])
+
+    def test_single_party_full_delta(self):
+        delta = weighted_mean_delta(GLOBAL, [update([3.0, 0.0])])
+        assert np.allclose(delta, [2.0, -1.0])
+
+
+class TestFedAvg:
+    def test_recovers_weighted_average(self):
+        """server_lr=1 → new model is the n_i-weighted client average."""
+        server = FedAvgServer(1.0)
+        updates = [update([2.0, 0.0], n=10), update([4.0, 2.0], n=30)]
+        out = server.step(GLOBAL, updates)
+        assert np.allclose(out, [3.5, 1.5])
+
+    def test_server_lr_scales(self):
+        server = FedAvgServer(0.5)
+        out = server.step(GLOBAL, [update([3.0, 1.0])])
+        assert np.allclose(out, [2.0, 1.0])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ConfigurationError):
+            FedAvgServer(0.0)
+
+
+class TestAdaptiveServers:
+    def drive(self, server, delta_value=1.0, steps=5):
+        params = np.zeros(3)
+        for _ in range(steps):
+            params = server.step(params, [update(params + delta_value)])
+        return params
+
+    def test_adagrad_accumulates(self):
+        server = FedAdagradServer(server_lr=1.0, eps=1e-8)
+        p1 = server.step(np.zeros(2), [update([1.0, 1.0])])
+        p2 = server.step(p1, [update(p1 + 1.0)])
+        # Second step is smaller: v grows monotonically.
+        assert np.all((p2 - p1) < p1)
+
+    def test_adam_moves_towards_updates(self):
+        server = FedAdamServer(server_lr=0.5)
+        final = self.drive(server, steps=30)
+        assert np.all(final > 0)
+
+    def test_yogi_moves_towards_updates(self):
+        server = FedYogiServer(server_lr=0.5)
+        final = self.drive(server, steps=30)
+        assert np.all(final > 0)
+
+    def test_yogi_v_stays_bounded_when_gradients_shrink(self):
+        """Yogi's additive v update must not collapse v to zero faster
+        than the gradients — the effective step stays finite."""
+        server = FedYogiServer(server_lr=0.1)
+        params = np.zeros(2)
+        for i in range(50):
+            params = server.step(params, [update(params + 1e-6)])
+        assert np.isfinite(params).all()
+
+    def test_yogi_differs_from_adam(self):
+        adam = FedAdamServer(server_lr=0.3)
+        yogi = FedYogiServer(server_lr=0.3)
+        a = y = np.zeros(2)
+        for i in range(8):
+            d = 1.0 if i % 2 == 0 else 0.01  # alternating magnitudes
+            a = adam.step(a, [update(a + d)])
+            y = yogi.step(y, [update(y + d)])
+        assert not np.allclose(a, y)
+
+    def test_reset_clears_state(self):
+        server = FedAdamServer()
+        server.step(np.zeros(2), [update([1.0, 1.0])])
+        server.reset()
+        assert server._m is None and server._v is None
+
+
+class TestFedDyn:
+    def test_first_step_is_mean_plus_correction(self):
+        server = FedDynServer(dyn_alpha=0.5, n_parties=4)
+        updates = [update([2.0, 0.0], pid=0), update([4.0, 2.0], pid=1)]
+        out = server.step(GLOBAL, updates)
+        mean_model = np.array([3.0, 1.0])
+        mean_delta = mean_model - GLOBAL
+        h = -0.5 * (2 / 4) * mean_delta
+        assert np.allclose(out, mean_model - h / 0.5)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            FedDynServer(0.0)
+
+
+class TestRegistry:
+    def test_all_algorithms_present(self):
+        assert set(ALGORITHM_REGISTRY) == {
+            "fedavg", "fedsgd", "fedprox", "fedyogi", "fedadam",
+            "fedadagrad", "feddyn"}
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("fedsomething")
+
+    def test_fedprox_sets_client_mu(self):
+        algo = make_algorithm("fedprox", proximal_mu=0.05)
+        config = algo.apply_client_overrides(LocalTrainingConfig())
+        assert config.proximal_mu == 0.05
+
+    def test_fedprox_requires_positive_mu(self):
+        with pytest.raises(ConfigurationError):
+            make_algorithm("fedprox", proximal_mu=0.0)
+
+    def test_fedsgd_single_full_batch_epoch(self):
+        algo = make_algorithm("fedsgd")
+        config = algo.apply_client_overrides(LocalTrainingConfig(epochs=9))
+        assert config.epochs == 1
+        assert config.batch_size >= 10 ** 6
+
+    def test_feddyn_sets_client_alpha(self):
+        algo = make_algorithm("feddyn", dyn_alpha=0.2)
+        config = algo.apply_client_overrides(LocalTrainingConfig())
+        assert config.dyn_alpha == 0.2
+
+    def test_fedavg_no_overrides(self):
+        algo = make_algorithm("fedavg")
+        config = LocalTrainingConfig(epochs=3)
+        assert algo.apply_client_overrides(config) is config
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHM_REGISTRY))
+    def test_every_algorithm_steps(self, name):
+        algo = make_algorithm(name, **({"n_parties": 4}
+                                       if name == "feddyn" else {}))
+        out = algo.server.step(GLOBAL, [update([2.0, 2.0])])
+        assert out.shape == GLOBAL.shape
+        assert np.isfinite(out).all()

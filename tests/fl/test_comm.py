@@ -1,0 +1,44 @@
+"""Communication accounting."""
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.fl import CommunicationTracker
+
+
+class TestCommunicationTracker:
+    def test_round_bytes(self):
+        tracker = CommunicationTracker(model_dimension=100)
+        total = tracker.record_round(n_downloads=10, n_uploads=8)
+        assert total == (10 + 8) * 800
+        assert tracker.downlink_bytes == 8000
+        assert tracker.uplink_bytes == 6400
+
+    def test_accumulates(self):
+        tracker = CommunicationTracker(10)
+        tracker.record_round(4, 4)
+        tracker.record_round(4, 2)
+        assert tracker.total_bytes == (8 + 6) * 80
+        assert len(tracker.per_round) == 2
+
+    def test_bytes_until_round(self):
+        tracker = CommunicationTracker(10)
+        tracker.record_round(2, 2)
+        tracker.record_round(2, 2)
+        tracker.record_round(2, 2)
+        assert tracker.bytes_until_round(2) == 2 * 4 * 80
+
+    def test_uploads_cannot_exceed_downloads(self):
+        tracker = CommunicationTracker(10)
+        with pytest.raises(ConfigurationError):
+            tracker.record_round(2, 3)
+
+    def test_stragglers_waste_downlink(self):
+        """Dropped parties still consumed a model download."""
+        tracker = CommunicationTracker(10)
+        tracker.record_round(n_downloads=10, n_uploads=7)
+        assert tracker.downlink_bytes > tracker.uplink_bytes
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ConfigurationError):
+            CommunicationTracker(0)

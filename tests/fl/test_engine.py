@@ -1,0 +1,183 @@
+"""FederatedTrainer: the aggregator round loop."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.data import build_federation
+from repro.fl import (
+    ExactFractionStragglers,
+    FederatedTrainer,
+    FLJobConfig,
+    LocalTrainingConfig,
+    make_algorithm,
+)
+from repro.ml import make_model
+from repro.selection import RandomSelection, SelectionStrategy
+
+
+class RecordingStrategy(SelectionStrategy):
+    """Deterministic strategy that logs everything it is told."""
+
+    name = "recording"
+
+    def __init__(self, cohort):
+        super().__init__()
+        self.cohort = cohort
+        self.outcomes = []
+
+    def select(self, round_index, n_select, rng):
+        return list(self.cohort)
+
+    def report_round(self, outcome):
+        self.outcomes.append(outcome)
+
+
+def make_trainer(fed, strategy, rounds=3, npr=3, straggler=None, seed=0,
+                 algorithm="fedavg"):
+    model = make_model("softmax", fed.parties[0].feature_shape,
+                       fed.num_classes, rng=seed)
+    config = FLJobConfig(rounds=rounds, parties_per_round=npr,
+                         local=LocalTrainingConfig(epochs=1, batch_size=16,
+                                                   learning_rate=0.1),
+                         seed=seed)
+    return FederatedTrainer(fed, model, make_algorithm(algorithm),
+                            strategy, config, straggler_model=straggler)
+
+
+@pytest.fixture(scope="module")
+def fed():
+    return build_federation("ecg", 8, alpha=0.5, n_train=400, n_test=200,
+                            seed=3)
+
+
+class TestRoundLoop:
+    def test_runs_configured_rounds(self, fed):
+        history = make_trainer(fed, RandomSelection(), rounds=4).run()
+        assert len(history) == 4
+        assert history.records[0].round_index == 1
+        assert history.records[-1].round_index == 4
+
+    def test_accuracy_recorded_each_round(self, fed):
+        history = make_trainer(fed, RandomSelection(), rounds=3).run()
+        for rec in history.records:
+            assert 0.0 <= rec.balanced_accuracy <= 1.0
+            assert len(rec.per_label_recall) == fed.num_classes
+
+    def test_training_improves_over_rounds(self, fed):
+        history = make_trainer(fed, RandomSelection(), rounds=10,
+                               npr=4).run()
+        accs = history.accuracy_series()
+        assert accs[-3:].mean() > accs[0]
+
+    def test_strategy_sees_outcomes(self, fed):
+        strategy = RecordingStrategy([0, 1, 2])
+        make_trainer(fed, strategy, rounds=2).run()
+        assert len(strategy.outcomes) == 2
+        outcome = strategy.outcomes[0]
+        assert outcome.cohort == (0, 1, 2)
+        assert set(outcome.train_losses) == {0, 1, 2}
+        assert set(outcome.latencies) == {0, 1, 2}
+
+    def test_comm_bytes_metered(self, fed):
+        strategy = RecordingStrategy([0, 1, 2])
+        history = make_trainer(fed, strategy, rounds=2).run()
+        model_dim = 24 * 5 + 5
+        per_round = (3 + 3) * 8 * model_dim
+        assert history.records[0].comm_bytes == per_round
+
+    def test_duplicate_selection_rejected(self, fed):
+        strategy = RecordingStrategy([0, 0, 1])
+        with pytest.raises(ConfigurationError):
+            make_trainer(fed, strategy).run()
+
+    def test_unknown_party_rejected(self, fed):
+        strategy = RecordingStrategy([0, 99])
+        with pytest.raises(ConfigurationError):
+            make_trainer(fed, strategy).run()
+
+    def test_parties_per_round_bounded(self, fed):
+        model = make_model("softmax", (24,), 5, rng=0)
+        config = FLJobConfig(rounds=1, parties_per_round=500)
+        with pytest.raises(ConfigurationError):
+            FederatedTrainer(fed, model, make_algorithm("fedavg"),
+                             RandomSelection(), config)
+
+
+class TestStragglerHandling:
+    def test_stragglers_excluded_from_aggregation(self, fed):
+        strategy = RecordingStrategy(list(range(5)))
+        history = make_trainer(
+            fed, strategy, rounds=2, npr=5,
+            straggler=ExactFractionStragglers(0.4)).run()
+        rec = history.records[0]
+        assert len(rec.stragglers) == 2
+        assert len(rec.received) == 3
+        assert set(rec.received) | set(rec.stragglers) == set(rec.cohort)
+
+    def test_strategy_informed_of_stragglers(self, fed):
+        strategy = RecordingStrategy(list(range(5)))
+        make_trainer(fed, strategy, rounds=1, npr=5,
+                     straggler=ExactFractionStragglers(0.4)).run()
+        outcome = strategy.outcomes[0]
+        assert len(outcome.stragglers) == 2
+        for straggler in outcome.stragglers:
+            assert straggler not in outcome.train_losses
+
+    def test_all_drop_round_keeps_model(self, fed):
+        strategy = RecordingStrategy([0, 1])
+        trainer = make_trainer(fed, strategy, rounds=2, npr=2,
+                               straggler=ExactFractionStragglers(1.0))
+        before = trainer.global_parameters.copy()
+        history = trainer.run()
+        assert np.array_equal(trainer.global_parameters, before)
+        assert history.records[0].received == ()
+
+    def test_straggler_round_duration_padded(self, fed):
+        strategy = RecordingStrategy(list(range(6)))
+        clean = make_trainer(fed, strategy, rounds=1, npr=6).run()
+        strategy2 = RecordingStrategy(list(range(6)))
+        dropped = make_trainer(
+            fed, strategy2, rounds=1, npr=6,
+            straggler=ExactFractionStragglers(0.34)).run()
+        assert dropped.records[0].round_duration != \
+            clean.records[0].round_duration
+
+
+class TestDeterminism:
+    def test_same_seed_same_history(self, fed):
+        h1 = make_trainer(fed, RandomSelection(), rounds=3, seed=9).run()
+        h2 = make_trainer(fed, RandomSelection(), rounds=3, seed=9).run()
+        assert np.array_equal(h1.accuracy_series(), h2.accuracy_series())
+        assert [r.cohort for r in h1.records] == \
+            [r.cohort for r in h2.records]
+
+    def test_different_seeds_differ(self, fed):
+        h1 = make_trainer(fed, RandomSelection(), rounds=3, seed=1).run()
+        h2 = make_trainer(fed, RandomSelection(), rounds=3, seed=2).run()
+        assert [r.cohort for r in h1.records] != \
+            [r.cohort for r in h2.records]
+
+    def test_update_deltas_only_when_wanted(self, fed):
+        class Wanting(RecordingStrategy):
+            wants_update_vectors = True
+
+        plain = RecordingStrategy([0, 1])
+        make_trainer(fed, plain, rounds=1, npr=2).run()
+        assert plain.outcomes[0].update_deltas == {}
+
+        wanting = Wanting([0, 1])
+        make_trainer(fed, wanting, rounds=1, npr=2).run()
+        assert set(wanting.outcomes[0].update_deltas) == {0, 1}
+
+
+@pytest.mark.parametrize("algorithm", ["fedavg", "fedprox", "fedyogi",
+                                       "fedadam", "fedadagrad", "fedsgd",
+                                       "feddyn"])
+def test_every_algorithm_end_to_end(fed, algorithm):
+    """Each FL algorithm completes a short job and produces finite
+    accuracy."""
+    history = make_trainer(fed, RandomSelection(), rounds=3, npr=3,
+                           algorithm=algorithm).run()
+    assert len(history) == 3
+    assert np.isfinite(history.accuracy_series()).all()

@@ -1,0 +1,76 @@
+"""TrainingHistory: the artifact every table and figure reads."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.fl import RoundRecord, TrainingHistory
+
+
+def record(i, acc, cohort=(0, 1), stragglers=(), comm=100):
+    received = tuple(p for p in cohort if p not in stragglers)
+    return RoundRecord(round_index=i, cohort=tuple(cohort),
+                       received=received, stragglers=tuple(stragglers),
+                       balanced_accuracy=acc, plain_accuracy=acc,
+                       per_label_recall=(acc, acc / 2),
+                       mean_train_loss=1.0 - acc, comm_bytes=comm,
+                       round_duration=0.5)
+
+
+@pytest.fixture()
+def history():
+    h = TrainingHistory("job", parties_per_round=2)
+    for i, acc in enumerate([0.2, 0.5, 0.4, 0.7, 0.6], start=1):
+        h.append(record(i, acc, stragglers=(1,) if i == 3 else ()))
+    return h
+
+
+class TestHistory:
+    def test_series(self, history):
+        assert np.allclose(history.accuracy_series(),
+                           [0.2, 0.5, 0.4, 0.7, 0.6])
+
+    def test_rounds_to_target(self, history):
+        assert history.rounds_to_target(0.5) == 2
+        assert history.rounds_to_target(0.7) == 4
+        assert history.rounds_to_target(0.9) is None
+
+    def test_peak(self, history):
+        assert history.peak_accuracy() == pytest.approx(0.7)
+
+    def test_comm_totals(self, history):
+        assert history.total_comm_bytes() == 500
+        assert history.comm_bytes_to_target(0.7) == 400
+        assert history.comm_bytes_to_target(0.99) is None
+
+    def test_per_label_series(self, history):
+        series = history.per_label_series(1)
+        assert np.allclose(series, np.array([0.2, 0.5, 0.4, 0.7, 0.6]) / 2)
+
+    def test_per_label_out_of_range(self, history):
+        with pytest.raises(ConfigurationError):
+            history.per_label_series(5)
+
+    def test_participation_counts(self, history):
+        counts = history.participation_counts()
+        assert counts[0] == 5 and counts[1] == 5
+
+    def test_straggler_count(self, history):
+        assert history.straggler_count() == 1
+
+    def test_out_of_order_append_rejected(self, history):
+        with pytest.raises(ConfigurationError):
+            history.append(record(2, 0.5))
+
+    def test_summary(self, history):
+        summary = history.summary(target=0.5)
+        assert summary["rounds"] == 5
+        assert summary["rounds_to_target"] == 2
+        assert summary["stragglers"] == 1
+
+    def test_empty_history_peak_raises(self):
+        with pytest.raises(ConfigurationError):
+            TrainingHistory().peak_accuracy()
+
+    def test_empty_history_rounds_none(self):
+        assert TrainingHistory().rounds_to_target(0.5) is None

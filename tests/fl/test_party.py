@@ -1,0 +1,142 @@
+"""Party-side local training (Algorithm 1, participant side)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.data import make_dataset
+from repro.fl import LocalTrainingConfig, Party
+from repro.ml import make_model
+
+
+@pytest.fixture()
+def setup():
+    train, _ = make_dataset("ecg", 120, 50, rng=0)
+    party = Party(0, train, rng=1)
+    model = make_model("softmax", train.feature_shape, train.num_classes,
+                       rng=2)
+    return party, model
+
+
+class TestLocalTrainingConfig:
+    def test_defaults_valid(self):
+        config = LocalTrainingConfig()
+        assert config.epochs >= 1
+
+    def test_rejects_bad_epochs(self):
+        with pytest.raises(ConfigurationError):
+            LocalTrainingConfig(epochs=0)
+
+    def test_rejects_bad_optimizer(self):
+        with pytest.raises(ConfigurationError):
+            LocalTrainingConfig(optimizer="rmsprop")
+
+    def test_effective_lr_decay_schedule(self):
+        config = LocalTrainingConfig(learning_rate=0.1, lr_decay=0.5,
+                                     lr_decay_every=20)
+        assert config.effective_lr(1) == pytest.approx(0.1)
+        assert config.effective_lr(20) == pytest.approx(0.1)
+        assert config.effective_lr(21) == pytest.approx(0.05)
+        assert config.effective_lr(41) == pytest.approx(0.025)
+
+    def test_effective_lr_no_decay(self):
+        config = LocalTrainingConfig(learning_rate=0.1)
+        assert config.effective_lr(500) == 0.1
+
+    def test_with_overrides(self):
+        config = LocalTrainingConfig().with_overrides(epochs=7)
+        assert config.epochs == 7
+
+
+class TestParty:
+    def test_label_distribution(self, setup):
+        party, _ = setup
+        ld = party.label_distribution()
+        assert ld.sum() == party.num_samples
+        assert len(ld) == 5
+
+    def test_local_train_returns_update(self, setup):
+        party, model = setup
+        start = model.get_parameters().copy()
+        update = party.local_train(model, start, LocalTrainingConfig(), 1)
+        assert update.party_id == 0
+        assert update.num_samples == party.num_samples
+        assert update.round_index == 1
+        assert not np.array_equal(update.parameters, start)
+        assert np.isfinite(update.train_loss)
+        assert update.loss_count > 0 and update.loss_sq_sum >= 0
+        assert update.latency > 0
+
+    def test_training_starts_from_global(self, setup):
+        """Whatever the shared model held before, training must start
+        from the supplied global parameters."""
+        party, model = setup
+        global_params = model.get_parameters().copy()
+        model.set_parameters(np.full(model.dimension, 99.0))  # garbage
+        config = LocalTrainingConfig(epochs=1, learning_rate=1e-9)
+        update = party.local_train(model, global_params, config, 1)
+        # With a negligible lr the result stays next to the global model,
+        # not next to the garbage.
+        assert np.allclose(update.parameters, global_params, atol=1e-6)
+
+    def test_training_lowers_local_loss(self, setup):
+        party, model = setup
+        start = model.get_parameters().copy()
+        before = model.evaluate_loss(party.dataset.x, party.dataset.y)
+        config = LocalTrainingConfig(epochs=5, learning_rate=0.2)
+        update = party.local_train(model, start, config, 1)
+        model.set_parameters(update.parameters)
+        after = model.evaluate_loss(party.dataset.x, party.dataset.y)
+        assert after < before
+
+    def test_proximal_term_limits_drift(self, setup):
+        """FedProx with a large µ keeps the local model near the global.
+
+        µ·lr stays below 1 so the proximal dynamics remain stable (the
+        same constraint a real deployment must respect).
+        """
+        party, model = setup
+        start = model.get_parameters().copy()
+        free = party.local_train(
+            model, start, LocalTrainingConfig(epochs=3, learning_rate=0.05),
+            1)
+        prox = party.local_train(
+            model, start, LocalTrainingConfig(epochs=3, learning_rate=0.05,
+                                              proximal_mu=10.0), 1)
+        drift_free = np.linalg.norm(free.parameters - start)
+        drift_prox = np.linalg.norm(prox.parameters - start)
+        assert drift_prox < drift_free * 0.5
+
+    def test_dyn_state_accumulates(self, setup):
+        party, model = setup
+        start = model.get_parameters().copy()
+        config = LocalTrainingConfig(dyn_alpha=0.1)
+        assert party._dyn_state is None
+        party.local_train(model, start, config, 1)
+        assert party._dyn_state is not None
+        first = party._dyn_state.copy()
+        party.local_train(model, start, config, 2)
+        assert not np.array_equal(first, party._dyn_state)
+
+    def test_latency_scales_with_speed(self):
+        train, _ = make_dataset("ecg", 100, 20, rng=0)
+        slow = Party(0, train, compute_speed=0.25, rng=1)
+        fast = Party(1, train, compute_speed=4.0, rng=1)
+        config = LocalTrainingConfig()
+        slow_lat = np.mean([slow.simulate_latency(config)
+                            for _ in range(30)])
+        fast_lat = np.mean([fast.simulate_latency(config)
+                            for _ in range(30)])
+        assert slow_lat > 4 * fast_lat
+
+    def test_empty_dataset_rejected(self):
+        train, _ = make_dataset("ecg", 50, 20, rng=0)
+        with pytest.raises(ConfigurationError):
+            Party(0, train.subset([]))
+
+    def test_rounds_participated_counter(self, setup):
+        party, model = setup
+        start = model.get_parameters().copy()
+        party.local_train(model, start, LocalTrainingConfig(epochs=1), 1)
+        party.local_train(model, start, LocalTrainingConfig(epochs=1), 2)
+        assert party.rounds_participated == 2

@@ -1,0 +1,113 @@
+"""Straggler models (the paper's 10 % / 20 % drop emulation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.exceptions import ConfigurationError
+from repro.fl import (
+    BernoulliStragglers,
+    ExactFractionStragglers,
+    NoStragglers,
+    SlowDeviceStragglers,
+    make_straggler_model,
+)
+
+
+COHORT = list(range(20))
+
+
+class TestNoStragglers:
+    def test_never_drops(self):
+        rng = np.random.default_rng(0)
+        assert NoStragglers().draw(COHORT, 1, rng) == set()
+
+
+class TestExactFraction:
+    def test_exact_count(self):
+        rng = np.random.default_rng(0)
+        dropped = ExactFractionStragglers(0.2).draw(COHORT, 1, rng)
+        assert len(dropped) == 4
+        assert dropped <= set(COHORT)
+
+    def test_rounding(self):
+        rng = np.random.default_rng(0)
+        dropped = ExactFractionStragglers(0.1).draw(list(range(15)), 1, rng)
+        assert len(dropped) == 2  # round(1.5) = 2
+
+    def test_zero_rate(self):
+        rng = np.random.default_rng(0)
+        assert ExactFractionStragglers(0.0).draw(COHORT, 1, rng) == set()
+
+    def test_empty_cohort(self):
+        rng = np.random.default_rng(0)
+        assert ExactFractionStragglers(0.5).draw([], 1, rng) == set()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            ExactFractionStragglers(1.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rate=st.floats(min_value=0.0, max_value=1.0),
+           n=st.integers(min_value=1, max_value=50),
+           seed=st.integers(min_value=0, max_value=99))
+    def test_property_count_and_membership(self, rate, n, seed):
+        cohort = list(range(n))
+        rng = np.random.default_rng(seed)
+        dropped = ExactFractionStragglers(rate).draw(cohort, 1, rng)
+        assert len(dropped) == min(int(round(rate * n)), n)
+        assert dropped <= set(cohort)
+
+
+class TestBernoulli:
+    def test_rate_statistics(self):
+        rng = np.random.default_rng(0)
+        model = BernoulliStragglers(0.3)
+        total = sum(len(model.draw(COHORT, r, rng)) for r in range(300))
+        observed = total / (300 * len(COHORT))
+        assert abs(observed - 0.3) < 0.03
+
+    def test_members_only(self):
+        rng = np.random.default_rng(1)
+        dropped = BernoulliStragglers(0.9).draw(COHORT, 1, rng)
+        assert dropped <= set(COHORT)
+
+
+class TestSlowDevices:
+    def test_always_slow(self):
+        rng = np.random.default_rng(0)
+        model = SlowDeviceStragglers({3, 5})
+        assert model.draw(COHORT, 1, rng) == {3, 5}
+
+    def test_only_when_selected(self):
+        rng = np.random.default_rng(0)
+        model = SlowDeviceStragglers({99})
+        assert model.draw(COHORT, 1, rng) == set()
+
+    def test_probabilistic_misses(self):
+        rng = np.random.default_rng(0)
+        model = SlowDeviceStragglers({0}, miss_probability=0.5)
+        hits = sum(1 for _ in range(400)
+                   if model.draw([0], 1, rng))
+        assert 120 < hits < 280
+
+    def test_negative_party_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlowDeviceStragglers({-1})
+
+
+class TestFactory:
+    def test_zero_rate_gives_none(self):
+        assert isinstance(make_straggler_model(0.0), NoStragglers)
+
+    def test_exact_default(self):
+        assert isinstance(make_straggler_model(0.1),
+                          ExactFractionStragglers)
+
+    def test_bernoulli_kind(self):
+        assert isinstance(make_straggler_model(0.1, "bernoulli"),
+                          BernoulliStragglers)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_straggler_model(0.1, "weibull")

@@ -1,0 +1,44 @@
+"""ModelUpdate message semantics."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.fl import ModelUpdate
+
+
+def make_update(params=None, n=10, loss_sq=4.0, count=4):
+    return ModelUpdate(party_id=1,
+                       parameters=params if params is not None
+                       else np.array([1.0, 2.0]),
+                       num_samples=n, train_loss=0.5,
+                       loss_sq_sum=loss_sq, loss_count=count,
+                       latency=0.1, round_index=1)
+
+
+class TestModelUpdate:
+    def test_delta(self):
+        update = make_update(np.array([3.0, 5.0]))
+        delta = update.delta(np.array([1.0, 1.0]))
+        assert delta.tolist() == [2.0, 4.0]
+
+    def test_delta_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            make_update().delta(np.zeros(3))
+
+    def test_statistical_utility_formula(self):
+        """|B| * sqrt(mean per-sample loss²) — Oort's signal."""
+        update = make_update(n=10, loss_sq=9.0, count=4)
+        assert update.statistical_utility == pytest.approx(
+            10 * np.sqrt(9.0 / 4))
+
+    def test_statistical_utility_no_losses(self):
+        assert make_update(count=0, loss_sq=0.0).statistical_utility == 0.0
+
+    def test_rejects_nonpositive_samples(self):
+        with pytest.raises(ConfigurationError):
+            make_update(n=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            ModelUpdate(0, np.zeros(2), 1, 0.0, 0.0, 0, -1.0, 1)

@@ -1,0 +1,84 @@
+"""Accuracy metrics, including the paper's balanced Acc."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.exceptions import ConfigurationError
+from repro.metrics import (
+    balanced_accuracy,
+    confusion_matrix,
+    per_label_recall,
+    plain_accuracy,
+)
+
+
+class TestConfusionMatrix:
+    def test_known_matrix(self):
+        y_true = np.array([0, 0, 1, 1, 2])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        cm = confusion_matrix(y_true, y_pred, 3)
+        assert cm.tolist() == [[1, 1, 0], [0, 2, 0], [1, 0, 0]]
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 4, 50)
+        y_pred = rng.integers(0, 4, 50)
+        assert confusion_matrix(y_true, y_pred, 4).sum() == 50
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            confusion_matrix(np.array([0, 5]), np.array([0, 1]), 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            confusion_matrix(np.array([]), np.array([]), 2)
+
+
+class TestPerLabelRecall:
+    def test_values(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        recall = per_label_recall(y_true, y_pred, 3)
+        assert recall[0] == 0.5
+        assert recall[1] == 1.0
+        assert np.isnan(recall[2])  # absent label
+
+
+class TestBalancedAccuracy:
+    def test_weighs_labels_equally(self):
+        """90 majority correct + 10 minority wrong: plain accuracy 0.9 but
+        balanced 0.5 — the paper's rationale."""
+        y_true = np.array([0] * 90 + [1] * 10)
+        y_pred = np.zeros(100, dtype=int)
+        assert plain_accuracy(y_true, y_pred) == pytest.approx(0.9)
+        assert balanced_accuracy(y_true, y_pred, 2) == pytest.approx(0.5)
+
+    def test_perfect(self):
+        y = np.array([0, 1, 2, 0])
+        assert balanced_accuracy(y, y, 3) == 1.0
+
+    def test_absent_labels_excluded(self):
+        y_true = np.array([0, 0, 1])
+        y_pred = np.array([0, 0, 1])
+        assert balanced_accuracy(y_true, y_pred, 5) == 1.0
+
+    @given(st.integers(min_value=2, max_value=5),
+           st.integers(min_value=10, max_value=60),
+           st.integers(min_value=0, max_value=99))
+    def test_property_bounded(self, classes, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, classes, n)
+        y_pred = rng.integers(0, classes, n)
+        acc = balanced_accuracy(y_true, y_pred, classes)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestPlainAccuracy:
+    def test_fraction(self):
+        assert plain_accuracy(np.array([1, 2, 3]),
+                              np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plain_accuracy(np.array([1]), np.array([1, 2]))

@@ -1,0 +1,48 @@
+"""Convergence summaries (rounds-to-target, peak, AUC)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.metrics import area_under_curve, peak_accuracy, rounds_to_target
+
+
+class TestRoundsToTarget:
+    def test_first_hit_one_based(self):
+        assert rounds_to_target([0.1, 0.5, 0.6, 0.4], 0.5) == 2
+
+    def test_exact_hit_counts(self):
+        assert rounds_to_target([0.4, 0.6], 0.6) == 2
+
+    def test_never_reached(self):
+        assert rounds_to_target([0.1, 0.2], 0.9) is None
+
+    def test_first_round_hit(self):
+        assert rounds_to_target([0.9], 0.5) == 1
+
+    def test_non_monotone_series(self):
+        """A dip after the first hit must not change the answer."""
+        assert rounds_to_target([0.7, 0.2, 0.8], 0.6) == 1
+
+    def test_requires_1d(self):
+        with pytest.raises(ConfigurationError):
+            rounds_to_target(np.zeros((2, 2)), 0.5)
+
+
+class TestPeak:
+    def test_max(self):
+        assert peak_accuracy([0.1, 0.8, 0.3]) == pytest.approx(0.8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            peak_accuracy([])
+
+
+class TestAUC:
+    def test_mean(self):
+        assert area_under_curve([0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_faster_convergence_dominates(self):
+        slow = [0.1, 0.2, 0.5, 0.8, 0.8]
+        fast = [0.5, 0.8, 0.8, 0.8, 0.8]
+        assert area_under_curve(fast) > area_under_curve(slow)

@@ -1,0 +1,229 @@
+"""Layer forward/backward correctness, including numerical gradient checks.
+
+Every layer's hand-written backward pass is validated against central
+finite differences — both parameter gradients and input gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.ml import (
+    Conv1D,
+    Conv2D,
+    Dense,
+    Dropout,
+    EnsureChannels,
+    Flatten,
+    MaxPool1D,
+    MaxPool2D,
+    ReLU,
+    Tanh,
+)
+
+EPS = 1e-6
+TOL = 1e-5
+
+
+def numerical_param_grad(layer, x, param, upstream):
+    """Central-difference dL/dparam for L = sum(forward(x) * upstream)."""
+    grad = np.zeros_like(param.value)
+    flat = param.value.ravel()
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + EPS
+        up = float((layer.forward(x, training=False) * upstream).sum())
+        flat[i] = old - EPS
+        down = float((layer.forward(x, training=False) * upstream).sum())
+        flat[i] = old
+        grad.ravel()[i] = (up - down) / (2 * EPS)
+    return grad
+
+
+def numerical_input_grad(layer, x, upstream):
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + EPS
+        up = float((layer.forward(x, training=False) * upstream).sum())
+        flat[i] = old - EPS
+        down = float((layer.forward(x, training=False) * upstream).sum())
+        flat[i] = old
+        grad.ravel()[i] = (up - down) / (2 * EPS)
+    return grad
+
+
+def check_layer_gradients(layer, x, rng):
+    out = layer.forward(x, training=False)
+    upstream = rng.normal(size=out.shape)
+    layer.zero_grad()
+    layer.forward(x, training=False)
+    input_grad = layer.backward(upstream)
+    assert np.allclose(input_grad, numerical_input_grad(layer, x, upstream),
+                       atol=TOL), "input gradient mismatch"
+    for param in layer.parameters():
+        assert np.allclose(param.grad,
+                           numerical_param_grad(layer, x, param, upstream),
+                           atol=TOL), f"gradient mismatch for {param.name}"
+
+
+@pytest.fixture()
+def gen():
+    return np.random.default_rng(0)
+
+
+class TestDense:
+    def test_forward_shape(self, gen):
+        layer = Dense(4, 3, rng=gen)
+        assert layer.forward(gen.normal(size=(5, 4))).shape == (5, 3)
+
+    def test_gradients(self, gen):
+        layer = Dense(4, 3, rng=gen)
+        check_layer_gradients(layer, gen.normal(size=(5, 4)), gen)
+
+    def test_rejects_wrong_rank(self, gen):
+        with pytest.raises(ConfigurationError):
+            Dense(4, 3, rng=gen).forward(gen.normal(size=(5, 4, 1)))
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            Dense(0, 3)
+
+
+class TestActivations:
+    def test_relu_gradients(self, gen):
+        # Keep inputs away from the kink at 0.
+        x = gen.normal(size=(4, 6))
+        x[np.abs(x) < 0.1] = 0.5
+        check_layer_gradients(ReLU(), x, gen)
+
+    def test_relu_clamps_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        assert out.tolist() == [[0.0, 2.0]]
+
+    def test_tanh_gradients(self, gen):
+        check_layer_gradients(Tanh(), gen.normal(size=(4, 6)), gen)
+
+    def test_tanh_range(self, gen):
+        out = Tanh().forward(gen.normal(size=(10, 3)) * 5)
+        assert (np.abs(out) <= 1).all()
+
+
+class TestFlatten:
+    def test_round_trip(self, gen):
+        layer = Flatten()
+        x = gen.normal(size=(3, 2, 4))
+        out = layer.forward(x)
+        assert out.shape == (3, 8)
+        back = layer.backward(np.ones_like(out))
+        assert back.shape == x.shape
+
+
+class TestDropout:
+    def test_identity_at_eval(self, gen):
+        layer = Dropout(0.5, rng=gen)
+        x = gen.normal(size=(4, 4))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_scales_at_train(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((2000, 1))
+        out = layer.forward(x, training=True)
+        # Inverted dropout keeps the expectation.
+        assert abs(out.mean() - 1.0) < 0.1
+        assert set(np.unique(out)) <= {0.0, 2.0}
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((10, 10))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0)
+
+
+class TestEnsureChannels:
+    def test_adds_axis_2d(self, gen):
+        layer = EnsureChannels(2)
+        x = gen.normal(size=(3, 5, 5))
+        out = layer.forward(x)
+        assert out.shape == (3, 1, 5, 5)
+        assert layer.backward(out).shape == x.shape
+
+    def test_passthrough_when_channelled(self, gen):
+        layer = EnsureChannels(2)
+        x = gen.normal(size=(3, 2, 5, 5))
+        assert layer.forward(x) is x
+
+    def test_rejects_bad_rank(self, gen):
+        with pytest.raises(ConfigurationError):
+            EnsureChannels(1).forward(gen.normal(size=(3, 2, 5, 5)))
+
+
+class TestConv1D:
+    def test_output_shape(self, gen):
+        layer = Conv1D(2, 4, kernel_size=3, rng=gen)
+        out = layer.forward(gen.normal(size=(3, 2, 10)))
+        assert out.shape == (3, 4, 8)
+
+    def test_stride(self, gen):
+        layer = Conv1D(1, 2, kernel_size=3, stride=2, rng=gen)
+        out = layer.forward(gen.normal(size=(2, 1, 11)))
+        assert out.shape == (2, 2, 5)
+
+    def test_gradients(self, gen):
+        layer = Conv1D(2, 3, kernel_size=3, rng=gen)
+        check_layer_gradients(layer, gen.normal(size=(2, 2, 7)), gen)
+
+    def test_gradients_strided(self, gen):
+        layer = Conv1D(1, 2, kernel_size=2, stride=2, rng=gen)
+        check_layer_gradients(layer, gen.normal(size=(2, 1, 8)), gen)
+
+    def test_input_too_short(self, gen):
+        with pytest.raises(ConfigurationError):
+            Conv1D(1, 1, kernel_size=5, rng=gen).forward(
+                gen.normal(size=(1, 1, 3)))
+
+
+class TestConv2D:
+    def test_output_shape(self, gen):
+        layer = Conv2D(1, 4, kernel_size=3, rng=gen)
+        out = layer.forward(gen.normal(size=(2, 1, 8, 8)))
+        assert out.shape == (2, 4, 6, 6)
+
+    def test_gradients(self, gen):
+        layer = Conv2D(2, 2, kernel_size=3, rng=gen)
+        check_layer_gradients(layer, gen.normal(size=(2, 2, 5, 5)), gen)
+
+    def test_channel_mismatch(self, gen):
+        with pytest.raises(ConfigurationError):
+            Conv2D(3, 2, kernel_size=3, rng=gen).forward(
+                gen.normal(size=(1, 1, 5, 5)))
+
+
+class TestPooling:
+    def test_maxpool1d_values(self):
+        x = np.array([[[1.0, 3.0, 2.0, 8.0, 5.0]]])  # odd length: trim
+        out = MaxPool1D(2).forward(x)
+        assert out.tolist() == [[[3.0, 8.0]]]
+
+    def test_maxpool1d_gradients(self, gen):
+        x = gen.normal(size=(2, 2, 9))  # distinct values a.s.
+        check_layer_gradients(MaxPool1D(2), x, gen)
+
+    def test_maxpool2d_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = MaxPool2D(2).forward(x)
+        assert out.reshape(-1).tolist() == [5.0, 7.0, 13.0, 15.0]
+
+    def test_maxpool2d_gradients(self, gen):
+        x = gen.normal(size=(2, 1, 5, 6))  # non-divisible dims: trim path
+        check_layer_gradients(MaxPool2D(2), x, gen)
+
+    def test_pool_too_large(self, gen):
+        with pytest.raises(ConfigurationError):
+            MaxPool1D(4).forward(gen.normal(size=(1, 1, 3)))

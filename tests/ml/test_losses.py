@@ -1,0 +1,87 @@
+"""Softmax cross-entropy loss: values, gradients, per-sample losses."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.ml import SoftmaxCrossEntropy
+from repro.ml.losses import log_softmax
+
+
+class TestLogSoftmax:
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 4))
+        probs = np.exp(log_softmax(logits))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_stable_for_huge_logits(self):
+        logits = np.array([[1e5, 0.0], [-1e5, 0.0]])
+        out = log_softmax(logits)
+        assert np.isfinite(out).all()
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_log_k(self):
+        loss = SoftmaxCrossEntropy().forward(np.zeros((4, 5)),
+                                             np.array([0, 1, 2, 3]))
+        assert loss == pytest.approx(np.log(5))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = SoftmaxCrossEntropy().forward(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 4))
+        y = np.array([1, 0, 3])
+        loss_fn = SoftmaxCrossEntropy()
+        loss_fn.forward(logits, y)
+        analytic = loss_fn.backward()
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                up = logits.copy()
+                up[i, j] += eps
+                down = logits.copy()
+                down[i, j] -= eps
+                numeric[i, j] = (SoftmaxCrossEntropy().forward(up, y)
+                                 - SoftmaxCrossEntropy().forward(down, y)
+                                 ) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = np.random.default_rng(2)
+        loss_fn = SoftmaxCrossEntropy()
+        loss_fn.forward(rng.normal(size=(6, 3)), rng.integers(0, 3, 6))
+        assert np.allclose(loss_fn.backward().sum(axis=1), 0.0)
+
+    def test_per_sample_mean_equals_forward(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(8, 4))
+        y = rng.integers(0, 4, 8)
+        loss_fn = SoftmaxCrossEntropy()
+        assert loss_fn.forward(logits, y) == pytest.approx(
+            loss_fn.per_sample(logits, y).mean())
+
+    def test_per_sample_nonnegative(self):
+        rng = np.random.default_rng(4)
+        losses = SoftmaxCrossEntropy().per_sample(
+            rng.normal(size=(10, 3)), rng.integers(0, 3, 10))
+        assert (losses >= 0).all()
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SoftmaxCrossEntropy().forward(np.zeros((0, 3)),
+                                          np.zeros(0, dtype=int))
+
+    def test_misaligned_labels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SoftmaxCrossEntropy().forward(np.zeros((3, 2)),
+                                          np.array([0, 1]))
+
+    def test_backward_before_forward_asserts(self):
+        with pytest.raises(AssertionError):
+            SoftmaxCrossEntropy().backward()

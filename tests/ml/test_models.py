@@ -1,0 +1,163 @@
+"""Model container + architecture factories."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.ml import MODEL_REGISTRY, make_model
+from repro.ml.models import DenseBlock2D
+from repro.ml.optim import SGD
+
+EPS = 1e-6
+
+
+@pytest.fixture()
+def gen():
+    return np.random.default_rng(0)
+
+
+class TestModelContainer:
+    def test_parameter_round_trip(self, gen):
+        model = make_model("mlp", (6,), 3, rng=gen)
+        vec = model.get_parameters()
+        model.set_parameters(np.zeros_like(vec))
+        assert np.all(model.get_parameters() == 0)
+        model.set_parameters(vec)
+        assert np.array_equal(model.get_parameters(), vec)
+
+    def test_dimension_matches_vector(self, gen):
+        model = make_model("mlp", (6,), 3, rng=gen)
+        assert model.dimension == len(model.get_parameters())
+
+    def test_wrong_vector_shape_rejected(self, gen):
+        model = make_model("softmax", (4,), 2, rng=gen)
+        with pytest.raises(ConfigurationError):
+            model.set_parameters(np.zeros(model.dimension + 1))
+
+    def test_predict_shapes(self, gen):
+        model = make_model("softmax", (4,), 3, rng=gen)
+        x = gen.normal(size=(7, 4))
+        assert model.predict_logits(x).shape == (7, 3)
+        assert model.predict(x).shape == (7,)
+
+    def test_training_reduces_loss(self, gen):
+        model = make_model("mlp", (5,), 2, rng=gen)
+        x = gen.normal(size=(64, 5))
+        y = (x[:, 0] > 0).astype(int)
+        opt = SGD(model.parameters(), lr=0.2)
+        first = model.evaluate_loss(x, y)
+        for _ in range(60):
+            model.loss_and_backward(x, y)
+            opt.step()
+        assert model.evaluate_loss(x, y) < first * 0.6
+
+    def test_full_model_gradient_check(self, gen):
+        """End-to-end dL/dθ against finite differences on a small MLP."""
+        model = make_model("mlp", (4,), 3, rng=gen, hidden=(5,))
+        x = gen.normal(size=(3, 4))
+        y = np.array([0, 2, 1])
+        model.loss_and_backward(x, y)
+        analytic = model.get_gradients()
+        theta = model.get_parameters()
+        probe = gen.choice(len(theta), size=12, replace=False)
+        for i in probe:
+            up = theta.copy()
+            up[i] += EPS
+            model.set_parameters(up)
+            loss_up = model.loss.forward(model.forward(x), y)
+            down = theta.copy()
+            down[i] -= EPS
+            model.set_parameters(down)
+            loss_down = model.loss.forward(model.forward(x), y)
+            numeric = (loss_up - loss_down) / (2 * EPS)
+            assert numeric == pytest.approx(analytic[i], abs=1e-5)
+
+    def test_per_sample_losses(self, gen):
+        model = make_model("softmax", (4,), 3, rng=gen)
+        x = gen.normal(size=(9, 4))
+        y = gen.integers(0, 3, 9)
+        losses = model.per_sample_losses(x, y)
+        assert losses.shape == (9,)
+        assert model.evaluate_loss(x, y) == pytest.approx(losses.mean())
+
+    def test_empty_layer_list_rejected(self):
+        from repro.ml.models import Model
+        with pytest.raises(ConfigurationError):
+            Model([], 2)
+
+
+class TestFactories:
+    def test_registry_complete(self):
+        assert set(MODEL_REGISTRY) == {
+            "softmax", "mlp", "lenet5", "cnn1d", "densenet_lite"}
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            make_model("resnet", (4,), 2)
+
+    def test_softmax_dimension(self, gen):
+        model = make_model("softmax", (10,), 4, rng=gen)
+        assert model.dimension == 10 * 4 + 4
+
+    @pytest.mark.parametrize("name,shape,classes", [
+        ("softmax", (24,), 5),
+        ("mlp", (24,), 5),
+        ("cnn1d", (96,), 5),
+        ("lenet5", (12, 12), 10),
+        ("densenet_lite", (16, 16), 7),
+    ])
+    def test_forward_shapes(self, gen, name, shape, classes):
+        model = make_model(name, shape, classes, rng=gen)
+        x = gen.normal(size=(3,) + shape)
+        assert model.forward(x).shape == (3, classes)
+
+    @pytest.mark.parametrize("name,shape,classes", [
+        ("cnn1d", (96,), 5),
+        ("lenet5", (12, 12), 10),
+        ("densenet_lite", (12, 12), 7),
+    ])
+    def test_conv_models_train(self, gen, name, shape, classes):
+        """One optimizer step on a conv model changes parameters and keeps
+        the loss finite — the cheap end-to-end sanity for deep paths."""
+        model = make_model(name, shape, classes, rng=gen)
+        x = gen.normal(size=(6,) + shape)
+        y = gen.integers(0, classes, 6)
+        before = model.get_parameters().copy()
+        loss = model.loss_and_backward(x, y)
+        SGD(model.parameters(), lr=0.01).step()
+        assert np.isfinite(loss)
+        assert not np.array_equal(before, model.get_parameters())
+
+    def test_lenet_too_small_image(self, gen):
+        with pytest.raises(ConfigurationError):
+            make_model("lenet5", (4, 4), 3, rng=gen)
+
+    def test_cnn1d_too_short(self, gen):
+        with pytest.raises(ConfigurationError):
+            make_model("cnn1d", (8,), 3, rng=gen)
+
+
+class TestDenseBlock:
+    def test_concatenates_channels(self, gen):
+        block = DenseBlock2D(3, growth=2, rng=gen)
+        x = gen.normal(size=(2, 3, 6, 6))
+        out = block.forward(x)
+        assert out.shape == (2, 5, 6, 6)
+        assert np.array_equal(out[:, :3], x)  # skip path is identity
+
+    def test_backward_shape(self, gen):
+        block = DenseBlock2D(2, growth=3, rng=gen)
+        x = gen.normal(size=(2, 2, 5, 5))
+        out = block.forward(x)
+        grad = block.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_skip_gradient_flows(self, gen):
+        """Zeroing the conv weights must still pass gradient through the
+        skip connection unchanged."""
+        block = DenseBlock2D(1, growth=1, rng=gen)
+        block.conv.weight.value[...] = 0.0
+        x = gen.normal(size=(1, 1, 4, 4))
+        out = block.forward(x)
+        grad = block.backward(np.ones_like(out))
+        assert np.allclose(grad, 1.0)

@@ -1,0 +1,124 @@
+"""Local optimizers: SGD/momentum/Adam and the FedProx/FedDyn terms."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.ml import SGD, Adam
+from repro.ml.layers import Parameter
+
+
+def quadratic_params(start=5.0):
+    """One scalar parameter with dL/dw = w (minimum at 0)."""
+    return [Parameter(np.array([start]))]
+
+
+def run_steps(opt, params, steps=200):
+    for _ in range(steps):
+        for p in params:
+            p.zero_grad()
+            p.grad += p.value  # gradient of w^2/2
+        opt.step()
+    return params[0].value[0]
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        params = quadratic_params()
+        final = run_steps(SGD(params, lr=0.1), params)
+        assert abs(final) < 1e-4
+
+    def test_momentum_converges(self):
+        params = quadratic_params()
+        final = run_steps(SGD(params, lr=0.05, momentum=0.9), params)
+        assert abs(final) < 1e-3
+
+    def test_single_step_value(self):
+        params = [Parameter(np.array([2.0]))]
+        opt = SGD(params, lr=0.5)
+        params[0].grad += np.array([1.0])
+        opt.step()
+        assert params[0].value[0] == pytest.approx(1.5)
+
+    def test_weight_decay_shrinks(self):
+        params = [Parameter(np.array([1.0]))]
+        opt = SGD(params, lr=0.1, weight_decay=0.5)
+        opt.step()  # zero gradient; only decay acts
+        assert params[0].value[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ConfigurationError):
+            SGD(quadratic_params(), lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD(quadratic_params(), lr=0.1, momentum=1.0)
+
+
+class TestProximalTerm:
+    def test_pulls_towards_anchor(self):
+        """With zero data gradient, the FedProx term alone drags the
+        weights to the anchor (the global model)."""
+        params = [Parameter(np.array([10.0]))]
+        anchor = np.array([2.0])
+        opt = SGD(params, lr=0.1, proximal_mu=1.0, anchor=anchor)
+        for _ in range(500):
+            params[0].zero_grad()
+            opt.step()
+        assert params[0].value[0] == pytest.approx(2.0, abs=1e-3)
+
+    def test_mu_zero_ignores_anchor(self):
+        params = [Parameter(np.array([10.0]))]
+        opt = SGD(params, lr=0.1, proximal_mu=0.0)
+        opt.step()
+        assert params[0].value[0] == 10.0
+
+    def test_requires_anchor_when_mu_positive(self):
+        with pytest.raises(ConfigurationError):
+            SGD(quadratic_params(), lr=0.1, proximal_mu=0.5)
+
+    def test_anchor_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            SGD(quadratic_params(), lr=0.1, proximal_mu=0.5,
+                anchor=np.zeros(3))
+
+
+class TestLinearTerm:
+    def test_linear_term_shifts_fixed_point(self):
+        """grad = w + linear → fixed point at -linear (FedDyn's -h_i)."""
+        params = [Parameter(np.array([0.0]))]
+        opt = SGD(params, lr=0.1, linear_term=np.array([-3.0]))
+        for _ in range(500):
+            params[0].zero_grad()
+            params[0].grad += params[0].value
+            opt.step()
+        assert params[0].value[0] == pytest.approx(3.0, abs=1e-3)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        params = quadratic_params()
+        final = run_steps(Adam(params, lr=0.1), params, steps=400)
+        assert abs(final) < 1e-2
+
+    def test_bias_correction_first_step(self):
+        """First Adam step has magnitude ≈ lr regardless of gradient
+        scale (after bias correction)."""
+        params = [Parameter(np.array([0.0]))]
+        opt = Adam(params, lr=0.1)
+        params[0].grad += np.array([1e-4])
+        opt.step()
+        assert abs(params[0].value[0]) == pytest.approx(0.1, rel=0.01)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam(quadratic_params(), lr=0.1, beta1=1.0)
+
+
+class TestZeroGrad:
+    def test_clears_all(self):
+        params = [Parameter(np.ones(3)), Parameter(np.ones(2))]
+        for p in params:
+            p.grad += 5.0
+        SGD(params, lr=0.1).zero_grad()
+        assert all(np.all(p.grad == 0) for p in params)

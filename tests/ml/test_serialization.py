@@ -1,0 +1,75 @@
+"""Flat-vector packing of model parameters (the FL wire format)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.exceptions import ConfigurationError
+from repro.ml import (
+    make_model,
+    pack_gradients,
+    pack_parameters,
+    parameter_count,
+    unpack_parameters,
+    update_nbytes,
+)
+from repro.ml.layers import Parameter
+
+
+class TestPackUnpack:
+    def test_round_trip(self):
+        params = [Parameter(np.arange(6, dtype=float).reshape(2, 3)),
+                  Parameter(np.array([7.0, 8.0]))]
+        vec = pack_parameters(params)
+        assert vec.tolist() == [0, 1, 2, 3, 4, 5, 7, 8]
+        unpack_parameters(vec * 2, params)
+        assert params[0].value[1, 2] == 10.0
+        assert params[1].value[1] == 16.0
+
+    def test_order_is_stable(self):
+        model = make_model("mlp", (4,), 3, rng=0)
+        v1 = model.get_parameters()
+        model.set_parameters(v1)
+        assert np.array_equal(model.get_parameters(), v1)
+
+    def test_wrong_length_rejected(self):
+        params = [Parameter(np.zeros(4))]
+        with pytest.raises(ConfigurationError):
+            unpack_parameters(np.zeros(5), params)
+
+    def test_empty_params(self):
+        assert pack_parameters([]).shape == (0,)
+        assert pack_gradients([]).shape == (0,)
+
+    def test_pack_gradients_aligned_with_values(self):
+        params = [Parameter(np.zeros((2, 2))), Parameter(np.zeros(3))]
+        params[0].grad += 1.0
+        params[1].grad += 2.0
+        grads = pack_gradients(params)
+        assert grads.tolist() == [1, 1, 1, 1, 2, 2, 2]
+
+    def test_parameter_count(self):
+        params = [Parameter(np.zeros((2, 3))), Parameter(np.zeros(5))]
+        assert parameter_count(params) == 11
+
+    @given(st.lists(st.integers(min_value=1, max_value=8), min_size=1,
+                    max_size=5))
+    def test_property_round_trip_any_shapes(self, sizes):
+        rng = np.random.default_rng(0)
+        params = [Parameter(rng.normal(size=s)) for s in sizes]
+        vec = pack_parameters(params)
+        fresh = rng.normal(size=vec.shape)
+        unpack_parameters(fresh, params)
+        assert np.allclose(pack_parameters(params), fresh)
+
+
+class TestUpdateBytes:
+    def test_eight_bytes_per_float(self):
+        assert update_nbytes(100) == 800
+
+    def test_zero_dimension(self):
+        assert update_nbytes(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            update_nbytes(-1)

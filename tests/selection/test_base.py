@@ -1,0 +1,70 @@
+"""SelectionStrategy base-class contracts."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError, NotFittedError
+from repro.selection import SelectionContext, SelectionStrategy
+
+
+def make_context(n=10, npr=3):
+    return SelectionContext(n_parties=n, parties_per_round=npr,
+                            total_rounds=20,
+                            party_sizes=np.full(n, 50),
+                            num_classes=5, seed=0)
+
+
+class Dummy(SelectionStrategy):
+    name = "dummy"
+
+    def select(self, round_index, n_select, rng):
+        return list(range(n_select))
+
+
+class TestSelectionContext:
+    def test_valid(self):
+        ctx = make_context()
+        assert ctx.n_parties == 10
+
+    def test_rejects_zero_parties(self):
+        with pytest.raises(ConfigurationError):
+            SelectionContext(0, 1, 10, np.zeros(0), 2)
+
+    def test_rejects_oversize_cohort(self):
+        with pytest.raises(ConfigurationError):
+            make_context(n=5, npr=9)
+
+    def test_rejects_misaligned_sizes(self):
+        with pytest.raises(ConfigurationError):
+            SelectionContext(5, 2, 10, np.zeros(3), 2)
+
+
+class TestStrategyBase:
+    def test_context_before_initialize_raises(self):
+        with pytest.raises(NotFittedError):
+            _ = Dummy().context
+
+    def test_initialize_stores_context(self):
+        strategy = Dummy()
+        strategy.initialize(make_context())
+        assert strategy.context.n_parties == 10
+
+    def test_validate_rejects_duplicates(self):
+        strategy = Dummy()
+        strategy.initialize(make_context())
+        with pytest.raises(ConfigurationError):
+            strategy._validate_selection([1, 1])
+
+    def test_validate_rejects_unknown(self):
+        strategy = Dummy()
+        strategy.initialize(make_context())
+        with pytest.raises(ConfigurationError):
+            strategy._validate_selection([11])
+
+    def test_validate_passes_good_cohort(self):
+        strategy = Dummy()
+        strategy.initialize(make_context())
+        assert strategy._validate_selection([0, 3, 5]) == [0, 3, 5]
+
+    def test_report_round_default_noop(self):
+        Dummy().report_round(None)  # must not raise

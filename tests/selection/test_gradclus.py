@@ -1,0 +1,75 @@
+"""GradClus: clustered sampling over update similarity."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.selection import GradClusSelection, RoundOutcome, \
+    SelectionContext
+
+
+def ctx(n=12, npr=3):
+    return SelectionContext(n, npr, 30, np.full(n, 10), 4, seed=0)
+
+
+def deltas_outcome(round_index, deltas):
+    received = tuple(deltas)
+    return RoundOutcome(round_index=round_index, cohort=received,
+                        received=received, stragglers=(),
+                        update_deltas=deltas)
+
+
+class TestGradClus:
+    def test_wants_update_vectors(self):
+        assert GradClusSelection.wants_update_vectors is True
+
+    def test_selects_one_per_cluster(self):
+        strategy = GradClusSelection()
+        strategy.initialize(ctx())
+        cohort = strategy.select(1, 3, np.random.default_rng(0))
+        assert len(cohort) == 3
+        assert len(set(cohort)) == 3
+
+    def test_groups_similar_updates(self):
+        """Parties with identical update directions share a cluster, so
+        at most one of them is selected."""
+        strategy = GradClusSelection(sketch_dim=0)
+        strategy.initialize(ctx(n=6, npr=2))
+        up = np.array([1.0, 0.0, 0.0])
+        down = np.array([0.0, 1.0, 0.0])
+        deltas = {0: up, 1: up * 2, 2: up * 3,
+                  3: down, 4: down * 2, 5: down * 3}
+        strategy.report_round(deltas_outcome(1, deltas))
+        rng = np.random.default_rng(0)
+        for r in range(2, 12):
+            cohort = strategy.select(r, 2, rng)
+            group_a = sum(1 for p in cohort if p in (0, 1, 2))
+            group_b = sum(1 for p in cohort if p in (3, 4, 5))
+            assert group_a == 1 and group_b == 1
+
+    def test_sketch_projection_applied(self):
+        strategy = GradClusSelection(sketch_dim=8)
+        strategy.initialize(ctx(n=4, npr=2))
+        deltas = {p: np.arange(100, dtype=float) for p in range(4)}
+        strategy.report_round(deltas_outcome(1, deltas))
+        assert strategy._sketches.shape == (4, 8)
+
+    def test_cold_start_random_sketches(self):
+        strategy = GradClusSelection()
+        strategy.initialize(ctx())
+        assert strategy._sketches is not None
+        # Random cold start still yields a valid selection.
+        cohort = strategy.select(1, 4, np.random.default_rng(1))
+        assert len(cohort) == 4
+
+    def test_n_select_capped_at_population(self):
+        strategy = GradClusSelection()
+        strategy.initialize(ctx(n=5, npr=5))
+        cohort = strategy.select(1, 5, np.random.default_rng(0))
+        assert sorted(cohort) == list(range(5))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            GradClusSelection(sketch_dim=-1)
+        with pytest.raises(ConfigurationError):
+            GradClusSelection(metric="hamming")

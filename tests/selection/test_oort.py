@@ -1,0 +1,116 @@
+"""Oort: utility-guided exploration/exploitation."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.selection import OortSelection, RoundOutcome, SelectionContext
+
+
+def ctx(n=20, npr=5, sizes=None):
+    sizes = np.full(n, 50) if sizes is None else sizes
+    return SelectionContext(n, npr, 50, sizes, 5, seed=0)
+
+
+def outcome(round_index, received, losses, latencies=None, stragglers=()):
+    latencies = latencies or {p: 1.0 for p in received}
+    return RoundOutcome(
+        round_index=round_index, cohort=tuple(received) + tuple(stragglers),
+        received=tuple(received), stragglers=tuple(stragglers),
+        train_losses={p: losses[p] for p in received},
+        loss_sq_sums={p: losses[p] ** 2 * 10 for p in received},
+        loss_counts={p: 10 for p in received},
+        latencies=latencies)
+
+
+class TestOort:
+    def test_explores_everyone_initially(self):
+        strategy = OortSelection()
+        strategy.initialize(ctx())
+        cohort = strategy.select(1, 5, np.random.default_rng(0))
+        assert len(cohort) == 5
+
+    def test_exploits_high_loss_parties(self):
+        """After feedback, high-loss parties dominate selection."""
+        strategy = OortSelection(min_exploration=0.0,
+                                 exploration_decay=0.01)
+        strategy.initialize(ctx(n=10, npr=3))
+        losses = {p: (3.0 if p < 3 else 0.01) for p in range(10)}
+        strategy.report_round(outcome(1, list(range(10)), losses))
+        rng = np.random.default_rng(0)
+        picks = [p for r in range(2, 30)
+                 for p in strategy.select(r, 3, rng)]
+        high_loss_fraction = np.mean([p < 3 for p in picks])
+        assert high_loss_fraction > 0.7
+
+    def test_size_cap_prevents_big_party_dominance(self):
+        """A huge low-loss party must not outrank small high-loss ones."""
+        sizes = np.array([1000] + [20] * 9)
+        strategy = OortSelection(min_exploration=0.0,
+                                 exploration_decay=0.01)
+        strategy.initialize(ctx(n=10, npr=2, sizes=sizes))
+        losses = {0: 0.2, **{p: 2.0 for p in range(1, 10)}}
+        strategy.report_round(outcome(1, list(range(10)), losses))
+        rng = np.random.default_rng(0)
+        picks = [p for r in range(2, 20) for p in strategy.select(r, 2, rng)]
+        assert np.mean([p == 0 for p in picks]) < 0.3
+
+    def test_overprovision(self):
+        strategy = OortSelection(overprovision=1.3)
+        strategy.initialize(ctx())
+        cohort = strategy.select(1, 10, np.random.default_rng(0))
+        assert len(cohort) == 13
+
+    def test_slow_party_penalised(self):
+        strategy = OortSelection(min_exploration=0.0,
+                                 exploration_decay=0.01,
+                                 duration_percentile=50.0)
+        strategy.initialize(ctx(n=10, npr=2))
+        losses = {p: 1.0 for p in range(10)}
+        latencies = {p: (100.0 if p == 0 else 1.0) for p in range(10)}
+        strategy.report_round(outcome(1, list(range(10)), losses,
+                                      latencies))
+        rng = np.random.default_rng(0)
+        picks = [p for r in range(2, 20) for p in strategy.select(r, 2, rng)]
+        assert picks.count(0) <= 2
+
+    def test_straggler_penalty_reduces_utility(self):
+        strategy = OortSelection(straggler_penalty=0.1)
+        strategy.initialize(ctx(n=6, npr=2))
+        losses = {p: 1.0 for p in range(6)}
+        strategy.report_round(outcome(1, list(range(6)), losses))
+        before = strategy._stat_utility[0]
+        strategy.report_round(outcome(
+            2, [1], {1: 1.0}, stragglers=(0,)))
+        assert strategy._stat_utility[0] == pytest.approx(before * 0.1)
+
+    def test_epsilon_decays_to_floor(self):
+        strategy = OortSelection(exploration_factor=0.9,
+                                 exploration_decay=0.5,
+                                 min_exploration=0.2)
+        strategy.initialize(ctx())
+        rng = np.random.default_rng(0)
+        for r in range(1, 12):
+            strategy.select(r, 5, rng)
+        assert strategy._epsilon == pytest.approx(0.2)
+
+    def test_selection_valid_under_many_rounds(self):
+        strategy = OortSelection()
+        strategy.initialize(ctx(n=15, npr=4))
+        rng = np.random.default_rng(0)
+        for r in range(1, 40):
+            cohort = strategy.select(r, 4, rng)
+            assert len(set(cohort)) == len(cohort)
+            assert all(0 <= p < 15 for p in cohort)
+            losses = {p: 1.0 for p in cohort}
+            strategy.report_round(outcome(r, cohort, losses))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            OortSelection(overprovision=0.9)
+        with pytest.raises(ConfigurationError):
+            OortSelection(exploration_factor=0.1, min_exploration=0.5)
+        with pytest.raises(ConfigurationError):
+            OortSelection(exploration_decay=0.0)
+        with pytest.raises(ConfigurationError):
+            OortSelection(straggler_penalty=1.5)

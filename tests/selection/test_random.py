@@ -1,0 +1,48 @@
+"""Random selection baseline."""
+
+import numpy as np
+import pytest
+from collections import Counter
+
+from repro.common.exceptions import ConfigurationError
+from repro.selection import RandomSelection, SelectionContext
+
+
+def ctx(n=20, npr=5):
+    return SelectionContext(n, npr, 50, np.full(n, 10), 5, seed=0)
+
+
+class TestRandomSelection:
+    def test_selects_requested_count(self):
+        strategy = RandomSelection()
+        strategy.initialize(ctx())
+        cohort = strategy.select(1, 5, np.random.default_rng(0))
+        assert len(cohort) == 5
+        assert len(set(cohort)) == 5
+
+    def test_uniform_coverage_long_run(self):
+        strategy = RandomSelection()
+        strategy.initialize(ctx())
+        rng = np.random.default_rng(0)
+        counts = Counter()
+        for r in range(600):
+            counts.update(strategy.select(r, 5, rng))
+        # Expected 150 picks each; all parties within a loose band.
+        assert min(counts.values()) > 100
+        assert max(counts.values()) < 200
+
+    def test_overprovision(self):
+        strategy = RandomSelection(overprovision=1.4)
+        strategy.initialize(ctx())
+        cohort = strategy.select(1, 5, np.random.default_rng(0))
+        assert len(cohort) == 7  # ceil(5 * 1.4)
+
+    def test_overprovision_capped_at_population(self):
+        strategy = RandomSelection(overprovision=10.0)
+        strategy.initialize(ctx(n=6, npr=5))
+        cohort = strategy.select(1, 5, np.random.default_rng(0))
+        assert len(cohort) == 6
+
+    def test_invalid_overprovision(self):
+        with pytest.raises(ConfigurationError):
+            RandomSelection(overprovision=0.5)

@@ -1,0 +1,94 @@
+"""TiFL: adaptive latency tiers."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.selection import RoundOutcome, SelectionContext, TiflSelection
+
+
+def ctx(n=20, npr=4, rounds=40):
+    return SelectionContext(n, npr, rounds, np.full(n, 10), 4, seed=0)
+
+
+def outcome(round_index, received, latencies, accuracy=0.5):
+    return RoundOutcome(round_index=round_index, cohort=tuple(received),
+                        received=tuple(received), stragglers=(),
+                        latencies=latencies, global_accuracy=accuracy)
+
+
+class TestTifl:
+    def test_selects_requested_count(self):
+        strategy = TiflSelection()
+        strategy.initialize(ctx())
+        cohort = strategy.select(1, 4, np.random.default_rng(0))
+        assert len(cohort) == 4
+        assert len(set(cohort)) == 4
+
+    def test_retier_groups_by_latency(self):
+        """After observing latencies, slow parties share a tier."""
+        strategy = TiflSelection(n_tiers=2, retier_every=1)
+        strategy.initialize(ctx(n=10, npr=2))
+        latencies = {p: (10.0 if p >= 5 else 0.1) for p in range(10)}
+        strategy.report_round(outcome(1, list(range(10)), latencies))
+        strategy.select(2, 2, np.random.default_rng(0))  # triggers retier
+        tiers = strategy._tier_of
+        assert len(set(tiers[:5])) == 1
+        assert len(set(tiers[5:])) == 1
+        assert tiers[0] != tiers[9]
+
+    def test_cohort_from_one_tier_after_profiling(self):
+        strategy = TiflSelection(n_tiers=2, retier_every=1)
+        strategy.initialize(ctx(n=10, npr=3))
+        latencies = {p: (10.0 if p >= 5 else 0.1) for p in range(10)}
+        strategy.report_round(outcome(1, list(range(10)), latencies))
+        rng = np.random.default_rng(0)
+        for r in range(2, 10):
+            cohort = strategy.select(r, 3, rng)
+            sides = {p >= 5 for p in cohort}
+            assert len(sides) == 1  # all fast or all slow
+
+    def test_low_accuracy_tier_favoured(self):
+        strategy = TiflSelection(n_tiers=2, retier_every=1,
+                                 credits_per_tier=10 ** 6)
+        strategy.initialize(ctx(n=10, npr=2, rounds=1000))
+        latencies = {p: (10.0 if p >= 5 else 0.1) for p in range(10)}
+        strategy.report_round(outcome(1, list(range(10)), latencies))
+        rng = np.random.default_rng(0)
+        # Teach it: fast tier (0) yields high accuracy, slow tier low.
+        slow_count = 0
+        for r in range(2, 200):
+            cohort = strategy.select(r, 2, rng)
+            slow = all(p >= 5 for p in cohort)
+            slow_count += slow
+            strategy.report_round(outcome(
+                r, cohort, {p: latencies[p] for p in cohort},
+                accuracy=0.2 if slow else 0.9))
+        assert slow_count > 120  # low-accuracy tier dominates
+
+    def test_credits_deplete_and_reset(self):
+        strategy = TiflSelection(n_tiers=2, credits_per_tier=1)
+        strategy.initialize(ctx(n=6, npr=2, rounds=10))
+        rng = np.random.default_rng(0)
+        for r in range(1, 6):  # more rounds than total credits
+            cohort = strategy.select(r, 2, rng)
+            assert len(cohort) == 2
+
+    def test_small_tier_topped_up(self):
+        strategy = TiflSelection(n_tiers=5)
+        strategy.initialize(ctx(n=6, npr=4))
+        cohort = strategy.select(1, 4, np.random.default_rng(0))
+        assert len(cohort) == 4
+
+    def test_tiers_capped_by_population(self):
+        strategy = TiflSelection(n_tiers=50)
+        strategy.initialize(ctx(n=8, npr=2))
+        assert strategy.n_tiers == 8
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            TiflSelection(n_tiers=0)
+        with pytest.raises(ConfigurationError):
+            TiflSelection(retier_every=0)
+        with pytest.raises(ConfigurationError):
+            TiflSelection(credits_per_tier=0)

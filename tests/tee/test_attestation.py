@@ -1,0 +1,80 @@
+"""Attestation server: quote verification, replay defence."""
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError, SecurityError
+from repro.tee import AttestationServer, SimulatedEnclave
+
+ROOT = b"r" * 32
+
+
+def noop(sealed):
+    return None
+
+
+@pytest.fixture()
+def setup():
+    enclave = SimulatedEnclave(ROOT, seed=0)
+    enclave.load_code("noop", noop)
+    server = AttestationServer(ROOT)
+    server.approve_measurement(enclave.measurement, "test code")
+    return enclave, server
+
+
+class TestVerification:
+    def test_happy_path(self, setup):
+        enclave, server = setup
+        nonce = server.issue_nonce()
+        assert server.verify_quote(enclave.generate_quote(nonce))
+
+    def test_unapproved_code_rejected(self):
+        enclave = SimulatedEnclave(ROOT, seed=0)
+        enclave.load_code("evil", lambda sealed: sealed)
+        server = AttestationServer(ROOT)
+        nonce = server.issue_nonce()
+        with pytest.raises(SecurityError, match="unapproved"):
+            server.verify_quote(enclave.generate_quote(nonce))
+
+    def test_wrong_hardware_key_rejected(self, setup):
+        enclave, server = setup
+        impostor = SimulatedEnclave(b"x" * 32, seed=0)
+        impostor.load_code("noop", noop)
+        server.approve_measurement(impostor.measurement)
+        nonce = server.issue_nonce()
+        with pytest.raises(SecurityError, match="genuine"):
+            server.verify_quote(impostor.generate_quote(nonce))
+
+    def test_foreign_nonce_rejected(self, setup):
+        enclave, server = setup
+        with pytest.raises(SecurityError, match="not issued"):
+            server.verify_quote(enclave.generate_quote(b"f" * 16))
+
+    def test_replay_rejected(self, setup):
+        enclave, server = setup
+        nonce = server.issue_nonce()
+        quote = enclave.generate_quote(nonce)
+        server.verify_quote(quote)
+        with pytest.raises(SecurityError, match="replay"):
+            server.verify_quote(quote)
+
+    def test_revocation(self, setup):
+        enclave, server = setup
+        server.revoke_measurement(enclave.measurement)
+        nonce = server.issue_nonce()
+        with pytest.raises(SecurityError):
+            server.verify_quote(enclave.generate_quote(nonce))
+
+
+class TestRegistry:
+    def test_approved_listing(self, setup):
+        enclave, server = setup
+        assert enclave.measurement in server.approved_measurements
+
+    def test_bad_measurement_length(self):
+        server = AttestationServer(ROOT)
+        with pytest.raises(ConfigurationError):
+            server.approve_measurement(b"short")
+
+    def test_short_root_key(self):
+        with pytest.raises(ConfigurationError):
+            AttestationServer(b"x")

@@ -1,0 +1,107 @@
+"""Attested secure channels (party ↔ enclave)."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import SecurityError
+from repro.tee import (
+    AttestationServer,
+    SecureChannel,
+    SimulatedEnclave,
+    decode_vector,
+    encode_vector,
+)
+
+ROOT = b"r" * 32
+
+
+def noop(sealed):
+    return None
+
+
+@pytest.fixture()
+def stack():
+    enclave = SimulatedEnclave(ROOT, seed=0)
+    enclave.load_code("noop", noop)
+    server = AttestationServer(ROOT)
+    server.approve_measurement(enclave.measurement)
+    return enclave, server
+
+
+class TestVectorCodec:
+    def test_round_trip(self):
+        vec = np.array([1.5, -2.0, 0.0])
+        assert np.array_equal(decode_vector(encode_vector(vec)), vec)
+
+    def test_decoded_is_writable(self):
+        out = decode_vector(encode_vector(np.arange(3.0)))
+        out[0] = 99.0  # must not raise (copy, not frombuffer view)
+
+
+class TestEstablish:
+    def test_handshake_succeeds(self, stack):
+        enclave, server = stack
+        channel = SecureChannel.establish(3, enclave, server, seed=1)
+        assert channel.party_id == 3
+
+    def test_handshake_fails_on_unapproved_enclave(self):
+        enclave = SimulatedEnclave(ROOT, seed=0)
+        enclave.load_code("evil", lambda s: s)
+        server = AttestationServer(ROOT)
+        with pytest.raises(SecurityError):
+            SecureChannel.establish(0, enclave, server)
+
+
+class TestMessaging:
+    def test_seal_unseal_round_trip(self, stack):
+        enclave, server = stack
+        channel = SecureChannel.establish(1, enclave, server, seed=2)
+        assert channel.unseal(channel.seal(b"hello")) == b"hello"
+
+    def test_vector_round_trip(self, stack):
+        enclave, server = stack
+        channel = SecureChannel.establish(1, enclave, server, seed=2)
+        vec = np.array([10.0, 0.0, 3.0])
+        assert np.array_equal(channel.unseal_vector(
+            channel.seal_vector(vec)), vec)
+
+    def test_sequence_numbers_advance(self, stack):
+        enclave, server = stack
+        channel = SecureChannel.establish(1, enclave, server, seed=2)
+        first = channel.seal(b"a")
+        second = channel.seal(b"b")
+        assert channel.unseal(first) == b"a"
+        assert channel.unseal(second) == b"b"
+
+    def test_replay_rejected(self, stack):
+        enclave, server = stack
+        channel = SecureChannel.establish(1, enclave, server, seed=2)
+        blob = channel.seal(b"a")
+        channel.unseal(blob)
+        with pytest.raises(SecurityError):
+            channel.unseal(blob)  # frame seq moved on
+
+    def test_reorder_rejected(self, stack):
+        enclave, server = stack
+        channel = SecureChannel.establish(1, enclave, server, seed=2)
+        first = channel.seal(b"a")
+        second = channel.seal(b"b")
+        with pytest.raises(SecurityError):
+            channel.unseal(second)  # out of order
+
+    def test_tamper_rejected(self, stack):
+        enclave, server = stack
+        channel = SecureChannel.establish(1, enclave, server, seed=2)
+        blob = bytearray(channel.seal(b"secret"))
+        blob[-1] ^= 0xFF
+        with pytest.raises(SecurityError):
+            channel.unseal(bytes(blob))
+
+    def test_channels_are_isolated(self, stack):
+        """Party 2 cannot read party 1's ciphertexts."""
+        enclave, server = stack
+        ch1 = SecureChannel.establish(1, enclave, server, seed=2)
+        ch2 = SecureChannel.establish(2, enclave, server, seed=3)
+        blob = ch1.seal(b"mine")
+        with pytest.raises(SecurityError):
+            ch2.unseal(blob)

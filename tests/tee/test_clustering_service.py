@@ -1,0 +1,131 @@
+"""Private clustering service: encrypted submissions, sealed results."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError, SecurityError
+from repro.tee import (
+    AttestationServer,
+    PrivateClusteringService,
+    SecureChannel,
+    SimulatedEnclave,
+)
+
+ROOT = b"r" * 32
+
+
+@pytest.fixture()
+def service_stack():
+    enclave = SimulatedEnclave(ROOT, seed=0)
+    service = PrivateClusteringService(enclave)
+    server = AttestationServer(ROOT)
+    server.approve_measurement(enclave.measurement)
+    return enclave, service, server
+
+
+def onboard(service, enclave, server, party_id, seed=None):
+    channel = SecureChannel.establish(party_id, enclave, server,
+                                      seed=seed or (100 + party_id))
+    service.register_channel(party_id, channel)
+    return channel
+
+
+def submit_all(service, enclave, server, lds):
+    for party_id, ld in enumerate(lds):
+        channel = onboard(service, enclave, server, party_id)
+        service.submit(party_id, channel.seal_vector(np.asarray(ld,
+                                                               dtype=float)))
+
+
+ONE_HOT_LDS = [[50, 0], [45, 2], [0, 60], [1, 55], [48, 1], [2, 52]]
+
+
+class TestSubmission:
+    def test_submissions_counted(self, service_stack):
+        enclave, service, server = service_stack
+        submit_all(service, enclave, server, ONE_HOT_LDS)
+        assert service.n_submissions == 6
+
+    def test_submit_without_channel_rejected(self, service_stack):
+        _, service, _ = service_stack
+        with pytest.raises(SecurityError):
+            service.submit(0, b"ciphertext")
+
+    def test_tampered_submission_rejected(self, service_stack):
+        enclave, service, server = service_stack
+        channel = onboard(service, enclave, server, 0)
+        blob = bytearray(channel.seal_vector(np.array([1.0, 2.0])))
+        blob[-1] ^= 0x01
+        with pytest.raises(SecurityError):
+            service.submit(0, bytes(blob))
+
+    def test_negative_counts_rejected(self, service_stack):
+        enclave, service, server = service_stack
+        channel = onboard(service, enclave, server, 0)
+        with pytest.raises(ConfigurationError):
+            service.submit(0, channel.seal_vector(np.array([-1.0, 2.0])))
+
+    def test_duplicate_registration_rejected(self, service_stack):
+        enclave, service, server = service_stack
+        onboard(service, enclave, server, 0)
+        with pytest.raises(ConfigurationError):
+            onboard(service, enclave, server, 0)
+
+    def test_channel_identity_enforced(self, service_stack):
+        enclave, service, server = service_stack
+        channel = SecureChannel.establish(5, enclave, server, seed=9)
+        with pytest.raises(SecurityError):
+            service.register_channel(4, channel)
+
+
+class TestClustering:
+    def test_clusters_computed_in_enclave(self, service_stack):
+        enclave, service, server = service_stack
+        submit_all(service, enclave, server, ONE_HOT_LDS)
+        k = service.run_clustering(k=2, rng=0)
+        assert k == 2
+        model = service.cluster_model()
+        # planted groups: label-0 dominant {0,1,4} vs label-1 {2,3,5}
+        a = model.assignments
+        assert a[0] == a[1] == a[4]
+        assert a[2] == a[3] == a[5]
+        assert a[0] != a[2]
+
+    def test_label_distributions_not_outside_enclave(self, service_stack):
+        enclave, service, server = service_stack
+        submit_all(service, enclave, server, ONE_HOT_LDS)
+        with pytest.raises(SecurityError):
+            enclave.read_sealed("label_distributions")
+
+    def test_cluster_before_submissions_rejected(self, service_stack):
+        _, service, _ = service_stack
+        with pytest.raises(ConfigurationError):
+            service.run_clustering()
+
+    def test_model_before_clustering_rejected(self, service_stack):
+        enclave, service, server = service_stack
+        submit_all(service, enclave, server, ONE_HOT_LDS)
+        with pytest.raises(ConfigurationError):
+            service.cluster_model()
+
+    def test_submissions_closed_after_finalize(self, service_stack):
+        enclave, service, server = service_stack
+        submit_all(service, enclave, server, ONE_HOT_LDS)
+        service.run_clustering(k=2, rng=0)
+        channel = onboard(service, enclave, server, 99)
+        with pytest.raises(ConfigurationError):
+            service.submit(99, channel.seal_vector(np.array([1.0, 1.0])))
+
+    def test_party_order(self, service_stack):
+        enclave, service, server = service_stack
+        submit_all(service, enclave, server, ONE_HOT_LDS)
+        service.run_clustering(k=2, rng=0)
+        assert service.party_order() == list(range(6))
+
+    def test_wipe_clears_results(self, service_stack):
+        enclave, service, server = service_stack
+        submit_all(service, enclave, server, ONE_HOT_LDS)
+        service.run_clustering(k=2, rng=0)
+        service.wipe()
+        with pytest.raises(ConfigurationError):
+            service.cluster_model()

@@ -1,0 +1,103 @@
+"""Simulated crypto: DH agreement, authenticated encryption."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.exceptions import ConfigurationError, SecurityError
+from repro.tee import DiffieHellmanKeyPair, decrypt, derive_key, encrypt
+from repro.tee.crypto import DH_PRIME, shared_secret
+
+
+class TestDiffieHellman:
+    def test_agreement(self):
+        alice = DiffieHellmanKeyPair(seed=1)
+        bob = DiffieHellmanKeyPair(seed=2)
+        assert alice.shared_with(bob.public) == bob.shared_with(alice.public)
+
+    def test_different_pairs_different_secrets(self):
+        alice = DiffieHellmanKeyPair(seed=1)
+        bob = DiffieHellmanKeyPair(seed=2)
+        eve = DiffieHellmanKeyPair(seed=3)
+        assert alice.shared_with(bob.public) != alice.shared_with(eve.public)
+
+    def test_deterministic_by_seed(self):
+        assert DiffieHellmanKeyPair(seed=7).public == \
+            DiffieHellmanKeyPair(seed=7).public
+
+    def test_unseeded_random(self):
+        assert DiffieHellmanKeyPair().public != DiffieHellmanKeyPair().public
+
+    def test_public_in_group(self):
+        kp = DiffieHellmanKeyPair(seed=0)
+        assert 1 < kp.public < DH_PRIME
+
+    def test_degenerate_peer_rejected(self):
+        kp = DiffieHellmanKeyPair(seed=0)
+        with pytest.raises(SecurityError):
+            shared_secret(3, 1)
+        with pytest.raises(SecurityError):
+            kp.shared_with(0)
+        with pytest.raises(SecurityError):
+            kp.shared_with(DH_PRIME - 1)
+
+
+class TestDeriveKey:
+    def test_label_separates_keys(self):
+        secret = b"x" * 32
+        assert derive_key(secret, "enc") != derive_key(secret, "mac")
+
+    def test_deterministic(self):
+        assert derive_key(b"s" * 16, "a") == derive_key(b"s" * 16, "a")
+
+    def test_length(self):
+        assert len(derive_key(b"s" * 16, "a", length=16)) == 16
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigurationError):
+            derive_key(b"s", "a", length=0)
+
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+class TestEncryptDecrypt:
+    def test_round_trip(self):
+        message = b"label distribution: [10, 2, 0, 1]"
+        assert decrypt(KEY, encrypt(KEY, message)) == message
+
+    def test_empty_payload(self):
+        assert decrypt(KEY, encrypt(KEY, b"")) == b""
+
+    def test_nonce_randomised(self):
+        assert encrypt(KEY, b"same") != encrypt(KEY, b"same")
+
+    def test_tamper_detected(self):
+        blob = bytearray(encrypt(KEY, b"secret"))
+        blob[20] ^= 0x01
+        with pytest.raises(SecurityError):
+            decrypt(KEY, bytes(blob))
+
+    def test_truncation_detected(self):
+        blob = encrypt(KEY, b"secret")
+        with pytest.raises(SecurityError):
+            decrypt(KEY, blob[:10])
+
+    def test_wrong_key_detected(self):
+        blob = encrypt(KEY, b"secret")
+        with pytest.raises(SecurityError):
+            decrypt(b"f" * 32, blob)
+
+    def test_associated_data_bound(self):
+        blob = encrypt(KEY, b"payload", associated_data=b"seq=1")
+        assert decrypt(KEY, blob, associated_data=b"seq=1") == b"payload"
+        with pytest.raises(SecurityError):
+            decrypt(KEY, blob, associated_data=b"seq=2")
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encrypt(b"short", b"x")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=300))
+    def test_property_round_trip(self, payload):
+        assert decrypt(KEY, encrypt(KEY, payload)) == payload

@@ -1,0 +1,110 @@
+"""Simulated enclave: measurement, sealed state, quotes, teardown."""
+
+import pytest
+
+from repro.common.exceptions import ConfigurationError, SecurityError
+from repro.tee import SimulatedEnclave
+
+ROOT = b"r" * 32
+
+
+def store(sealed, key, value):
+    sealed[key] = value
+
+
+def load(sealed, key):
+    return sealed.get(key)
+
+
+@pytest.fixture()
+def enclave():
+    enc = SimulatedEnclave(ROOT, seed=0)
+    enc.load_code("store", store)
+    enc.load_code("load", load)
+    return enc
+
+
+class TestMeasurement:
+    def test_same_code_same_measurement(self):
+        a = SimulatedEnclave(ROOT, seed=0)
+        a.load_code("store", store)
+        b = SimulatedEnclave(ROOT, seed=1)
+        b.load_code("store", store)
+        assert a.measurement == b.measurement
+
+    def test_different_code_different_measurement(self):
+        a = SimulatedEnclave(ROOT, seed=0)
+        a.load_code("store", store)
+        b = SimulatedEnclave(ROOT, seed=0)
+        b.load_code("store", load)  # different function body
+        assert a.measurement != b.measurement
+
+    def test_load_order_matters(self):
+        a = SimulatedEnclave(ROOT)
+        a.load_code("x", store)
+        a.load_code("y", load)
+        b = SimulatedEnclave(ROOT)
+        b.load_code("y", load)
+        b.load_code("x", store)
+        assert a.measurement != b.measurement
+
+    def test_duplicate_entry_point_rejected(self, enclave):
+        with pytest.raises(ConfigurationError):
+            enclave.load_code("store", store)
+
+    def test_no_code_loading_after_sealing(self, enclave):
+        enclave.call("store", "k", 1)
+        with pytest.raises(SecurityError):
+            enclave.load_code("late", load)
+
+
+class TestSealedState:
+    def test_round_trip_through_calls(self, enclave):
+        enclave.call("store", "secret", [1, 2, 3])
+        assert enclave.call("load", "secret") == [1, 2, 3]
+
+    def test_outside_read_blocked(self, enclave):
+        enclave.call("store", "secret", 42)
+        with pytest.raises(SecurityError):
+            enclave.read_sealed("secret")
+
+    def test_inside_read_allowed(self, enclave):
+        enclave.call("store", "secret", 42)
+
+        def probe(sealed):
+            return enclave.read_sealed("secret")
+
+        probe_enclave = SimulatedEnclave(ROOT)
+        # attach probe as enclave code of the same enclave
+        enclave._code["probe"] = probe  # test-only direct injection
+        assert enclave.call("probe") == 42
+
+    def test_unknown_entry_point(self, enclave):
+        with pytest.raises(SecurityError):
+            enclave.call("exfiltrate")
+
+
+class TestQuotes:
+    def test_quote_signature_binds_measurement_and_nonce(self, enclave):
+        quote = enclave.generate_quote(b"n" * 16)
+        assert quote.measurement == enclave.measurement
+        assert quote.nonce == b"n" * 16
+        assert quote.enclave_public_key == enclave.public_key
+
+    def test_short_nonce_rejected(self, enclave):
+        with pytest.raises(SecurityError):
+            enclave.generate_quote(b"abc")
+
+
+class TestLifecycle:
+    def test_destroy_wipes_everything(self, enclave):
+        enclave.call("store", "secret", 1)
+        enclave.destroy()
+        with pytest.raises(SecurityError):
+            enclave.call("load", "secret")
+        with pytest.raises(SecurityError):
+            enclave.generate_quote(b"n" * 16)
+
+    def test_short_root_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedEnclave(b"short")

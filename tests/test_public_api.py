@@ -1,0 +1,50 @@
+"""Top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+@pytest.mark.parametrize("module", [
+    "repro.common", "repro.data", "repro.clustering", "repro.ml",
+    "repro.fl", "repro.selection", "repro.core", "repro.tee",
+    "repro.metrics", "repro.experiments",
+])
+def test_subpackage_all_exports_resolve(module):
+    mod = importlib.import_module(module)
+    assert hasattr(mod, "__all__") and mod.__all__
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{module}.{name} missing"
+
+
+def test_quickstart_docstring_names_exist():
+    """The names used in the package docstring's quickstart are real."""
+    for name in ("build_federation", "FlipsSelector", "FederatedTrainer",
+                 "FLJobConfig", "make_algorithm", "make_model"):
+        assert hasattr(repro, name)
+
+
+@pytest.mark.parametrize("example", [
+    "quickstart", "ecg_arrhythmia", "private_clustering_tee",
+    "straggler_resilience", "algorithms_tour",
+])
+def test_examples_compile(example):
+    """Every shipped example at least parses and has a main()."""
+    import pathlib
+    path = pathlib.Path(__file__).resolve().parent.parent / "examples" / \
+        f"{example}.py"
+    source = path.read_text()
+    code = compile(source, str(path), "exec")
+    assert "main" in source
+    assert code is not None
