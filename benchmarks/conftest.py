@@ -11,6 +11,9 @@ Scale knobs (environment):
 * ``REPRO_BENCH_SEEDS``  — comma-separated seeds per cell (default
   ``0,1``; the paper averages 6 repetitions).
 * ``REPRO_BENCH_PRESET`` — ``bench`` (default) or ``paper`` (hours!).
+* ``REPRO_BENCH_BACKEND`` — client-execution backend for every bench FL
+  job: ``serial`` (default, bit-exact legacy semantics), ``parallel``
+  or ``batched`` (see :mod:`repro.fl.execution`).
 """
 
 from __future__ import annotations
@@ -36,6 +39,12 @@ def bench_seeds() -> tuple[int, ...]:
 @pytest.fixture(scope="session")
 def bench_preset() -> str:
     return os.environ.get("REPRO_BENCH_PRESET", "bench")
+
+
+@pytest.fixture(scope="session")
+def bench_backend() -> str:
+    """Execution backend every bench FL job should request."""
+    return os.environ.get("REPRO_BENCH_BACKEND", "serial")
 
 
 @pytest.fixture()

@@ -1,0 +1,157 @@
+"""Round-loop micro-benchmark: execution backends head to head.
+
+Times the full FL round loop on a 64-party federation with a
+16-per-round cohort under each execution backend and writes the numbers
+to ``BENCH_round_loop.json`` at the repo root, so every CI run leaves a
+perf trajectory point behind.
+
+Two workload shapes:
+
+* ``small_model`` — the bench preset's regime (softmax learner, large
+  test set): per-round evaluation and utility probing are a big slice of
+  wall-clock, which is exactly what the batched backend + amortized
+  evaluation attack.  Must show a speedup on any machine.
+* ``compute_bound`` — an MLP with real per-party training cost: the
+  regime the parallel backend targets.  Its ≥2× assertion is opt-in via
+  ``REPRO_BENCH_STRICT=1`` (shared runners and single-core boxes cannot
+  honour a hard wall-clock gate); the measurement is always recorded.
+
+Runs in seconds — safe for the tier-1 sweep; uses plain ``perf_counter``
+timing (median of three) rather than pytest-benchmark so the CI smoke
+job needs no plugins.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    build_federation_for,
+    run_experiment,
+)
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_JSON_PATH = _REPO_ROOT / "BENCH_round_loop.json"
+
+#: 64 parties, participation 0.25 → a 16-per-round cohort.
+_SMALL = ExperimentConfig(
+    dataset="ecg", selector="random", algorithm="fedavg",
+    n_parties=64, participation=0.25, rounds=20,
+    n_train=3200, n_test=8000, model="softmax",
+    local_epochs=2, batch_size=16)
+
+_COMPUTE = ExperimentConfig(
+    dataset="ecg", selector="random", algorithm="fedavg",
+    n_parties=64, participation=0.25, rounds=8,
+    n_train=12800, n_test=4000, model="mlp",
+    local_epochs=3, batch_size=32)
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _time(config: ExperimentConfig, repeats: int = 3) -> float:
+    """Median wall-clock seconds of ``run_experiment`` (cache-warm
+    federation, so only the round loop is measured)."""
+    build_federation_for(config)
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_experiment(config)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def _merge_json(section: str, payload: dict) -> None:
+    data = {}
+    if _JSON_PATH.exists():
+        data = json.loads(_JSON_PATH.read_text())
+    data["cpu_count"] = _cpus()
+    data.setdefault("workloads", {})[section] = payload
+    _JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_small_model_fast_path(report):
+    """Batched bookkeeping + amortized evaluation vs the serial loop."""
+    serial_s = _time(_SMALL)
+    batched_s = _time(_SMALL.with_overrides(backend="batched"))
+    fast = _SMALL.with_overrides(backend="batched", eval_every=5,
+                                 eval_subsample=512)
+    fast_s = _time(fast)
+
+    # Amortization must not disturb the final metric: training is
+    # evaluation-independent and the last round is scored exactly, so
+    # the fast path's final record matches a full-eval batched run.
+    full_eval = run_experiment(_SMALL.with_overrides(backend="batched"))
+    amortized = run_experiment(fast)
+    assert amortized.records[-1].balanced_accuracy == \
+        full_eval.records[-1].balanced_accuracy
+    assert amortized.records[-1].plain_accuracy == \
+        full_eval.records[-1].plain_accuracy
+
+    payload = {
+        "serial_s": serial_s,
+        "batched_s": batched_s,
+        "batched_amortized_s": fast_s,
+        "speedup_batched": serial_s / batched_s,
+        "speedup_fast": serial_s / fast_s,
+        "rounds": _SMALL.rounds,
+        "cohort": _SMALL.parties_per_round,
+    }
+    _merge_json("small_model", payload)
+    report("BENCH round_loop (small_model)",
+           json.dumps(payload, indent=2))
+    # Sanity floor, not a perf target: the real numbers live in the
+    # JSON artifact. Kept loose so shared-runner noise can't abort the
+    # tier-1 sweep (which runs this file under ``pytest -x``).
+    assert serial_s / fast_s >= 1.05, (
+        f"fast path only {serial_s / fast_s:.2f}x over serial")
+
+
+def test_compute_bound_parallel(report):
+    """Process-pool backend vs the serial loop on real training load."""
+    n_workers = min(4, _cpus())
+    serial_s = _time(_COMPUTE)
+    parallel_s = _time(_COMPUTE.with_overrides(backend="parallel",
+                                               n_workers=n_workers))
+
+    # Correctness first: identical histories regardless of backend.
+    a = run_experiment(_COMPUTE)
+    b = run_experiment(_COMPUTE.with_overrides(backend="parallel",
+                                               n_workers=n_workers))
+    assert np.array_equal(a.accuracy_series(), b.accuracy_series())
+    assert [r.round_duration for r in a.records] == \
+        [r.round_duration for r in b.records]
+
+    payload = {
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "n_workers": n_workers,
+        "speedup_parallel": serial_s / parallel_s,
+        "rounds": _COMPUTE.rounds,
+        "cohort": _COMPUTE.parties_per_round,
+    }
+    _merge_json("compute_bound", payload)
+    report("BENCH round_loop (compute_bound)",
+           json.dumps(payload, indent=2))
+
+    # The >=2x wall-clock gate needs idle multi-core hardware; shared
+    # CI runners and laptops under load flake on it, so it is opt-in
+    # (the measured numbers always land in BENCH_round_loop.json).
+    if not os.environ.get("REPRO_BENCH_STRICT"):
+        pytest.skip(f"parallel speedup {serial_s / parallel_s:.2f}x with "
+                    f"{n_workers} workers on {_cpus()} CPU(s) recorded; "
+                    "set REPRO_BENCH_STRICT=1 on idle multi-core "
+                    "hardware to enforce the >=2x gate")
+    assert serial_s / parallel_s >= 2.0, (
+        f"parallel only {serial_s / parallel_s:.2f}x over serial "
+        f"with {n_workers} workers")

@@ -6,5 +6,7 @@ from benchmarks.test_tables_fedyogi import _run_table
 
 
 @pytest.mark.parametrize("number", range(17, 25))
-def test_table(number, bench_seeds, bench_preset, report, benchmark):
-    _run_table(number, bench_seeds, bench_preset, report, benchmark)
+def test_table(number, bench_seeds, bench_preset, bench_backend, report,
+               benchmark):
+    _run_table(number, bench_seeds, bench_preset, report, benchmark,
+               backend=bench_backend)

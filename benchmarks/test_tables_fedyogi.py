@@ -10,11 +10,13 @@ import pytest
 from repro.experiments import TABLE_INDEX, format_table, generate_table
 
 
-def _run_table(number, seeds, preset, report, benchmark):
+def _run_table(number, seeds, preset, report, benchmark,
+               backend="serial"):
     spec = TABLE_INDEX[number]
 
     def build():
-        return generate_table(spec, preset=preset, seeds=seeds)
+        return generate_table(spec, preset=preset, seeds=seeds,
+                              backend=backend)
 
     result = benchmark.pedantic(build, rounds=1, iterations=1)
     report(f"Table {number}", format_table(result))
@@ -36,5 +38,7 @@ def _run_table(number, seeds, preset, report, benchmark):
 
 
 @pytest.mark.parametrize("number", range(1, 9))
-def test_table(number, bench_seeds, bench_preset, report, benchmark):
-    _run_table(number, bench_seeds, bench_preset, report, benchmark)
+def test_table(number, bench_seeds, bench_preset, bench_backend, report,
+               benchmark):
+    _run_table(number, bench_seeds, bench_preset, report, benchmark,
+               backend=bench_backend)

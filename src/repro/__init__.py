@@ -40,6 +40,8 @@ from repro.fl import (
     LocalTrainingConfig,
     TrainingHistory,
     make_algorithm,
+    make_evaluation_policy,
+    make_executor,
     make_straggler_model,
 )
 from repro.metrics import balanced_accuracy, peak_accuracy, rounds_to_target
@@ -72,6 +74,8 @@ __all__ = [
     "balanced_accuracy",
     "build_federation",
     "make_algorithm",
+    "make_evaluation_policy",
+    "make_executor",
     "make_model",
     "make_straggler_model",
     "peak_accuracy",

@@ -8,7 +8,9 @@ draws from an independent stream.
 """
 
 from repro.common.exceptions import (
+    CommunicationError,
     ConfigurationError,
+    ExecutionError,
     NotFittedError,
     ReproError,
     SecurityError,
@@ -21,7 +23,9 @@ from repro.common.validation import (
 )
 
 __all__ = [
+    "CommunicationError",
     "ConfigurationError",
+    "ExecutionError",
     "NotFittedError",
     "ReproError",
     "RngFabric",

@@ -32,3 +32,11 @@ class SecurityError(ReproError, RuntimeError):
 
 class CommunicationError(ReproError, RuntimeError):
     """A simulated network transfer failed (e.g. to a dropped party)."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """An execution backend failed to produce a round's updates.
+
+    Raised e.g. when a parallel worker process dies mid-round or an
+    executor is asked to run before being bound to a job.
+    """

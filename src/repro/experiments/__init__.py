@@ -9,6 +9,7 @@ wrappers that call these generators and print the results.
 """
 
 from repro.experiments.config import (
+    BACKENDS,
     BENCH_TARGETS,
     ExperimentConfig,
     bench_config,
@@ -20,6 +21,7 @@ from repro.experiments.runner import (
     build_selector,
     clear_cache,
     mean_accuracy_series,
+    mean_loss_series,
     run_cached,
     run_experiment,
     run_repeated,
@@ -40,6 +42,7 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BENCH_TARGETS",
     "ExperimentConfig",
     "FigureResult",
@@ -56,6 +59,7 @@ __all__ = [
     "format_table",
     "generate_table",
     "mean_accuracy_series",
+    "mean_loss_series",
     "paper_config",
     "run_cached",
     "run_experiment",

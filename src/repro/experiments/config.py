@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 from repro.common.exceptions import ConfigurationError
 
 __all__ = [
+    "BACKENDS",
     "BENCH_TARGETS",
     "ExperimentConfig",
     "bench_config",
@@ -30,6 +31,7 @@ __all__ = [
 SELECTORS = ("random", "flips", "oort", "grad_cls", "tifl",
              "power_of_choice")
 DATASETS = ("ecg", "skin", "femnist", "fashion")
+BACKENDS = ("serial", "parallel", "batched")
 
 #: Target balanced accuracies for the "rounds to target" tables, per
 #: preset.  The paper's absolute targets (60 % for ECG/HAM, 80 % for
@@ -77,6 +79,12 @@ class ExperimentConfig:
     flips_k: int | None = None
     target_accuracy: float = 0.6
 
+    # execution backend + evaluation amortization
+    backend: str = "serial"
+    n_workers: int | None = None
+    eval_every: int = 1
+    eval_subsample: int | None = None
+
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:
             raise ConfigurationError(
@@ -90,6 +98,18 @@ class ExperimentConfig:
             raise ConfigurationError("straggler_rate must be in [0, 1)")
         if self.rounds < 1 or self.n_parties < 2:
             raise ConfigurationError("rounds >= 1 and n_parties >= 2 required")
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        if self.n_workers is not None and (
+                self.backend != "parallel" or self.n_workers < 1):
+            raise ConfigurationError(
+                "n_workers requires backend='parallel' and must be >= 1")
+        if self.eval_every < 1:
+            raise ConfigurationError("eval_every must be >= 1")
+        if self.eval_subsample is not None and self.eval_subsample < 1:
+            raise ConfigurationError(
+                "eval_subsample must be >= 1 or None")
 
     @property
     def parties_per_round(self) -> int:
@@ -110,7 +130,8 @@ class ExperimentConfig:
                 self.n_parties, self.n_train, self.n_test, self.rounds,
                 self.model, self.mode, self.partition, self.local_epochs,
                 self.batch_size, self.learning_rate, self.lr_decay,
-                self.lr_decay_every, self.flips_k, self.server_lr)
+                self.lr_decay_every, self.flips_k, self.server_lr,
+                self.backend, self.eval_every, self.eval_subsample)
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         return replace(self, **kwargs)

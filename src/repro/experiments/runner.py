@@ -19,6 +19,8 @@ from repro.core.flips import FlipsSelector
 from repro.data.federated import FederatedDataset, build_federation
 from repro.experiments.config import ExperimentConfig
 from repro.fl.engine import FederatedTrainer, FLJobConfig
+from repro.fl.evaluation import make_evaluation_policy
+from repro.fl.execution import make_executor
 from repro.fl.history import TrainingHistory
 from repro.fl.party import LocalTrainingConfig
 from repro.fl.algorithms import make_algorithm
@@ -38,6 +40,7 @@ __all__ = [
     "build_selector",
     "clear_cache",
     "mean_accuracy_series",
+    "mean_loss_series",
     "run_cached",
     "run_experiment",
     "run_repeated",
@@ -90,7 +93,13 @@ def build_selector(config: ExperimentConfig,
 
 
 def run_experiment(config: ExperimentConfig) -> TrainingHistory:
-    """Run one FL job exactly as configured (no caching)."""
+    """Run one FL job exactly as configured (no caching).
+
+    ``config.backend`` picks the client-execution backend ("serial" —
+    the bit-exact default —, "parallel" or "batched");
+    ``config.eval_every`` / ``config.eval_subsample`` amortize global
+    evaluation (the final round is always scored exactly).
+    """
     federation = build_federation_for(config)
     model = make_model(config.model,
                        federation.parties[0].feature_shape,
@@ -118,7 +127,11 @@ def run_experiment(config: ExperimentConfig) -> TrainingHistory:
     )
     trainer = FederatedTrainer(
         federation, model, algorithm, strategy, job,
-        straggler_model=make_straggler_model(config.straggler_rate))
+        straggler_model=make_straggler_model(config.straggler_rate),
+        executor=make_executor(config.backend, n_workers=config.n_workers),
+        eval_policy=make_evaluation_policy(
+            eval_every=config.eval_every,
+            subsample=config.eval_subsample))
     return trainer.run()
 
 
@@ -162,3 +175,25 @@ def mean_accuracy_series(histories: "list[TrainingHistory]") -> np.ndarray:
         raise ConfigurationError("histories are empty")
     return np.mean([h.accuracy_series()[:length] for h in histories],
                    axis=0)
+
+
+def mean_loss_series(histories: "list[TrainingHistory]") -> np.ndarray:
+    """Round-wise mean training loss across repetitions, NaN-safe.
+
+    All-straggler rounds contribute ``NaN`` to a history's loss series;
+    this averages over the repetitions that *did* aggregate updates in
+    each round (without the ``RuntimeWarning`` ``np.nanmean`` emits on
+    all-NaN slices) and yields ``NaN`` only where no repetition did.
+    """
+    if not histories:
+        raise ConfigurationError("need at least one history")
+    length = min(len(h) for h in histories)
+    if length == 0:
+        raise ConfigurationError("histories are empty")
+    stacked = np.array([h.loss_series()[:length] for h in histories])
+    finite = np.isfinite(stacked)
+    counts = finite.sum(axis=0)
+    sums = np.where(finite, stacked, 0.0).sum(axis=0)
+    out = np.full(length, np.nan)
+    np.divide(sums, counts, out=out, where=counts > 0)
+    return out

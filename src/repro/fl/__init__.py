@@ -22,6 +22,23 @@ from repro.fl.algorithms import (
 )
 from repro.fl.comm import CommunicationTracker
 from repro.fl.engine import FederatedTrainer, FLJobConfig
+from repro.fl.evaluation import (
+    AmortizedEvaluation,
+    EvalResult,
+    EvaluationPolicy,
+    FullEvaluation,
+    make_evaluation_policy,
+)
+from repro.fl.execution import (
+    EXECUTOR_REGISTRY,
+    BatchedExecutor,
+    ClientExecutor,
+    ExecutionContext,
+    ParallelExecutor,
+    RoundPlan,
+    SerialExecutor,
+    make_executor,
+)
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.party import LocalTrainingConfig, Party
 from repro.fl.straggler import (
@@ -36,11 +53,19 @@ from repro.fl.updates import ModelUpdate
 
 __all__ = [
     "ALGORITHM_REGISTRY",
+    "AmortizedEvaluation",
+    "BatchedExecutor",
     "BernoulliStragglers",
+    "ClientExecutor",
     "CommunicationTracker",
+    "EXECUTOR_REGISTRY",
+    "EvalResult",
+    "EvaluationPolicy",
     "ExactFractionStragglers",
+    "ExecutionContext",
     "FLAlgorithm",
     "FLJobConfig",
+    "FullEvaluation",
     "FedAdagradServer",
     "FedAdamServer",
     "FedAvgServer",
@@ -50,13 +75,18 @@ __all__ = [
     "LocalTrainingConfig",
     "ModelUpdate",
     "NoStragglers",
+    "ParallelExecutor",
     "Party",
+    "RoundPlan",
     "RoundRecord",
+    "SerialExecutor",
     "ServerOptimizer",
     "SlowDeviceStragglers",
     "StragglerModel",
     "TrainingHistory",
     "make_algorithm",
+    "make_evaluation_policy",
+    "make_executor",
     "make_straggler_model",
     "weighted_mean_delta",
 ]

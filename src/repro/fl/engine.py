@@ -7,10 +7,22 @@ model, and drives the job:
     select cohort → broadcast model → local training (minus stragglers)
     → aggregate → evaluate on the global test set → report to selector.
 
+Each round is decomposed into explicit phases so the middle — client
+execution — is a pluggable backend (:mod:`repro.fl.execution`) and
+evaluation is a policy (:mod:`repro.fl.evaluation`):
+
+    plan_round()  → RoundPlan        (selection + straggler draw)
+    executor      → [ModelUpdate]    (serial / parallel / batched)
+    _aggregate()  → new global model
+    eval policy   → EvalResult       (full / amortized)
+    _record()     → RoundRecord + RoundOutcome feedback
+
 Design notes
 ------------
-* A single model object is lent to each party in turn, so memory stays
-  flat regardless of federation size.
+* With the default :class:`~repro.fl.execution.SerialExecutor`, a single
+  model object is lent to each party in turn, so memory stays flat
+  regardless of federation size; histories are bit-for-bit identical to
+  the pre-backend engine.
 * The straggler draw happens *after* selection and is invisible to the
   strategy until ``report_round`` — matching the paper's emulation.
 * Dropped parties never run local training (their compute is wasted in
@@ -18,7 +30,8 @@ Design notes
   bandwidth, which the tracker meters.
 * When every cohort member straggles, the round is recorded with the
   previous model (no aggregation), exactly like a real aggregator timing
-  out.
+  out — and its duration is the simulated timeout (the deadline factor
+  times the slowest cohort member's expected latency), not zero.
 """
 
 from __future__ import annotations
@@ -32,15 +45,17 @@ from repro.common.rng import RngFabric
 from repro.data.federated import FederatedDataset
 from repro.fl.algorithms import FLAlgorithm
 from repro.fl.comm import CommunicationTracker
+from repro.fl.evaluation import EvaluationPolicy, FullEvaluation
+from repro.fl.execution import (
+    ClientExecutor,
+    ExecutionContext,
+    RoundPlan,
+    SerialExecutor,
+)
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.party import LocalTrainingConfig, Party
 from repro.fl.straggler import NoStragglers, StragglerModel
 from repro.fl.updates import ModelUpdate
-from repro.metrics.accuracy import (
-    balanced_accuracy,
-    per_label_recall,
-    plain_accuracy,
-)
 from repro.ml.models import Model
 from repro.selection.base import (
     RoundOutcome,
@@ -87,13 +102,26 @@ class FLJobConfig:
 
 
 class FederatedTrainer:
-    """Runs a full FL job and returns its :class:`TrainingHistory`."""
+    """Runs a full FL job and returns its :class:`TrainingHistory`.
+
+    Parameters beyond the pre-backend signature:
+
+    executor:
+        Client-execution backend; default
+        :class:`~repro.fl.execution.SerialExecutor` (legacy semantics).
+    eval_policy:
+        Evaluation policy; default
+        :class:`~repro.fl.evaluation.FullEvaluation` (every round, full
+        test set).
+    """
 
     def __init__(self, federation: FederatedDataset, model: Model,
                  algorithm: FLAlgorithm, strategy: SelectionStrategy,
                  config: FLJobConfig,
                  straggler_model: StragglerModel | None = None,
-                 compute_speeds: np.ndarray | None = None) -> None:
+                 compute_speeds: np.ndarray | None = None,
+                 executor: ClientExecutor | None = None,
+                 eval_policy: EvaluationPolicy | None = None) -> None:
         if config.parties_per_round > federation.n_parties:
             raise ConfigurationError(
                 f"parties_per_round={config.parties_per_round} exceeds "
@@ -104,6 +132,8 @@ class FederatedTrainer:
         self.strategy = strategy
         self.config = config
         self.straggler_model = straggler_model or NoStragglers()
+        self.executor = executor or SerialExecutor()
+        self.eval_policy = eval_policy or FullEvaluation()
 
         fabric = RngFabric(config.seed)
         self._rng_select = fabric.generator("selector")
@@ -138,70 +168,96 @@ class FederatedTrainer:
             seed=config.seed,
         ))
 
-    # -- one round ---------------------------------------------------------
-    def _run_round(self, round_index: int,
-                   history: TrainingHistory) -> None:
-        cohort = self.strategy._validate_selection(
-            self.strategy.select(round_index,
-                                 self.config.parties_per_round,
-                                 self._rng_select))
+    # -- phase 1: planning -------------------------------------------------
+    def plan_round(self, round_index: int) -> RoundPlan:
+        """Selection + straggler draw: everything decided before any
+        client computes."""
+        cohort = self.strategy.validated_select(
+            round_index, self.config.parties_per_round, self._rng_select)
         if not cohort:
             raise ConfigurationError(
                 f"{self.strategy.name} returned an empty cohort")
-
         dropped = self.straggler_model.draw(cohort, round_index,
                                             self._rng_straggle)
-        received_ids = [p for p in cohort if p not in dropped]
+        return RoundPlan(
+            round_index=round_index,
+            cohort=tuple(cohort),
+            stragglers=tuple(sorted(dropped)),
+            local_config=self._local_config)
 
-        round_start_parameters = self.global_parameters
-        updates: list[ModelUpdate] = []
-        for party_id in received_ids:
-            updates.append(self.parties[party_id].local_train(
-                self.model, self.global_parameters,
-                self._local_config, round_index))
-
+    # -- phase 3: aggregation ----------------------------------------------
+    def _aggregate(self, updates: "list[ModelUpdate]") -> None:
+        """Fold received updates into the global model (no-op when every
+        cohort member straggled)."""
         if updates:
             self.global_parameters = self.algorithm.server.step(
                 self.global_parameters, updates)
 
+    # -- phase 5: bookkeeping ----------------------------------------------
+    def _round_duration(self, plan: RoundPlan,
+                        latencies: "dict[int, float]") -> float:
+        """Simulated wall time of one round.
+
+        A clean round lasts as long as its slowest reporting party; any
+        straggler stretches it to the aggregator's deadline.  When *every*
+        member straggles the aggregator still waits out its timeout, so
+        the round costs the deadline factor times the slowest cohort
+        member's expected latency.
+
+        The two branches use different deadline bases — observed
+        latencies of *received* updates vs jitter-free *expected*
+        latency of the whole cohort — so durations can jump when a
+        round flips between one and zero received updates.  The partial
+        branch is the pre-backend engine's formula, kept verbatim for
+        bit-exact histories; unifying both on the expected-latency
+        deadline is a deliberate follow-up, not an oversight.
+        """
+        if latencies:
+            duration = max(latencies.values())
+            if plan.stragglers:
+                duration *= _DEADLINE_FACTOR
+            return duration
+        return _DEADLINE_FACTOR * max(
+            self.parties[p].expected_latency(plan.local_config)
+            for p in plan.cohort)
+
+    # -- one round ---------------------------------------------------------
+    def _run_round(self, round_index: int,
+                   history: TrainingHistory) -> None:
+        plan = self.plan_round(round_index)
+        round_start_parameters = self.global_parameters
+
+        updates = self.executor.execute(plan, self.global_parameters)
+        self._aggregate(updates)
+
         comm_bytes = self.comm.record_round(
-            n_downloads=len(cohort), n_uploads=len(updates))
+            n_downloads=len(plan.cohort), n_uploads=len(updates))
 
         # Evaluate the (possibly unchanged) global model.
-        self.model.set_parameters(self.global_parameters)
-        test = self.federation.test
-        predictions = self.model.predict(test.x)
-        bal_acc = balanced_accuracy(test.y, predictions, test.num_classes)
-        acc = plain_accuracy(test.y, predictions)
-        recall = per_label_recall(test.y, predictions, test.num_classes)
+        evaluation = self.eval_policy.evaluate(round_index,
+                                               self.global_parameters)
 
         latencies = {u.party_id: u.latency for u in updates}
-        if updates:
-            duration = max(latencies.values())
-            if dropped:
-                duration *= _DEADLINE_FACTOR
-        else:
-            duration = 0.0
-
         history.append(RoundRecord(
             round_index=round_index,
-            cohort=tuple(cohort),
+            cohort=plan.cohort,
             received=tuple(u.party_id for u in updates),
-            stragglers=tuple(sorted(dropped)),
-            balanced_accuracy=bal_acc,
-            plain_accuracy=acc,
-            per_label_recall=tuple(np.nan_to_num(recall, nan=0.0)),
+            stragglers=plan.stragglers,
+            balanced_accuracy=evaluation.balanced_accuracy,
+            plain_accuracy=evaluation.plain_accuracy,
+            per_label_recall=tuple(np.nan_to_num(
+                evaluation.per_label_recall, nan=0.0)),
             mean_train_loss=float(np.mean(
                 [u.train_loss for u in updates])) if updates else float("nan"),
             comm_bytes=comm_bytes,
-            round_duration=duration,
+            round_duration=self._round_duration(plan, latencies),
         ))
 
         outcome = RoundOutcome(
             round_index=round_index,
-            cohort=tuple(cohort),
+            cohort=plan.cohort,
             received=tuple(u.party_id for u in updates),
-            stragglers=tuple(sorted(dropped)),
+            stragglers=plan.stragglers,
             train_losses={u.party_id: u.train_loss for u in updates},
             loss_sq_sums={u.party_id: u.loss_sq_sum for u in updates},
             loss_counts={u.party_id: u.loss_count for u in updates},
@@ -210,7 +266,11 @@ class FederatedTrainer:
                 {u.party_id: u.delta(round_start_parameters)
                  for u in updates}
                 if self.strategy.wants_update_vectors else {}),
-            global_accuracy=bal_acc,
+            # Carried-forward rounds made no new measurement: report
+            # None (strategies like TiFL skip their accuracy update)
+            # rather than re-feeding a stale value into their state.
+            global_accuracy=(evaluation.balanced_accuracy
+                             if evaluation.fresh else None),
         )
         self.strategy.report_round(outcome)
 
@@ -221,6 +281,19 @@ class FederatedTrainer:
             job_name=(f"{self.federation.name}/{self.algorithm.name}"
                       f"/{self.strategy.name}"),
             parties_per_round=self.config.parties_per_round)
-        for round_index in range(1, self.config.rounds + 1):
-            self._run_round(round_index, history)
+        self.executor.bind(ExecutionContext(
+            parties=self.parties,
+            model=self.model,
+            local_config=self._local_config,
+            seed=self.config.seed,
+            collect_loss_stats=getattr(
+                self.strategy, "wants_loss_statistics", True)))
+        self.eval_policy.bind(self.model, self.federation.test,
+                              total_rounds=self.config.rounds,
+                              seed=self.config.seed)
+        try:
+            for round_index in range(1, self.config.rounds + 1):
+                self._run_round(round_index, history)
+        finally:
+            self.executor.close()
         return history

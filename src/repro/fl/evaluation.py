@@ -1,0 +1,249 @@
+"""Evaluation policies: when and how the global model is scored.
+
+Scoring the global model against the full held-out test set every round
+is exact but, for the small models the bench preset uses, it dominates
+wall-clock time — a softmax round trains a handful of small parties yet
+predicts over the whole test set.  An :class:`EvaluationPolicy` makes
+that trade-off explicit:
+
+* :class:`FullEvaluation` — every round, full test set.  Bit-identical
+  to the pre-policy engine and therefore the default.
+* :class:`AmortizedEvaluation` — score only every ``eval_every``-th
+  round, optionally against a fixed subsample of the test set, and
+  carry the last measurement forward in between.  The **final** round is
+  always scored exactly (full test set), so end-of-job metrics — peak
+  tables aside — are unaffected by the amortization.
+
+Policies are single-job objects: the engine binds one per run and calls
+``evaluate`` once per round with the post-aggregation parameters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError, NotFittedError
+from repro.common.rng import RngFabric
+from repro.data.dataset import Dataset
+from repro.metrics.accuracy import (
+    balanced_accuracy,
+    per_label_recall,
+    plain_accuracy,
+)
+from repro.ml.models import Model
+
+__all__ = [
+    "AmortizedEvaluation",
+    "EvalResult",
+    "EvaluationPolicy",
+    "FullEvaluation",
+    "make_evaluation_policy",
+]
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """One round's view of global-model quality.
+
+    ``fresh`` is False when the numbers are carried forward from an
+    earlier round (amortized policies); ``exact`` is True when they come
+    from a full-test-set evaluation rather than a subsample.
+    """
+
+    balanced_accuracy: float
+    plain_accuracy: float
+    per_label_recall: np.ndarray
+    fresh: bool = True
+    exact: bool = True
+
+
+class EvaluationPolicy(ABC):
+    """Decides per round whether/how to score the global model."""
+
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._model: Model | None = None
+        self._test: Dataset | None = None
+        self._total_rounds = 0
+
+    def bind(self, model: Model, test: Dataset, total_rounds: int,
+             seed: int = 0) -> None:
+        """Attach to one FL job; called by the engine before round 1."""
+        self._model = model
+        self._test = test
+        self._total_rounds = int(total_rounds)
+
+    def _score(self, parameters: np.ndarray, x: np.ndarray,
+               y: np.ndarray, *, fresh: bool = True,
+               exact: bool = True) -> EvalResult:
+        if self._model is None or self._test is None:
+            raise NotFittedError(
+                f"{type(self).__name__} used before bind()")
+        self._model.set_parameters(parameters)
+        predictions = self._model.predict(x)
+        classes = self._test.num_classes
+        return EvalResult(
+            balanced_accuracy=balanced_accuracy(y, predictions, classes),
+            plain_accuracy=plain_accuracy(y, predictions),
+            per_label_recall=per_label_recall(y, predictions, classes),
+            fresh=fresh, exact=exact)
+
+    @abstractmethod
+    def evaluate(self, round_index: int,
+                 parameters: np.ndarray) -> EvalResult:
+        """Score (or carry forward) the global model after aggregation."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FullEvaluation(EvaluationPolicy):
+    """Exact evaluation on the full test set, every round (default)."""
+
+    name = "full"
+
+    def evaluate(self, round_index: int,
+                 parameters: np.ndarray) -> EvalResult:
+        test = self._test
+        if test is None:
+            raise NotFittedError("FullEvaluation used before bind()")
+        return self._score(parameters, test.x, test.y)
+
+
+class AmortizedEvaluation(EvaluationPolicy):
+    """Subsampled, periodic evaluation with an exact final round.
+
+    Parameters
+    ----------
+    eval_every:
+        Score the model on rounds 1, 1+eval_every, 1+2·eval_every, ...;
+        in between, the previous measurement is carried forward (marked
+        ``fresh=False``).
+    subsample:
+        If set, periodic evaluations use this many test examples, drawn
+        once per job from a dedicated seeded stream so the series stays
+        comparable across rounds.  The draw is label-stratified —
+        proportional per class with at least one example of every class
+        present in the test set — so rare labels never vanish from the
+        subsample and balanced accuracy / per-label recall stay
+        meaningful between exact evaluations.  ``None`` keeps the full
+        test set.
+
+    The final round always runs an exact full-test-set evaluation.
+    Local training never reads evaluation results, so for selection
+    strategies that ignore the reported global accuracy (all shipped
+    strategies except TiFL) the trajectory — and hence the exact final
+    metrics — matches :class:`FullEvaluation` bit-for-bit.  Strategies
+    that *do* condition on it (TiFL's tier-accuracy EMAs) observe the
+    amortized signal instead: fresh rounds report the (possibly
+    subsampled) measurement and carried rounds report no measurement at
+    all (``global_accuracy=None``), exactly as a real aggregator that
+    skipped evaluation would — their selections, and thus the final
+    model, may legitimately differ from an evaluate-every-round run.
+    """
+
+    name = "amortized"
+
+    def __init__(self, eval_every: int = 5,
+                 subsample: int | None = None) -> None:
+        super().__init__()
+        if eval_every < 1:
+            raise ConfigurationError("eval_every must be >= 1")
+        if subsample is not None and subsample < 1:
+            raise ConfigurationError("subsample must be >= 1 or None")
+        self.eval_every = int(eval_every)
+        self.subsample = subsample
+        self._subset: np.ndarray | None = None
+        self._last: EvalResult | None = None
+
+    def bind(self, model: Model, test: Dataset, total_rounds: int,
+             seed: int = 0) -> None:
+        super().bind(model, test, total_rounds, seed)
+        self._last = None
+        self._subset = None
+        if self.subsample is not None and self.subsample < len(test):
+            rng = RngFabric(seed).generator("eval-subsample")
+            self._subset = self._stratified_subset(test, self.subsample,
+                                                   rng)
+
+    @staticmethod
+    def _stratified_subset(test: Dataset, size: int,
+                           rng: np.random.Generator) -> np.ndarray:
+        """Per-label proportional draw with every present label kept.
+
+        A uniform draw of a few hundred examples can easily miss a
+        rare class entirely, which would zero its recall and bias
+        balanced accuracy in every amortized round; stratifying keeps
+        the subsampled series an unbiased miniature of the full one.
+        """
+        labels = np.unique(test.y)
+        if size < len(labels):
+            size = len(labels)
+        pools = {label: np.flatnonzero(test.y == label)
+                 for label in labels}
+        quotas = {
+            label: max(1, int(round(size * len(pools[label])
+                                    / len(test))))
+            for label in labels}
+        # Fix proportional rounding drift: trim overshoot from (or top
+        # up undershoot in) the biggest classes so the subsample is
+        # exactly ``size`` examples whenever the test set allows it.
+        while sum(quotas.values()) > size:
+            biggest = max(quotas, key=lambda lb: quotas[lb])
+            if quotas[biggest] <= 1:
+                break
+            quotas[biggest] -= 1
+        while sum(quotas.values()) < size:
+            headroom = [lb for lb in labels
+                        if quotas[lb] < len(pools[lb])]
+            if not headroom:
+                break
+            biggest = max(headroom, key=lambda lb: len(pools[lb]))
+            quotas[biggest] += 1
+        picks = [
+            rng.choice(pools[label],
+                       size=min(quotas[label], len(pools[label])),
+                       replace=False)
+            for label in labels]
+        return np.sort(np.concatenate(picks))
+
+    def evaluate(self, round_index: int,
+                 parameters: np.ndarray) -> EvalResult:
+        test = self._test
+        if test is None:
+            raise NotFittedError("AmortizedEvaluation used before bind()")
+        final = round_index >= self._total_rounds
+        if final:
+            result = self._score(parameters, test.x, test.y)
+        elif (round_index - 1) % self.eval_every == 0 or self._last is None:
+            if self._subset is None:
+                result = self._score(parameters, test.x, test.y)
+            else:
+                result = self._score(parameters, test.x[self._subset],
+                                     test.y[self._subset], exact=False)
+        else:
+            last = self._last
+            result = EvalResult(
+                balanced_accuracy=last.balanced_accuracy,
+                plain_accuracy=last.plain_accuracy,
+                per_label_recall=last.per_label_recall,
+                fresh=False, exact=last.exact)
+        self._last = result
+        return result
+
+    def __repr__(self) -> str:
+        return (f"AmortizedEvaluation(eval_every={self.eval_every}, "
+                f"subsample={self.subsample})")
+
+
+def make_evaluation_policy(eval_every: int = 1,
+                           subsample: int | None = None,
+                           ) -> EvaluationPolicy:
+    """Policy from config scalars: (1, None) → exact every-round eval."""
+    if eval_every == 1 and subsample is None:
+        return FullEvaluation()
+    return AmortizedEvaluation(eval_every=eval_every, subsample=subsample)

@@ -1,0 +1,391 @@
+"""Pluggable client-execution backends for the FL round loop.
+
+Algorithm 1's middle phase — "each cohort member trains locally and
+uploads an update" — is pure fan-out: every party's result depends only
+on the round's global model and that party's own private state.  This
+module makes the fan-out an explicit, swappable layer:
+
+* the engine produces a :class:`RoundPlan` (cohort, straggler draw,
+  local hyperparameters),
+* a :class:`ClientExecutor` turns the plan into
+  :class:`~repro.fl.updates.ModelUpdate`\\ s,
+* the engine aggregates, evaluates and reports as before.
+
+Three executors ship here:
+
+:class:`SerialExecutor`
+    Today's model-lending semantics: one shared model object, parties
+    trained one after another in cohort order.  Bit-for-bit identical to
+    the pre-refactor round loop and therefore the default.
+
+:class:`ParallelExecutor`
+    A pool of persistent worker processes.  Each worker owns a fixed
+    partition of the parties (``party_id % n_workers``) and a private
+    model replica, so every party's RNG stream, FedDyn state and batch
+    order evolve exactly as they would serially — results are
+    deterministic and match :class:`SerialExecutor` for models without
+    stochastic layers (dropout advances a model-level stream and is the
+    one documented exception).
+
+:class:`BatchedExecutor`
+    A single-process fast path that keeps the shared-model training loop
+    but vectorizes the per-party bookkeeping: latency jitter is drawn in
+    one vectorized call from a dedicated stream, and the per-sample-loss
+    probe (Oort's utility signal) is skipped entirely when the selection
+    strategy does not consume it.  Deterministic per seed, but *not*
+    bit-identical to the serial backend (different RNG stream layout).
+
+Executors are single-job objects: ``bind`` once against a trainer's
+:class:`ExecutionContext`, ``execute`` once per round, ``close`` at job
+end (the engine does all three).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError, ExecutionError
+from repro.common.rng import RngFabric
+from repro.fl.party import (
+    LATENCY_JITTER_SIGMA,
+    LocalTrainingConfig,
+    Party,
+)
+from repro.fl.updates import ModelUpdate
+from repro.ml.models import Model
+
+__all__ = [
+    "EXECUTOR_REGISTRY",
+    "BatchedExecutor",
+    "ClientExecutor",
+    "ExecutionContext",
+    "ParallelExecutor",
+    "RoundPlan",
+    "SerialExecutor",
+    "make_executor",
+]
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """One round's worth of decisions, fixed before any client runs.
+
+    The plan captures everything the selection and straggler phases
+    decided: who was asked to train (``cohort``, in selection order), who
+    will fail to report (``stragglers``), and the local hyperparameters
+    in force.  Executors only ever see plans — they make no decisions.
+    """
+
+    round_index: int
+    cohort: tuple[int, ...]
+    stragglers: tuple[int, ...]
+    local_config: LocalTrainingConfig
+
+    def __post_init__(self) -> None:
+        if self.round_index < 1:
+            raise ConfigurationError("round_index must be >= 1")
+        if not self.cohort:
+            raise ConfigurationError("a round plan needs a non-empty cohort")
+        unknown = set(self.stragglers) - set(self.cohort)
+        if unknown:
+            raise ConfigurationError(
+                f"stragglers {sorted(unknown)} are not cohort members")
+
+    @property
+    def participants(self) -> tuple[int, ...]:
+        """Cohort members expected to report, in cohort order."""
+        dropped = set(self.stragglers)
+        return tuple(p for p in self.cohort if p not in dropped)
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """What a trainer hands an executor at bind time.
+
+    ``collect_loss_stats`` reflects whether the job's selection strategy
+    consumes the per-sample-loss statistics (Oort's utility signal);
+    fast-path executors may skip the probe when it is False.  The serial
+    backend always collects, preserving bit-exact legacy behaviour.
+    """
+
+    parties: "list[Party]" = field(repr=False)
+    model: Model = field(repr=False)
+    local_config: LocalTrainingConfig = field(repr=False)
+    seed: int = 0
+    collect_loss_stats: bool = True
+
+
+class ClientExecutor(ABC):
+    """Turns a :class:`RoundPlan` into the round's model updates."""
+
+    #: registry / config name ("serial", "parallel", "batched")
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._ctx: ExecutionContext | None = None
+
+    @property
+    def context(self) -> ExecutionContext:
+        if self._ctx is None:
+            raise ExecutionError(
+                f"{type(self).__name__} used before bind()")
+        return self._ctx
+
+    def bind(self, ctx: ExecutionContext) -> None:
+        """Attach to one FL job; called by the engine before round 1."""
+        self._ctx = ctx
+
+    @abstractmethod
+    def execute(self, plan: RoundPlan,
+                global_parameters: np.ndarray) -> "list[ModelUpdate]":
+        """Run local training for ``plan.participants``.
+
+        Must return one update per participant, **in participant order**
+        — aggregation folds updates in a floating-point-sensitive order,
+        so executors may not reorder them.
+        """
+
+    def close(self) -> None:
+        """Release executor resources; called by the engine at job end."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(ClientExecutor):
+    """The legacy in-process backend: lend one shared model to each
+    participant in turn.  Memory stays flat regardless of federation
+    size, and every RNG draw happens in the exact order the pre-backend
+    engine made it — histories are bit-for-bit reproductions."""
+
+    name = "serial"
+
+    def execute(self, plan: RoundPlan,
+                global_parameters: np.ndarray) -> "list[ModelUpdate]":
+        ctx = self.context
+        return [
+            ctx.parties[party_id].local_train(
+                ctx.model, global_parameters, plan.local_config,
+                plan.round_index)
+            for party_id in plan.participants]
+
+
+class BatchedExecutor(ClientExecutor):
+    """Single-process fast path with amortized per-party bookkeeping.
+
+    Training still lends the shared model serially (numpy saturates one
+    core per party anyway), but the simulation bookkeeping around it is
+    batched: all latency jitters of a round are drawn in one vectorized
+    lognormal call from a dedicated ``executor-latency`` stream, and the
+    per-sample-loss probe — a full extra forward pass over up to 256
+    samples per party — runs only when the strategy consumes it.
+
+    Deterministic per seed; not bit-identical to :class:`SerialExecutor`
+    because the jitter draws move to a different stream.
+    """
+
+    name = "batched"
+
+    def bind(self, ctx: ExecutionContext) -> None:
+        super().bind(ctx)
+        self._rng_latency = RngFabric(ctx.seed).generator("executor-latency")
+
+    def execute(self, plan: RoundPlan,
+                global_parameters: np.ndarray) -> "list[ModelUpdate]":
+        ctx = self.context
+        participants = plan.participants
+        jitter = self._rng_latency.lognormal(
+            mean=0.0, sigma=LATENCY_JITTER_SIGMA, size=len(participants))
+        updates = []
+        for party_id, jit in zip(participants, jitter):
+            party = ctx.parties[party_id]
+            updates.append(party.local_train(
+                ctx.model, global_parameters, plan.local_config,
+                plan.round_index,
+                collect_loss_stats=ctx.collect_loss_stats,
+                latency=party.expected_latency(plan.local_config)
+                * float(jit)))
+        return updates
+
+
+# -- parallel backend -------------------------------------------------------
+
+def _worker_loop(conn, parties: "list[Party]", model: Model,
+                 ) -> None:  # pragma: no cover - runs in child processes
+    """Request loop of one worker process.
+
+    The worker owns its parties for the job's lifetime: their RNG
+    streams, FedDyn state and participation counters advance here and
+    only here, which is what makes parallel execution deterministic.
+    """
+    table = {party.party_id: party for party in parties}
+    while True:
+        message = conn.recv()
+        if message is None:
+            break
+        round_index, global_parameters, party_ids, config, with_stats = \
+            message
+        try:
+            updates = [
+                table[party_id].local_train(
+                    model, global_parameters, config, round_index,
+                    collect_loss_stats=with_stats)
+                for party_id in party_ids]
+            conn.send(("ok", updates))
+        except Exception as exc:  # ship the failure to the parent
+            conn.send(("error", repr(exc)))
+    conn.close()
+
+
+def _default_workers() -> int:
+    try:
+        available = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        available = os.cpu_count() or 1
+    return max(1, min(8, available))
+
+
+class ParallelExecutor(ClientExecutor):
+    """Process-pool backend: persistent workers with model replicas.
+
+    Each worker process owns the parties with ``party_id % n_workers ==
+    worker_index`` plus a private clone of the model, so per-party state
+    evolves exactly as it would under serial execution.  Per round, the
+    engine's plan is split by ownership, dispatched to all workers at
+    once, and the returned updates are re-ordered into participant order
+    before aggregation — histories match :class:`SerialExecutor`
+    bit-for-bit for deterministic models (dropout layers draw from a
+    model-level stream and are the documented exception).
+
+    The main process's party objects do not advance while this backend
+    runs; executors are single-job objects, so nothing reads them.
+    """
+
+    name = "parallel"
+
+    def __init__(self, n_workers: int | None = None,
+                 start_method: str | None = None) -> None:
+        super().__init__()
+        if n_workers is not None and n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self._start_method = start_method
+        self._procs: list = []
+        self._conns: list = []
+        self._owner: dict[int, int] = {}
+
+    def bind(self, ctx: ExecutionContext) -> None:
+        self.close()
+        super().bind(ctx)
+        n_workers = min(self.n_workers or _default_workers(),
+                        len(ctx.parties))
+        # Respect the platform's default start method (fork on Linux,
+        # spawn on macOS/Windows — forking a thread-initialized BLAS
+        # process is unsafe there); everything crossing the Pipe is
+        # picklable, so both methods work.
+        mp = multiprocessing.get_context(self._start_method)
+        self._owner = {party.party_id: party.party_id % n_workers
+                       for party in ctx.parties}
+        for worker_index in range(n_workers):
+            owned = [party for party in ctx.parties
+                     if self._owner[party.party_id] == worker_index]
+            parent_conn, child_conn = mp.Pipe()
+            proc = mp.Process(
+                target=_worker_loop,
+                args=(child_conn, owned, ctx.model.clone()),
+                daemon=True,
+                name=f"repro-executor-{worker_index}")
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def execute(self, plan: RoundPlan,
+                global_parameters: np.ndarray) -> "list[ModelUpdate]":
+        if self._ctx is None or not self._procs:
+            raise ExecutionError("ParallelExecutor used before bind()")
+        assignments: dict[int, list[int]] = {}
+        for party_id in plan.participants:
+            if party_id not in self._owner:
+                raise ExecutionError(
+                    f"plan names unknown party {party_id}")
+            assignments.setdefault(self._owner[party_id], []).append(
+                party_id)
+        for worker_index, party_ids in assignments.items():
+            # Always collect loss statistics: the probe consumes a party
+            # RNG draw for large parties, and skipping it would desync
+            # the streams from SerialExecutor's bit-exact histories.
+            try:
+                self._conns[worker_index].send(
+                    (plan.round_index, global_parameters, party_ids,
+                     plan.local_config, True))
+            except (BrokenPipeError, OSError) as exc:
+                raise ExecutionError(
+                    f"executor worker {worker_index} died between rounds"
+                ) from exc
+        by_party: dict[int, ModelUpdate] = {}
+        for worker_index in assignments:
+            try:
+                status, payload = self._conns[worker_index].recv()
+            except (EOFError, OSError) as exc:
+                raise ExecutionError(
+                    f"executor worker {worker_index} died mid-round"
+                ) from exc
+            if status != "ok":
+                raise ExecutionError(
+                    f"executor worker {worker_index} failed: {payload}")
+            for update in payload:
+                by_party[update.party_id] = update
+        return [by_party[party_id] for party_id in plan.participants]
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+
+    def __repr__(self) -> str:
+        return (f"ParallelExecutor(n_workers={self.n_workers}, "
+                f"workers_alive={len(self._procs)})")
+
+
+EXECUTOR_REGISTRY: dict[str, type] = {
+    "serial": SerialExecutor,
+    "parallel": ParallelExecutor,
+    "batched": BatchedExecutor,
+}
+
+
+def make_executor(name: str = "serial", n_workers: int | None = None,
+                  **kwargs) -> ClientExecutor:
+    """Build a registered execution backend by name.
+
+    ``name`` ∈ {"serial", "parallel", "batched"}.  ``n_workers`` sizes
+    the "parallel" backend's pool (rejected for the others); further
+    keyword arguments are forwarded to the backend constructor.
+    """
+    if name not in EXECUTOR_REGISTRY:
+        raise ConfigurationError(
+            f"unknown execution backend {name!r}; "
+            f"choose from {sorted(EXECUTOR_REGISTRY)}")
+    if name == "parallel":
+        kwargs["n_workers"] = n_workers
+    elif n_workers is not None:
+        raise ConfigurationError(
+            "n_workers only applies to the 'parallel' backend")
+    return EXECUTOR_REGISTRY[name](**kwargs)

@@ -68,7 +68,21 @@ class TrainingHistory:
         return np.array([r.plain_accuracy for r in self.records])
 
     def loss_series(self) -> np.ndarray:
+        """Mean local training loss per round.
+
+        Rounds in which every cohort member straggled aggregate no
+        updates and carry ``NaN`` here; use :meth:`mean_train_loss` or
+        filter with :func:`numpy.isfinite` before averaging to avoid
+        NaN propagation.
+        """
         return np.array([r.mean_train_loss for r in self.records])
+
+    def mean_train_loss(self) -> float:
+        """NaN-safe mean training loss across rounds that aggregated at
+        least one update (``NaN`` only if no round did)."""
+        series = self.loss_series()
+        finite = series[np.isfinite(series)]
+        return float(finite.mean()) if finite.size else float("nan")
 
     def per_label_series(self, label: int) -> np.ndarray:
         """Recall of one label per round — Fig. 13's underrepresented-label
@@ -126,6 +140,8 @@ class TrainingHistory:
             "job": self.job_name,
             "rounds": len(self.records),
             "peak_accuracy": self.peak_accuracy() if self.records else None,
+            "mean_train_loss": (self.mean_train_loss()
+                                if self.records else None),
             "total_comm_bytes": self.total_comm_bytes(),
             "total_duration": self.total_duration(),
             "stragglers": self.straggler_count(),

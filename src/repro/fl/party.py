@@ -33,6 +33,11 @@ _BASE_SECONDS_PER_SAMPLE = 1e-3
 #: statistics (Oort's utility signal); keeps big parties cheap to profile.
 _UTILITY_SAMPLE_CAP = 256
 
+#: Log-normal sigma of the per-invocation latency jitter.  Shared with
+#: the batched execution backend, which draws the same distribution from
+#: its own vectorized stream.
+LATENCY_JITTER_SIGMA = 0.15
+
 
 @dataclass(frozen=True)
 class LocalTrainingConfig:
@@ -149,20 +154,33 @@ class Party:
         return SGD(model.parameters(), lr, momentum=config.momentum,
                    **common)
 
+    def expected_latency(self, config: LocalTrainingConfig) -> float:
+        """Deterministic (jitter-free) seconds for one local-training
+        invocation — what a deadline-setting aggregator would budget."""
+        work = config.epochs * self.num_samples * _BASE_SECONDS_PER_SAMPLE
+        return work / self.compute_speed
+
     def simulate_latency(self, config: LocalTrainingConfig) -> float:
         """Simulated seconds for one local-training invocation."""
-        work = config.epochs * self.num_samples * _BASE_SECONDS_PER_SAMPLE
-        jitter = float(self._rng.lognormal(mean=0.0, sigma=0.15))
-        return work / self.compute_speed * jitter
+        jitter = float(self._rng.lognormal(mean=0.0,
+                                           sigma=LATENCY_JITTER_SIGMA))
+        return self.expected_latency(config) * jitter
 
     def local_train(self, model: Model, global_parameters: np.ndarray,
-                    config: LocalTrainingConfig,
-                    round_index: int) -> ModelUpdate:
+                    config: LocalTrainingConfig, round_index: int, *,
+                    collect_loss_stats: bool = True,
+                    latency: float | None = None) -> ModelUpdate:
         """Run τ local epochs from the global model; return the update.
 
         The party borrows the (shared) ``model`` object: parameters are
         swapped in, trained, read out — so simulating thousands of parties
         costs one model's memory.
+
+        ``collect_loss_stats=False`` skips the per-sample-loss probe (an
+        extra forward pass feeding Oort's utility signal); ``latency``
+        overrides the party's own jittered draw — both hooks exist for
+        fast-path execution backends and leave the default RNG draw
+        order untouched.
         """
         model.set_parameters(global_parameters)
         lr = config.effective_lr(round_index)
@@ -184,13 +202,17 @@ class Party:
                 local_parameters - global_parameters)
 
         # Per-sample loss statistics for Oort, on a capped subsample.
-        if self.num_samples > _UTILITY_SAMPLE_CAP:
+        if not collect_loss_stats:
+            loss_sq_sum, loss_count = 0.0, 0
+        elif self.num_samples > _UTILITY_SAMPLE_CAP:
             probe = self._rng.choice(self.num_samples, _UTILITY_SAMPLE_CAP,
                                      replace=False)
             losses = model.per_sample_losses(self.dataset.x[probe],
                                              self.dataset.y[probe])
+            loss_sq_sum, loss_count = float(np.sum(losses ** 2)), len(losses)
         else:
             losses = model.per_sample_losses(self.dataset.x, self.dataset.y)
+            loss_sq_sum, loss_count = float(np.sum(losses ** 2)), len(losses)
 
         self.rounds_participated += 1
         return ModelUpdate(
@@ -198,9 +220,10 @@ class Party:
             parameters=local_parameters,
             num_samples=self.num_samples,
             train_loss=float(np.mean(last_epoch_losses)),
-            loss_sq_sum=float(np.sum(losses ** 2)),
-            loss_count=int(len(losses)),
-            latency=self.simulate_latency(config),
+            loss_sq_sum=loss_sq_sum,
+            loss_count=int(loss_count),
+            latency=(self.simulate_latency(config)
+                     if latency is None else float(latency)),
             round_index=round_index,
         )
 

@@ -10,6 +10,7 @@ not on model depth.
 
 from __future__ import annotations
 
+import copy
 from typing import Callable
 
 import numpy as np
@@ -112,6 +113,13 @@ class Model:
             raise ConfigurationError("a model needs trainable parameters")
 
     # -- parameter plumbing -------------------------------------------------
+    def clone(self) -> "Model":
+        """An independent deep copy: parameters, layer state and any
+        layer-level RNG streams are duplicated, so training the clone
+        never touches the original.  Parallel execution backends give
+        each worker process one replica this way."""
+        return copy.deepcopy(self)
+
     def parameters(self) -> "list[Parameter]":
         return self._params
 

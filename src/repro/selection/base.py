@@ -105,6 +105,11 @@ class SelectionStrategy(ABC):
     #: set True by strategies that need the raw update vectors each round
     wants_update_vectors: bool = False
 
+    #: set True by strategies that consume the per-sample-loss statistics
+    #: (``loss_sq_sums`` / ``loss_counts``) — Oort's utility signal.
+    #: Fast-path execution backends skip collecting them otherwise.
+    wants_loss_statistics: bool = False
+
     def __init__(self) -> None:
         self._context: SelectionContext | None = None
 
@@ -126,6 +131,14 @@ class SelectionStrategy(ABC):
 
     def report_round(self, outcome: RoundOutcome) -> None:
         """Observe the completed round; default: no state."""
+
+    def validated_select(self, round_index: int, n_select: int,
+                         rng: np.random.Generator) -> "list[int]":
+        """:meth:`select`, with the result checked for duplicates and
+        unknown party ids.  This is the entry point the engine uses —
+        strategies override :meth:`select`, not this."""
+        return self._validate_selection(
+            self.select(round_index, n_select, rng))
 
     # -- shared helpers -------------------------------------------------
     def _validate_selection(self, cohort: "list[int]") -> "list[int]":

@@ -49,6 +49,10 @@ class OortSelection(SelectionStrategy):
 
     name = "oort"
 
+    #: statistical utility is built from per-sample-loss statistics, so
+    #: execution backends must keep collecting them.
+    wants_loss_statistics = True
+
     def __init__(self, *, overprovision: float = 1.0,
                  exploration_factor: float = 0.9,
                  exploration_decay: float = 0.98,

@@ -1,0 +1,100 @@
+"""Backend threading through the experiment layer + golden regression.
+
+The golden digests below were captured from the pre-backend engine (the
+monolithic ``_run_round``) on the seed configurations; the refactored
+engine with the default ``serial`` backend must reproduce them
+bit-for-bit.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.experiments import run_experiment, smoke_config
+from repro.fl.history import TrainingHistory
+
+
+def history_digest(history: TrainingHistory) -> str:
+    """Stable fingerprint of every field of every round record."""
+    h = hashlib.sha256()
+    for r in history.records:
+        h.update(repr((
+            r.round_index, r.cohort, r.received, r.stragglers,
+            round(r.balanced_accuracy, 12),
+            round(r.plain_accuracy, 12),
+            tuple(round(x, 12) for x in r.per_label_recall),
+            "nan" if np.isnan(r.mean_train_loss)
+            else round(r.mean_train_loss, 12),
+            r.comm_bytes,
+            round(r.round_duration, 12))).encode())
+    return h.hexdigest()
+
+
+#: sha256 digests of smoke-config histories produced by the pre-backend
+#: engine (captured before the execution-layer refactor).
+GOLDEN = {
+    "ecg-flips":
+        "07ffdf63af3c07311311f952a0520085f315932a69e10057e84309ce522c0517",
+    "ecg-random-straggle":
+        "c943aadbcf750f4076f0ee8bb570cb101d92332de14dbf0fb07acb703b37051c",
+    "femnist-oort":
+        "991e7872b94e23d8ac7437ff524ef3a7cae9717fc0d9bb1ecab96152e57092a0",
+}
+
+
+def golden_configs():
+    return {
+        "ecg-flips": smoke_config("ecg"),
+        "ecg-random-straggle": smoke_config(
+            "ecg", selector="random", straggler_rate=0.25,
+            participation=0.5),
+        "femnist-oort": smoke_config("femnist", selector="oort", seed=1),
+    }
+
+
+class TestGoldenRegression:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_serial_backend_bit_identical_to_pre_refactor(self, name):
+        config = golden_configs()[name]
+        assert config.backend == "serial"
+        assert history_digest(run_experiment(config)) == GOLDEN[name]
+
+
+class TestBackendThreading:
+    def test_parallel_matches_serial_through_runner(self, smoke):
+        serial = run_experiment(smoke)
+        parallel = run_experiment(
+            smoke.with_overrides(backend="parallel", n_workers=2))
+        assert history_digest(serial) == history_digest(parallel)
+
+    def test_batched_runs_and_is_deterministic(self, smoke):
+        a = run_experiment(smoke.with_overrides(backend="batched"))
+        b = run_experiment(smoke.with_overrides(backend="batched"))
+        assert history_digest(a) == history_digest(b)
+
+    def test_eval_every_final_round_exact(self, smoke):
+        exact = run_experiment(smoke)
+        amortized = run_experiment(
+            smoke.with_overrides(eval_every=3, eval_subsample=100))
+        assert amortized.records[-1].balanced_accuracy == \
+            exact.records[-1].balanced_accuracy
+        assert amortized.records[-1].per_label_recall == \
+            exact.records[-1].per_label_recall
+
+    def test_config_validation(self, smoke):
+        with pytest.raises(ConfigurationError):
+            smoke.with_overrides(backend="gpu")
+        with pytest.raises(ConfigurationError):
+            smoke.with_overrides(n_workers=2)  # needs backend='parallel'
+        with pytest.raises(ConfigurationError):
+            smoke.with_overrides(eval_every=0)
+        with pytest.raises(ConfigurationError):
+            smoke.with_overrides(eval_subsample=0)
+
+    def test_backend_in_cache_key(self, smoke):
+        assert smoke.cache_key() != \
+            smoke.with_overrides(backend="batched").cache_key()
+        assert smoke.cache_key() != \
+            smoke.with_overrides(eval_every=5).cache_key()

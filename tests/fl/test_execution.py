@@ -1,0 +1,323 @@
+"""Execution backends: round plans, serial/parallel equivalence,
+batched fast path, evaluation policies."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError, ExecutionError
+from repro.data import build_federation
+from repro.fl import (
+    AmortizedEvaluation,
+    BatchedExecutor,
+    ExactFractionStragglers,
+    FederatedTrainer,
+    FLJobConfig,
+    FullEvaluation,
+    LocalTrainingConfig,
+    ParallelExecutor,
+    RoundPlan,
+    SerialExecutor,
+    make_algorithm,
+    make_evaluation_policy,
+    make_executor,
+)
+from repro.ml import make_model
+from repro.selection import OortSelection, RandomSelection
+
+
+@pytest.fixture(scope="module")
+def fed():
+    return build_federation("ecg", 8, alpha=0.5, n_train=400, n_test=200,
+                            seed=3)
+
+
+def make_trainer(fed, strategy, rounds=3, npr=3, straggler=None, seed=0,
+                 algorithm="fedavg", executor=None, eval_policy=None):
+    model = make_model("softmax", fed.parties[0].feature_shape,
+                       fed.num_classes, rng=seed)
+    config = FLJobConfig(rounds=rounds, parties_per_round=npr,
+                         local=LocalTrainingConfig(epochs=1, batch_size=16,
+                                                   learning_rate=0.1),
+                         seed=seed)
+    return FederatedTrainer(fed, model, make_algorithm(algorithm),
+                            strategy, config, straggler_model=straggler,
+                            executor=executor, eval_policy=eval_policy)
+
+
+def assert_histories_identical(a, b):
+    assert len(a) == len(b)
+    for ra, rb in zip(a.records, b.records):
+        assert ra.cohort == rb.cohort
+        assert ra.received == rb.received
+        assert ra.stragglers == rb.stragglers
+        assert ra.balanced_accuracy == rb.balanced_accuracy
+        assert ra.plain_accuracy == rb.plain_accuracy
+        assert ra.per_label_recall == rb.per_label_recall
+        assert ra.comm_bytes == rb.comm_bytes
+        assert ra.round_duration == rb.round_duration
+        assert (ra.mean_train_loss == rb.mean_train_loss
+                or (np.isnan(ra.mean_train_loss)
+                    and np.isnan(rb.mean_train_loss)))
+
+
+class TestRoundPlan:
+    def test_participants_preserve_cohort_order(self):
+        plan = RoundPlan(round_index=1, cohort=(4, 1, 7, 2),
+                         stragglers=(1, 7),
+                         local_config=LocalTrainingConfig())
+        assert plan.participants == (4, 2)
+
+    def test_rejects_empty_cohort(self):
+        with pytest.raises(ConfigurationError):
+            RoundPlan(round_index=1, cohort=(), stragglers=(),
+                      local_config=LocalTrainingConfig())
+
+    def test_rejects_foreign_stragglers(self):
+        with pytest.raises(ConfigurationError):
+            RoundPlan(round_index=1, cohort=(1, 2), stragglers=(9,),
+                      local_config=LocalTrainingConfig())
+
+
+class TestMakeExecutor:
+    def test_registry_names(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("batched"), BatchedExecutor)
+        parallel = make_executor("parallel", n_workers=2)
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.n_workers == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_executor("quantum")
+
+    def test_n_workers_only_for_parallel(self):
+        with pytest.raises(ConfigurationError):
+            make_executor("serial", n_workers=2)
+
+    def test_execute_before_bind_raises(self, fed):
+        plan = RoundPlan(round_index=1, cohort=(0,), stragglers=(),
+                         local_config=LocalTrainingConfig())
+        with pytest.raises(ExecutionError):
+            SerialExecutor().execute(plan, np.zeros(3))
+
+
+class TestBackendEquivalence:
+    """The acceptance bar: serial and parallel backends produce identical
+    TrainingHistory records for a fixed seed."""
+
+    def test_parallel_matches_serial(self, fed):
+        serial = make_trainer(fed, RandomSelection(), rounds=3, npr=4,
+                              seed=5).run()
+        parallel = make_trainer(
+            fed, RandomSelection(), rounds=3, npr=4, seed=5,
+            executor=ParallelExecutor(n_workers=2)).run()
+        assert_histories_identical(serial, parallel)
+
+    def test_parallel_matches_serial_with_stragglers(self, fed):
+        serial = make_trainer(
+            fed, RandomSelection(), rounds=3, npr=4, seed=2,
+            straggler=ExactFractionStragglers(0.25)).run()
+        parallel = make_trainer(
+            fed, RandomSelection(), rounds=3, npr=4, seed=2,
+            straggler=ExactFractionStragglers(0.25),
+            executor=ParallelExecutor(n_workers=3)).run()
+        assert_histories_identical(serial, parallel)
+
+    def test_parallel_matches_serial_oort_utility(self, fed):
+        """Per-sample-loss statistics survive the process boundary."""
+        serial = make_trainer(fed, OortSelection(), rounds=3, npr=3,
+                              seed=1).run()
+        parallel = make_trainer(fed, OortSelection(), rounds=3, npr=3,
+                                seed=1,
+                                executor=ParallelExecutor(n_workers=2)).run()
+        assert_histories_identical(serial, parallel)
+
+    def test_parallel_worker_count_does_not_matter(self, fed):
+        one = make_trainer(fed, RandomSelection(), rounds=2, npr=3,
+                           seed=4,
+                           executor=ParallelExecutor(n_workers=1)).run()
+        three = make_trainer(fed, RandomSelection(), rounds=2, npr=3,
+                             seed=4,
+                             executor=ParallelExecutor(n_workers=3)).run()
+        assert_histories_identical(one, three)
+
+    def test_parallel_matches_serial_large_parties(self):
+        """Parties above the utility-probe cap draw an extra RNG sample
+        per round; the parallel backend must consume streams
+        identically (it always collects loss statistics)."""
+        big = build_federation("ecg", 4, alpha=0.5, n_train=1600,
+                               n_test=200, seed=5)
+        serial = make_trainer(big, RandomSelection(), rounds=3, npr=2,
+                              seed=7).run()
+        parallel = make_trainer(
+            big, RandomSelection(), rounds=3, npr=2, seed=7,
+            executor=ParallelExecutor(n_workers=2)).run()
+        assert_histories_identical(serial, parallel)
+
+    def test_feddyn_state_lives_in_workers(self, fed):
+        """FedDyn's per-party drift state must persist across rounds
+        inside the owning worker."""
+        serial = make_trainer(fed, RandomSelection(), rounds=3, npr=3,
+                              seed=6, algorithm="feddyn").run()
+        parallel = make_trainer(
+            fed, RandomSelection(), rounds=3, npr=3, seed=6,
+            algorithm="feddyn",
+            executor=ParallelExecutor(n_workers=2)).run()
+        assert_histories_identical(serial, parallel)
+
+
+class TestBatchedExecutor:
+    def test_deterministic(self, fed):
+        a = make_trainer(fed, RandomSelection(), rounds=3, npr=3, seed=8,
+                         executor=BatchedExecutor()).run()
+        b = make_trainer(fed, RandomSelection(), rounds=3, npr=3, seed=8,
+                         executor=BatchedExecutor()).run()
+        assert_histories_identical(a, b)
+
+    def test_skips_loss_stats_when_unwanted(self, fed):
+        """RandomSelection never reads Oort's utility signal, so the
+        batched backend skips the per-sample-loss probe entirely."""
+        outcomes = []
+
+        class Recording(RandomSelection):
+            def report_round(self, outcome):
+                outcomes.append(outcome)
+
+        make_trainer(fed, Recording(), rounds=2, npr=3, seed=0,
+                     executor=BatchedExecutor()).run()
+        for outcome in outcomes:
+            assert all(c == 0 for c in outcome.loss_counts.values())
+
+    def test_collects_loss_stats_for_oort(self, fed):
+        outcomes = []
+
+        class Recording(OortSelection):
+            def report_round(self, outcome):
+                super().report_round(outcome)
+                outcomes.append(outcome)
+
+        make_trainer(fed, Recording(), rounds=2, npr=3, seed=0,
+                     executor=BatchedExecutor()).run()
+        for outcome in outcomes:
+            assert all(c > 0 for c in outcome.loss_counts.values())
+
+    def test_latencies_positive(self, fed):
+        history = make_trainer(fed, RandomSelection(), rounds=2, npr=3,
+                               executor=BatchedExecutor()).run()
+        for record in history.records:
+            assert record.round_duration > 0.0
+
+
+class TestAllStragglerTimeout:
+    def test_duration_is_simulated_timeout(self, fed):
+        trainer = make_trainer(fed, RandomSelection(), rounds=1, npr=2,
+                               straggler=ExactFractionStragglers(1.0))
+        history = trainer.run()
+        record = history.records[0]
+        assert record.received == ()
+        expected = 1.5 * max(
+            trainer.parties[p].expected_latency(trainer._local_config)
+            for p in record.cohort)
+        assert record.round_duration == pytest.approx(expected)
+        assert record.round_duration > 0.0
+
+
+class TestEvaluationPolicies:
+    def test_make_policy_defaults_to_full(self):
+        assert isinstance(make_evaluation_policy(), FullEvaluation)
+        assert isinstance(make_evaluation_policy(eval_every=4),
+                          AmortizedEvaluation)
+        assert isinstance(make_evaluation_policy(subsample=64),
+                          AmortizedEvaluation)
+
+    def test_amortized_final_round_exact(self, fed):
+        full = make_trainer(fed, RandomSelection(), rounds=5, npr=3,
+                            seed=3).run()
+        amortized = make_trainer(
+            fed, RandomSelection(), rounds=5, npr=3, seed=3,
+            eval_policy=AmortizedEvaluation(eval_every=3,
+                                            subsample=50)).run()
+        last_full = full.records[-1]
+        last_amortized = amortized.records[-1]
+        assert last_amortized.balanced_accuracy == \
+            last_full.balanced_accuracy
+        assert last_amortized.plain_accuracy == last_full.plain_accuracy
+        assert last_amortized.per_label_recall == \
+            last_full.per_label_recall
+
+    def test_amortized_carries_between_evals(self, fed):
+        history = make_trainer(
+            fed, RandomSelection(), rounds=6, npr=3, seed=3,
+            eval_policy=AmortizedEvaluation(eval_every=4)).run()
+        accs = history.accuracy_series()
+        # rounds 1-4 share round 1's measurement; round 5 refreshes.
+        assert accs[1] == accs[0] and accs[2] == accs[0] \
+            and accs[3] == accs[0]
+
+    def test_training_unaffected_by_eval_policy(self, fed):
+        """Evaluation is read-only: global parameters match exactly."""
+        t_full = make_trainer(fed, RandomSelection(), rounds=4, npr=3,
+                              seed=9)
+        t_full.run()
+        t_amortized = make_trainer(
+            fed, RandomSelection(), rounds=4, npr=3, seed=9,
+            eval_policy=AmortizedEvaluation(eval_every=2, subsample=40))
+        t_amortized.run()
+        assert np.array_equal(t_full.global_parameters,
+                              t_amortized.global_parameters)
+
+    def test_carried_rounds_report_no_accuracy(self, fed):
+        """Between evaluations there is no new measurement, so the
+        strategy feedback carries ``global_accuracy=None`` (TiFL must
+        not re-ingest a stale accuracy into its tier EMAs)."""
+        outcomes = []
+
+        class Recording(RandomSelection):
+            def report_round(self, outcome):
+                outcomes.append(outcome)
+
+        make_trainer(fed, Recording(), rounds=6, npr=3, seed=3,
+                     eval_policy=AmortizedEvaluation(eval_every=4)).run()
+        reported = [o.global_accuracy is not None for o in outcomes]
+        # fresh: rounds 1 and 5, plus the exact final round 6.
+        assert reported == [True, False, False, False, True, True]
+
+    def test_subsample_is_label_stratified(self, fed):
+        """Every label present in the test set survives subsampling, so
+        rare-label recall never spuriously zeroes between exact evals."""
+        policy = AmortizedEvaluation(eval_every=2, subsample=30)
+        model = make_model("softmax", fed.parties[0].feature_shape,
+                           fed.num_classes, rng=0)
+        policy.bind(model, fed.test, total_rounds=10, seed=0)
+        subset = policy._subset
+        assert subset is not None and len(subset) <= 30
+        assert set(np.unique(fed.test.y[subset])) == \
+            set(np.unique(fed.test.y))
+
+    def test_amortized_validation(self):
+        with pytest.raises(ConfigurationError):
+            AmortizedEvaluation(eval_every=0)
+        with pytest.raises(ConfigurationError):
+            AmortizedEvaluation(subsample=0)
+
+
+class TestExecutionContextFlow:
+    def test_serial_always_collects_stats(self, fed):
+        """The default backend keeps legacy bit-exact behaviour even for
+        strategies that ignore the loss statistics."""
+        outcomes = []
+
+        class Recording(RandomSelection):
+            def report_round(self, outcome):
+                outcomes.append(outcome)
+
+        make_trainer(fed, Recording(), rounds=1, npr=3).run()
+        assert all(c > 0 for c in outcomes[0].loss_counts.values())
+
+    def test_parallel_close_idempotent(self, fed):
+        executor = ParallelExecutor(n_workers=2)
+        trainer = make_trainer(fed, RandomSelection(), rounds=1, npr=2,
+                               executor=executor)
+        trainer.run()
+        executor.close()  # run() already closed; must not raise
+        assert repr(executor)

@@ -74,3 +74,50 @@ class TestHistory:
 
     def test_empty_history_rounds_none(self):
         assert TrainingHistory().rounds_to_target(0.5) is None
+
+
+class TestNanSafeLosses:
+    """All-straggler rounds record NaN losses; consumers must not choke."""
+
+    @pytest.fixture()
+    def gappy(self):
+        h = TrainingHistory("job", parties_per_round=2)
+        for i, acc in enumerate([0.2, 0.5, 0.6], start=1):
+            rec = record(i, acc)
+            if i == 2:  # an all-straggler round: no updates, NaN loss
+                rec = RoundRecord(
+                    round_index=i, cohort=(0, 1), received=(),
+                    stragglers=(0, 1), balanced_accuracy=acc,
+                    plain_accuracy=acc, per_label_recall=(acc, acc / 2),
+                    mean_train_loss=float("nan"), comm_bytes=100,
+                    round_duration=0.5)
+            h.append(rec)
+        return h
+
+    def test_mean_train_loss_ignores_nan(self, gappy):
+        assert gappy.mean_train_loss() == pytest.approx(
+            np.mean([0.8, 0.4]))
+
+    def test_mean_train_loss_all_nan(self):
+        h = TrainingHistory("job", parties_per_round=2)
+        h.append(RoundRecord(
+            round_index=1, cohort=(0,), received=(), stragglers=(0,),
+            balanced_accuracy=0.1, plain_accuracy=0.1,
+            per_label_recall=(0.1,), mean_train_loss=float("nan"),
+            comm_bytes=10, round_duration=0.2))
+        assert np.isnan(h.mean_train_loss())
+
+    def test_summary_includes_nan_safe_loss(self, gappy):
+        summary = gappy.summary()
+        assert summary["mean_train_loss"] == pytest.approx(
+            np.mean([0.8, 0.4]))
+
+    def test_mean_loss_series_no_warning(self, gappy):
+        from repro.experiments import mean_loss_series
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any RuntimeWarning fails
+            series = mean_loss_series([gappy, gappy])
+        assert np.isnan(series[1])
+        assert series[0] == pytest.approx(0.8)
+        assert series[2] == pytest.approx(0.4)

@@ -21,6 +21,19 @@ class Dummy(SelectionStrategy):
         return list(range(n_select))
 
 
+class Echo(SelectionStrategy):
+    """Returns whatever cohort it was built with (validation probe)."""
+
+    name = "echo"
+
+    def __init__(self, cohort):
+        super().__init__()
+        self.cohort = cohort
+
+    def select(self, round_index, n_select, rng):
+        return list(self.cohort)
+
+
 class TestSelectionContext:
     def test_valid(self):
         ctx = make_context()
@@ -49,22 +62,23 @@ class TestStrategyBase:
         strategy.initialize(make_context())
         assert strategy.context.n_parties == 10
 
-    def test_validate_rejects_duplicates(self):
-        strategy = Dummy()
+    def test_validated_select_rejects_duplicates(self):
+        strategy = Echo([1, 1])
         strategy.initialize(make_context())
         with pytest.raises(ConfigurationError):
-            strategy._validate_selection([1, 1])
+            strategy.validated_select(1, 2, np.random.default_rng(0))
 
-    def test_validate_rejects_unknown(self):
-        strategy = Dummy()
+    def test_validated_select_rejects_unknown(self):
+        strategy = Echo([11])
         strategy.initialize(make_context())
         with pytest.raises(ConfigurationError):
-            strategy._validate_selection([11])
+            strategy.validated_select(1, 1, np.random.default_rng(0))
 
-    def test_validate_passes_good_cohort(self):
-        strategy = Dummy()
+    def test_validated_select_passes_good_cohort(self):
+        strategy = Echo([0, 3, 5])
         strategy.initialize(make_context())
-        assert strategy._validate_selection([0, 3, 5]) == [0, 3, 5]
+        assert strategy.validated_select(
+            1, 3, np.random.default_rng(0)) == [0, 3, 5]
 
     def test_report_round_default_noop(self):
         Dummy().report_round(None)  # must not raise
