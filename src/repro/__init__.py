@@ -23,6 +23,8 @@ Package map
 - :mod:`repro.selection` — Random / Oort / GradClus / TiFL /
   Power-of-Choice baselines.
 - :mod:`repro.fl` — the FL engine (algorithms, parties, stragglers).
+- :mod:`repro.availability` — dynamic populations: availability
+  processes, churn, device tiers, deadline-based arrivals.
 - :mod:`repro.ml` — numpy deep-learning substrate.
 - :mod:`repro.data` — synthetic datasets + non-IID partitioners.
 - :mod:`repro.clustering` — K-Means++, Davies-Bouldin elbow,
@@ -32,6 +34,14 @@ Package map
 - :mod:`repro.experiments` — the table/figure regeneration harness.
 """
 
+from repro.availability import (
+    AvailabilityModel,
+    ChurnProcess,
+    DeadlineArrivals,
+    DeviceProfile,
+    make_availability_model,
+    make_churn_process,
+)
 from repro.core import FlipsMiddleware, FlipsSelector
 from repro.data import Dataset, FederatedDataset, build_federation
 from repro.fl import (
@@ -57,7 +67,11 @@ from repro.selection import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AvailabilityModel",
+    "ChurnProcess",
     "Dataset",
+    "DeadlineArrivals",
+    "DeviceProfile",
     "FLJobConfig",
     "FederatedDataset",
     "FederatedTrainer",
@@ -74,6 +88,8 @@ __all__ = [
     "balanced_accuracy",
     "build_federation",
     "make_algorithm",
+    "make_availability_model",
+    "make_churn_process",
     "make_evaluation_policy",
     "make_executor",
     "make_model",

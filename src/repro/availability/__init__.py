@@ -1,0 +1,61 @@
+"""Device availability, churn and deadline simulation.
+
+The FLIPS paper evaluates participant selection over a fixed,
+always-online population.  This subsystem simulates the dynamic
+federations the related work studies — *who is online*
+(:mod:`~repro.availability.models`), *how the population itself evolves*
+(:mod:`~repro.availability.churn`), *how fast each device is*
+(:mod:`~repro.availability.profiles`) and *whether it makes the round
+deadline* (:mod:`~repro.availability.deadline`) — and threads the
+resulting online view through every selection strategy
+(:mod:`~repro.availability.view`).
+
+With the defaults (:class:`AlwaysOn`, no churn, rate-based stragglers)
+the whole layer is inert and the engine reproduces its pre-subsystem
+histories bit-for-bit.
+"""
+
+from repro.availability.churn import ChurnProcess, make_churn_process
+from repro.availability.deadline import (
+    ArrivalDraw,
+    ArrivalModel,
+    DeadlineArrivals,
+    StragglerArrivals,
+)
+from repro.availability.models import (
+    AVAILABILITY_KINDS,
+    AlwaysOn,
+    AvailabilityModel,
+    BernoulliAvailability,
+    DiurnalAvailability,
+    MarkovOnOff,
+    TraceAvailability,
+    make_availability_model,
+)
+from repro.availability.profiles import (
+    DEVICE_TIERS,
+    DeviceProfile,
+    assign_profiles,
+)
+from repro.availability.view import OnlineView
+
+__all__ = [
+    "AVAILABILITY_KINDS",
+    "AlwaysOn",
+    "ArrivalDraw",
+    "ArrivalModel",
+    "AvailabilityModel",
+    "BernoulliAvailability",
+    "ChurnProcess",
+    "DEVICE_TIERS",
+    "DeadlineArrivals",
+    "DeviceProfile",
+    "DiurnalAvailability",
+    "MarkovOnOff",
+    "OnlineView",
+    "StragglerArrivals",
+    "TraceAvailability",
+    "assign_profiles",
+    "make_availability_model",
+    "make_churn_process",
+]

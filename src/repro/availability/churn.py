@@ -1,0 +1,135 @@
+"""Population churn: permanent joins and departures.
+
+Availability models describe *transient* offline periods — a device will
+come back.  Churn changes the population itself: parties that enroll
+after the job started, and parties that leave for good (uninstalls,
+dead devices, revoked consent).  The FLIPS paper notes clustering must
+be redone "as long as the set of participants ... change[s]
+significantly"; this process supplies the changing set.
+
+One :class:`ChurnProcess` draws, at bind time, a join round and a
+departure round for every party from a dedicated RNG stream:
+
+* a ``late_join_fraction`` of parties joins at a round drawn uniformly
+  over the job (everyone else is present from round 1);
+* after joining, each party's remaining lifetime is geometric with
+  per-round hazard ``departure_hazard``;
+* a protected core (``protected_fraction`` of the population, at least
+  one party) joins at round 1 and never departs, so the federation can
+  never bleed out entirely.
+
+The whole trajectory is fixed up front, so :meth:`active` is a pure
+lookup — replaying a round, or asking about round 50 before round 10,
+cannot perturb any draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.validation import check_fraction
+
+__all__ = ["ChurnProcess", "make_churn_process"]
+
+
+class ChurnProcess:
+    """Permanent join/departure schedule for a party population.
+
+    Parameters
+    ----------
+    late_join_fraction:
+        Fraction of parties that enroll after round 1.
+    departure_hazard:
+        Per-round probability that an enrolled (unprotected) party
+        permanently departs.
+    protected_fraction:
+        Fraction of parties (minimum one) that joins at round 1 and
+        never departs.
+    """
+
+    def __init__(self, late_join_fraction: float = 0.0,
+                 departure_hazard: float = 0.0,
+                 protected_fraction: float = 0.25) -> None:
+        check_fraction(late_join_fraction, "late_join_fraction")
+        check_fraction(departure_hazard, "departure_hazard",
+                       inclusive_high=False)
+        check_fraction(protected_fraction, "protected_fraction")
+        self.late_join_fraction = float(late_join_fraction)
+        self.departure_hazard = float(departure_hazard)
+        self.protected_fraction = float(protected_fraction)
+        self._join_round: np.ndarray | None = None
+        self._depart_round: np.ndarray | None = None
+
+    def bind(self, n_parties: int, total_rounds: int,
+             rng: np.random.Generator) -> None:
+        """Draw the full join/departure trajectory for one job."""
+        if n_parties < 1 or total_rounds < 1:
+            raise ConfigurationError(
+                "n_parties and total_rounds must be >= 1")
+        join = np.ones(n_parties, dtype=np.int64)
+        depart = np.full(n_parties, np.iinfo(np.int64).max, dtype=np.int64)
+
+        order = rng.permutation(n_parties)
+        n_protected = max(1, int(round(self.protected_fraction * n_parties)))
+        unprotected = order[n_protected:]
+
+        n_late = min(int(round(self.late_join_fraction * n_parties)),
+                     len(unprotected))
+        if n_late and total_rounds > 1:
+            late = unprotected[:n_late]
+            join[late] = rng.integers(2, total_rounds + 1, size=n_late)
+
+        if self.departure_hazard > 0 and len(unprotected):
+            lifetimes = rng.geometric(self.departure_hazard,
+                                      size=len(unprotected))
+            depart[unprotected] = join[unprotected] + lifetimes
+
+        self._join_round = join
+        self._depart_round = depart
+
+    def _require_bound(self) -> None:
+        if self._join_round is None or self._depart_round is None:
+            raise ConfigurationError("ChurnProcess used before bind()")
+
+    def active(self, round_index: int) -> "set[int]":
+        """Parties enrolled (joined, not yet departed) in a round."""
+        self._require_bound()
+        if round_index < 1:
+            raise ConfigurationError("round_index must be >= 1")
+        assert self._join_round is not None
+        assert self._depart_round is not None
+        mask = (self._join_round <= round_index) & \
+            (round_index < self._depart_round)
+        return {int(p) for p in np.flatnonzero(mask)}
+
+    def join_round(self, party: int) -> int:
+        """1-based round the party enrolls."""
+        self._require_bound()
+        assert self._join_round is not None
+        return int(self._join_round[party])
+
+    def departure_round(self, party: int) -> "int | None":
+        """1-based first round the party is gone (``None`` = never)."""
+        self._require_bound()
+        assert self._depart_round is not None
+        value = int(self._depart_round[party])
+        return None if value == np.iinfo(np.int64).max else value
+
+    def __repr__(self) -> str:
+        return (f"ChurnProcess(late_join_fraction={self.late_join_fraction},"
+                f" departure_hazard={self.departure_hazard})")
+
+
+def make_churn_process(churn: float = 0.0,
+                       ) -> "ChurnProcess | None":
+    """A churn process from one config scalar (0.0 → ``None``).
+
+    ``churn`` sets both the late-join fraction and the per-round
+    departure hazard — a federation where new devices trickle in at the
+    same intensity existing ones drop out.
+    """
+    check_fraction(churn, "churn", inclusive_high=False)
+    if churn == 0.0:
+        return None
+    return ChurnProcess(late_join_fraction=churn, departure_hazard=churn)

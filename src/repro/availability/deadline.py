@@ -1,0 +1,155 @@
+"""Arrival models: who makes the round deadline, and at what latency.
+
+The seed repo draws stragglers from ad-hoc *rate* models (drop 10 % of
+the cohort, each member drops with probability p, ...).  A deadline-based
+aggregator works the other way around: it budgets a round deadline, each
+dispatched device takes a simulated amount of time (compute + transfer,
+jittered), and exactly the devices whose latency exceeds the deadline
+miss the round.  That is the mechanism Oort's systemic utility and the
+mobile-FL surveys reason about, and it is what
+:class:`DeadlineArrivals` implements.
+
+The legacy rate models are kept, unchanged, behind the same interface
+via :class:`StragglerArrivals` — the engine feeds it the identical
+``"stragglers"`` RNG stream the pre-subsystem engine used, so default
+jobs reproduce the golden digests bit-for-bit.
+
+Both models return an :class:`ArrivalDraw` at *planning* time: the
+missed set, plus (for the deadline model) the per-party latency draws
+and the deadline itself.  Planned latencies ride along on the round plan
+so every execution backend (serial / parallel / batched) reports the
+same arrival latencies — arrivals are an environment decision, not an
+executor one.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = [
+    "ArrivalDraw",
+    "ArrivalModel",
+    "DeadlineArrivals",
+    "StragglerArrivals",
+]
+
+#: Log-normal sigma of the per-round latency jitter — the same
+#: distribution parties draw for themselves (``LATENCY_JITTER_SIGMA`` in
+#: :mod:`repro.fl.party`), duplicated here because the availability layer
+#: sits below the FL layer in the import graph.
+_JITTER_SIGMA = 0.15
+
+
+@dataclass(frozen=True)
+class ArrivalDraw:
+    """One round's arrival decision, fixed at planning time.
+
+    ``latencies`` and ``deadline`` are ``None`` for rate-based models
+    (parties then draw their own jittered latency during execution,
+    exactly as before the subsystem existed).
+    """
+
+    missed: "frozenset[int]"
+    latencies: "dict[int, float] | None" = None
+    deadline: "float | None" = None
+
+
+class ArrivalModel(ABC):
+    """Decides which cohort members fail to report in a round."""
+
+    def bind(self, parties, local_config) -> None:
+        """Attach to one job's parties and local hyperparameters."""
+        self._parties = parties
+        self._local_config = local_config
+
+    @abstractmethod
+    def draw(self, cohort: "tuple[int, ...] | list[int]", round_index: int,
+             rng: np.random.Generator) -> ArrivalDraw:
+        """Arrival decision for one planned cohort."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class StragglerArrivals(ArrivalModel):
+    """Adapter: a legacy rate-based :class:`~repro.fl.straggler.
+    StragglerModel` behind the arrival interface.
+
+    Forwards the draw verbatim (same model, same RNG stream, same call
+    shape), so jobs that configure rate-based stragglers — including
+    every golden-digest configuration — are bit-identical to the
+    pre-subsystem engine.
+    """
+
+    def __init__(self, straggler_model) -> None:
+        if not hasattr(straggler_model, "draw"):
+            raise ConfigurationError(
+                "straggler_model must provide draw(cohort, round, rng)")
+        self.straggler_model = straggler_model
+
+    def draw(self, cohort, round_index: int,
+             rng: np.random.Generator) -> ArrivalDraw:
+        missed = self.straggler_model.draw(list(cohort), round_index, rng)
+        return ArrivalDraw(missed=frozenset(missed))
+
+    def __repr__(self) -> str:
+        return f"StragglerArrivals({self.straggler_model!r})"
+
+
+class DeadlineArrivals(ArrivalModel):
+    """Latency-vs-deadline arrivals: the physical straggler mechanism.
+
+    Per round, every cohort member's latency is simulated as its
+    expected latency (compute + network transfer when the party has a
+    :class:`~repro.availability.profiles.DeviceProfile`) times a
+    log-normal jitter drawn from the dedicated ``"deadline"`` stream.
+    The aggregator's deadline is ``deadline_factor`` times the cohort's
+    *median* expected latency — budgeting against the typical device, so
+    slow-tier devices miss rounds at a rate the cohort mix determines
+    rather than a hand-set percentage.
+
+    Parties whose draw exceeds the deadline miss the round; everyone
+    else's drawn latency is recorded on the plan and reused by every
+    execution backend.
+    """
+
+    def __init__(self, deadline_factor: float = 1.5,
+                 jitter_sigma: float = _JITTER_SIGMA) -> None:
+        if deadline_factor <= 0:
+            raise ConfigurationError("deadline_factor must be > 0")
+        if jitter_sigma < 0:
+            raise ConfigurationError("jitter_sigma must be >= 0")
+        self.deadline_factor = float(deadline_factor)
+        self.jitter_sigma = float(jitter_sigma)
+
+    def draw(self, cohort, round_index: int,
+             rng: np.random.Generator) -> ArrivalDraw:
+        if not hasattr(self, "_parties"):
+            raise ConfigurationError(
+                "DeadlineArrivals used before bind()")
+        cohort = [int(p) for p in cohort]
+        if not cohort:
+            return ArrivalDraw(missed=frozenset(), latencies={},
+                               deadline=0.0)
+        expected = np.array([
+            self._parties[p].expected_latency(self._local_config)
+            for p in cohort])
+        jitter = rng.lognormal(mean=0.0, sigma=self.jitter_sigma,
+                               size=len(cohort))
+        latencies = expected * jitter
+        deadline = self.deadline_factor * float(np.median(expected))
+        missed = frozenset(
+            p for p, latency in zip(cohort, latencies) if latency > deadline)
+        return ArrivalDraw(
+            missed=missed,
+            latencies={p: float(t) for p, t in zip(cohort, latencies)},
+            deadline=deadline)
+
+    def __repr__(self) -> str:
+        return (f"DeadlineArrivals(deadline_factor={self.deadline_factor}, "
+                f"jitter_sigma={self.jitter_sigma})")

@@ -1,0 +1,303 @@
+"""Availability processes: who is online in a given round.
+
+FLIPS evaluates selection over a fixed, always-online population; the
+dynamic-population literature (Oort, the mobile-FL participant-selection
+surveys) studies federations where devices come and go with the clock,
+the charger and the radio.  These models simulate that environment:
+
+* :class:`AlwaysOn` — the paper's setting; every party online every
+  round (and flagged ``trivial`` so the engine can skip the draw).
+* :class:`BernoulliAvailability` — i.i.d. per-party, per-round coin
+  flips; the memoryless baseline.
+* :class:`DiurnalAvailability` — sinusoidal day/night cycles with a
+  per-party phase, the classic smartphone pattern (devices charge at
+  night in their own timezone).
+* :class:`MarkovOnOff` — a two-state Markov chain per party: sticky
+  sessions where a device that is online tends to stay online.
+* :class:`TraceAvailability` — replay explicit on/off schedules, for
+  scripted scenarios and tests.
+
+Lifecycle: the engine ``bind``\\ s a model once per job against the
+population size and a dedicated RNG stream, then calls
+:meth:`AvailabilityModel.online` exactly once per round, in round
+order.  All randomness flows through the bound stream, so availability
+draws are reproducible per seed and independent of every other stream
+(selector, stragglers, jitter) in the job.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.validation import check_fraction
+
+__all__ = [
+    "AVAILABILITY_KINDS",
+    "AlwaysOn",
+    "AvailabilityModel",
+    "BernoulliAvailability",
+    "DiurnalAvailability",
+    "MarkovOnOff",
+    "TraceAvailability",
+    "make_availability_model",
+]
+
+#: Floor/ceiling applied to per-round online probabilities so no model
+#: can freeze a party permanently on or off through rounding.
+_MIN_RATE, _MAX_RATE = 0.02, 1.0
+
+
+class AvailabilityModel(ABC):
+    """Decides the set of online parties each round.
+
+    ``bind`` once per job; then :meth:`online` once per round in round
+    order (stateful models advance their chains on each call).
+    """
+
+    #: True when the model is statically "everyone, always" — the engine
+    #: skips the draw and keeps the unrestricted fast path.
+    trivial: bool = False
+
+    def __init__(self) -> None:
+        self._n_parties: int | None = None
+        self._rng: np.random.Generator | None = None
+
+    def bind(self, n_parties: int, rng: np.random.Generator) -> None:
+        """Attach to one job's population and RNG stream."""
+        if n_parties < 1:
+            raise ConfigurationError("n_parties must be >= 1")
+        self._n_parties = int(n_parties)
+        self._rng = rng
+
+    @property
+    def n_parties(self) -> int:
+        if self._n_parties is None:
+            raise ConfigurationError(
+                f"{type(self).__name__} used before bind()")
+        return self._n_parties
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            raise ConfigurationError(
+                f"{type(self).__name__} used before bind()")
+        return self._rng
+
+    @abstractmethod
+    def online(self, round_index: int) -> "set[int]":
+        """Party ids online when round ``round_index`` (1-based) starts."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class AlwaysOn(AvailabilityModel):
+    """The paper's static population: every party online every round."""
+
+    trivial = True
+
+    def online(self, round_index: int) -> "set[int]":
+        return set(range(self.n_parties))
+
+
+class BernoulliAvailability(AvailabilityModel):
+    """Each party is online independently with probability ``rate``."""
+
+    def __init__(self, rate: float = 0.8) -> None:
+        super().__init__()
+        check_fraction(rate, "availability rate")
+        if rate == 0.0:
+            raise ConfigurationError("availability rate must be > 0")
+        self.rate = float(rate)
+
+    def online(self, round_index: int) -> "set[int]":
+        mask = self.rng.random(self.n_parties) < self.rate
+        return {int(p) for p in np.flatnonzero(mask)}
+
+    def __repr__(self) -> str:
+        return f"BernoulliAvailability(rate={self.rate})"
+
+
+class DiurnalAvailability(AvailabilityModel):
+    """Sinusoidal day/night availability with per-party phase.
+
+    Party *i*'s online probability in round *t* is
+
+        ``clip(mean_rate + amplitude · sin(2π (t + φ_i) / period))``
+
+    with φ_i drawn uniformly over one period at bind time — a federation
+    spread over timezones, where each device has its own night.
+
+    Parameters
+    ----------
+    mean_rate:
+        Time-averaged online probability.
+    amplitude:
+        Peak deviation from the mean (probabilities are clipped to
+        [0.02, 1]).
+    period:
+        Rounds per simulated day.
+    """
+
+    def __init__(self, mean_rate: float = 0.6, amplitude: float = 0.35,
+                 period: float = 24.0) -> None:
+        super().__init__()
+        check_fraction(mean_rate, "mean_rate")
+        check_fraction(amplitude, "amplitude")
+        if mean_rate == 0.0:
+            raise ConfigurationError("mean_rate must be > 0")
+        if period <= 0:
+            raise ConfigurationError("period must be > 0")
+        self.mean_rate = float(mean_rate)
+        self.amplitude = float(amplitude)
+        self.period = float(period)
+        self._phases: np.ndarray | None = None
+
+    def bind(self, n_parties: int, rng: np.random.Generator) -> None:
+        super().bind(n_parties, rng)
+        self._phases = rng.uniform(0.0, self.period, size=n_parties)
+
+    def rates(self, round_index: int) -> np.ndarray:
+        """Per-party online probability for a round (tests/diagnostics)."""
+        assert self._phases is not None
+        angle = 2.0 * np.pi * (round_index + self._phases) / self.period
+        return np.clip(self.mean_rate + self.amplitude * np.sin(angle),
+                       _MIN_RATE, _MAX_RATE)
+
+    def online(self, round_index: int) -> "set[int]":
+        mask = self.rng.random(self.n_parties) < self.rates(round_index)
+        return {int(p) for p in np.flatnonzero(mask)}
+
+    def __repr__(self) -> str:
+        return (f"DiurnalAvailability(mean_rate={self.mean_rate}, "
+                f"amplitude={self.amplitude}, period={self.period})")
+
+
+class MarkovOnOff(AvailabilityModel):
+    """Two-state Markov chain per party: sticky on/off sessions.
+
+    An online party goes offline with probability ``p_drop`` each round;
+    an offline party returns with probability ``p_return``.  The
+    stationary online rate is ``p_return / (p_drop + p_return)``; initial
+    states are drawn from it so the chain starts in steady state.
+    """
+
+    def __init__(self, p_drop: float = 0.05, p_return: float = 0.2) -> None:
+        super().__init__()
+        check_fraction(p_drop, "p_drop")
+        check_fraction(p_return, "p_return")
+        if p_drop + p_return <= 0:
+            raise ConfigurationError(
+                "p_drop + p_return must be > 0 (a frozen chain has no "
+                "stationary rate)")
+        self.p_drop = float(p_drop)
+        self.p_return = float(p_return)
+        self._state: np.ndarray | None = None
+
+    @property
+    def stationary_rate(self) -> float:
+        return self.p_return / (self.p_drop + self.p_return)
+
+    def bind(self, n_parties: int, rng: np.random.Generator) -> None:
+        super().bind(n_parties, rng)
+        self._state = rng.random(n_parties) < self.stationary_rate
+
+    def online(self, round_index: int) -> "set[int]":
+        assert self._state is not None
+        draws = self.rng.random(self.n_parties)
+        self._state = np.where(self._state,
+                               draws >= self.p_drop,
+                               draws < self.p_return)
+        return {int(p) for p in np.flatnonzero(self._state)}
+
+    def __repr__(self) -> str:
+        return (f"MarkovOnOff(p_drop={self.p_drop}, "
+                f"p_return={self.p_return})")
+
+
+class TraceAvailability(AvailabilityModel):
+    """Replay an explicit schedule of online sets.
+
+    Parameters
+    ----------
+    schedule:
+        One iterable of online party ids per round, starting at round 1.
+    cycle:
+        Repeat the schedule when the job outlives it (default); when
+        False the final entry stays in force.
+    """
+
+    def __init__(self, schedule: "list[set[int]] | tuple",
+                 cycle: bool = True) -> None:
+        super().__init__()
+        entries = [frozenset(int(p) for p in entry) for entry in schedule]
+        if not entries:
+            raise ConfigurationError("schedule must name at least one round")
+        self.schedule = tuple(entries)
+        self.cycle = bool(cycle)
+
+    def bind(self, n_parties: int, rng: np.random.Generator) -> None:
+        super().bind(n_parties, rng)
+        for i, entry in enumerate(self.schedule):
+            bad = [p for p in entry if not 0 <= p < n_parties]
+            if bad:
+                raise ConfigurationError(
+                    f"schedule round {i + 1} names unknown parties {bad}")
+
+    def online(self, round_index: int) -> "set[int]":
+        index = round_index - 1
+        if self.cycle:
+            index %= len(self.schedule)
+        else:
+            index = min(index, len(self.schedule) - 1)
+        return set(self.schedule[index])
+
+    def __repr__(self) -> str:
+        return (f"TraceAvailability(rounds={len(self.schedule)}, "
+                f"cycle={self.cycle})")
+
+
+AVAILABILITY_KINDS = ("always", "bernoulli", "diurnal", "markov", "trace")
+
+
+def make_availability_model(kind: str = "always", *, rate: float = 0.8,
+                            amplitude: float = 0.35, period: float = 24.0,
+                            stickiness: float = 0.85,
+                            schedule=None) -> AvailabilityModel:
+    """Availability model from config scalars (mirrors
+    :func:`repro.fl.straggler.make_straggler_model`).
+
+    ``rate`` is the time-averaged online probability for every stochastic
+    kind; ``stickiness`` sets the Markov chain's session persistence
+    (``p_drop`` and ``p_return`` are scaled by ``1 - stickiness`` around
+    the same stationary ``rate``); ``schedule`` is required for (and only
+    for) ``kind="trace"``.
+    """
+    if kind not in AVAILABILITY_KINDS:
+        raise ConfigurationError(
+            f"unknown availability kind {kind!r}; "
+            f"choose from {AVAILABILITY_KINDS}")
+    if schedule is not None and kind != "trace":
+        raise ConfigurationError("schedule only applies to kind='trace'")
+    if kind == "always":
+        return AlwaysOn()
+    if kind == "bernoulli":
+        return BernoulliAvailability(rate)
+    if kind == "diurnal":
+        return DiurnalAvailability(mean_rate=rate, amplitude=amplitude,
+                                   period=period)
+    if kind == "markov":
+        check_fraction(rate, "availability rate")
+        check_fraction(stickiness, "stickiness")
+        if not 0.0 < rate < 1.0:
+            raise ConfigurationError(
+                "markov availability needs rate in (0, 1)")
+        scale = 1.0 - stickiness
+        return MarkovOnOff(p_drop=scale * (1.0 - rate),
+                           p_return=scale * rate)
+    if schedule is None:
+        raise ConfigurationError("kind='trace' requires a schedule")
+    return TraceAvailability(schedule)

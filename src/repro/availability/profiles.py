@@ -1,0 +1,93 @@
+"""Device profiles: compute-speed × network-bandwidth tiers.
+
+The seed engine models platform heterogeneity as a log-normal spread of
+scalar compute speeds.  Real federations are tiered — flagship phones on
+WiFi, mid-range phones on LTE, IoT boards on constrained links — and a
+round deadline interacts with *both* axes: a fast CPU on a slow radio
+can still miss the cut-off once model transfer time is counted.
+
+A :class:`DeviceProfile` bundles the two axes; ``Party.expected_latency``
+adds the profile's transfer time for the party's payload on top of its
+compute time, which is exactly the latency the
+:class:`~repro.availability.deadline.DeadlineArrivals` model races
+against the round deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = ["DEVICE_TIERS", "DeviceProfile", "assign_profiles"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One device tier: relative compute speed and network bandwidth.
+
+    Attributes
+    ----------
+    name:
+        Tier label ("low" / "mid" / "high" in the default mix).
+    compute_speed:
+        Relative local-training speed (1.0 = the reference device).
+    bandwidth_mbps:
+        Link bandwidth in megabits per second, applied to the model
+        download + upload payload.
+    """
+
+    name: str
+    compute_speed: float
+    bandwidth_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.compute_speed <= 0:
+            raise ConfigurationError("compute_speed must be positive")
+        if self.bandwidth_mbps <= 0:
+            raise ConfigurationError("bandwidth_mbps must be positive")
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` over this tier's link."""
+        if nbytes < 0:
+            raise ConfigurationError("nbytes must be >= 0")
+        return (8.0 * nbytes) / (self.bandwidth_mbps * 1e6)
+
+
+#: Default three-tier mix (IoT/budget, mid-range, flagship), with the
+#: population weights used when ``assign_profiles`` gets none.
+DEVICE_TIERS: "tuple[DeviceProfile, ...]" = (
+    DeviceProfile("low", compute_speed=0.5, bandwidth_mbps=2.0),
+    DeviceProfile("mid", compute_speed=1.0, bandwidth_mbps=10.0),
+    DeviceProfile("high", compute_speed=2.0, bandwidth_mbps=50.0),
+)
+_DEFAULT_WEIGHTS = (0.3, 0.5, 0.2)
+
+
+def assign_profiles(n_parties: int, rng: np.random.Generator,
+                    tiers: "tuple[DeviceProfile, ...]" = DEVICE_TIERS,
+                    weights: "tuple[float, ...] | None" = None,
+                    ) -> "list[DeviceProfile]":
+    """Draw one profile per party from a tier mix.
+
+    The draw should come from a dedicated fabric stream (the engine uses
+    ``"device-profiles"``) so tier assignment is reproducible per seed
+    and independent of every other draw in the job.
+    """
+    if n_parties < 1:
+        raise ConfigurationError("n_parties must be >= 1")
+    if not tiers:
+        raise ConfigurationError("need at least one device tier")
+    if weights is None:
+        weights = (_DEFAULT_WEIGHTS if len(tiers) == len(_DEFAULT_WEIGHTS)
+                   else tuple(1.0 / len(tiers) for _ in tiers))
+    if len(weights) != len(tiers):
+        raise ConfigurationError("weights must match tiers")
+    probabilities = np.asarray(weights, dtype=np.float64)
+    if np.any(probabilities < 0) or probabilities.sum() <= 0:
+        raise ConfigurationError("weights must be non-negative, sum > 0")
+    probabilities = probabilities / probabilities.sum()
+    picks = rng.choice(len(tiers), size=n_parties, p=probabilities)
+    return [tiers[int(i)] for i in picks]

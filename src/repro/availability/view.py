@@ -1,0 +1,84 @@
+"""Per-round online view shared between the engine and the selectors.
+
+Availability is decided by the *environment* (an
+:class:`~repro.availability.models.AvailabilityModel` plus an optional
+:class:`~repro.availability.churn.ChurnProcess`), but every selection
+strategy must honour it: a cohort may only contain parties that are
+online when the round is planned.  One mutable :class:`OnlineView` is
+created by the engine, handed to the strategy inside its (frozen)
+``SelectionContext``, and refreshed at the top of every round — so the
+context stays immutable while the population it describes breathes.
+
+The *unrestricted* state (``online=None``) means "everyone is online"
+and is the default: jobs without an availability model, and every
+pre-subsystem test and golden digest, run through exactly the code
+paths they always did.
+"""
+
+from __future__ import annotations
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = ["OnlineView"]
+
+
+class OnlineView:
+    """Mutable view of which parties are currently online.
+
+    ``None`` (the default) means *unrestricted*: every party is online
+    and selectors follow their legacy, bit-exact code paths.  A set
+    restricts selection to its members; the engine normalises a
+    full-population set back to unrestricted so "everyone happened to be
+    awake this round" costs nothing.
+    """
+
+    __slots__ = ("_online", "_sorted")
+
+    def __init__(self, online: "set[int] | frozenset[int] | None" = None,
+                 ) -> None:
+        self._online: frozenset | None = None
+        self._sorted: "list[int] | None" = None
+        self.update(online)
+
+    def update(self, online: "set[int] | frozenset[int] | None") -> None:
+        """Replace the view for the coming round (engine-only)."""
+        if online is None:
+            self._online = None
+        else:
+            frozen = frozenset(int(p) for p in online)
+            if not frozen:
+                raise ConfigurationError(
+                    "an online view cannot be empty — the engine must "
+                    "fall back to the active population instead")
+            self._online = frozen
+        self._sorted = None
+
+    @property
+    def restricted(self) -> bool:
+        """True when some parties are offline this round."""
+        return self._online is not None
+
+    @property
+    def online(self) -> "frozenset[int] | None":
+        """The online party ids, or ``None`` when unrestricted."""
+        return self._online
+
+    def is_online(self, party: int) -> bool:
+        return self._online is None or party in self._online
+
+    def ids(self, n_parties: int) -> "list[int]":
+        """Sorted online ids (``range(n_parties)`` when unrestricted)."""
+        if self._online is None:
+            return list(range(n_parties))
+        if self._sorted is None:
+            self._sorted = sorted(self._online)
+        return self._sorted
+
+    def count(self, n_parties: int) -> int:
+        """How many parties are online out of ``n_parties``."""
+        return n_parties if self._online is None else len(self._online)
+
+    def __repr__(self) -> str:
+        if self._online is None:
+            return "OnlineView(unrestricted)"
+        return f"OnlineView(n_online={len(self._online)})"

@@ -168,16 +168,28 @@ class FlipsSelector(SelectionStrategy):
         if self._cluster_heap is None or self.cluster_model is None:
             raise ConfigurationError("FlipsSelector used before initialize()")
         n_parties = self.context.n_parties
-        n_base = min(n_select, n_parties)
+        view = self.context.online_view
+        n_online = view.count(n_parties)
+        n_base = min(n_select, n_parties, n_online)
+
+        # Offline (sleeping or churned-away) parties stay in the heaps —
+        # their fairness memory must survive their nap — but are excluded
+        # from every extraction, so the heaps tolerate parties that
+        # vanish mid-job.  Unrestricted rounds start from an empty
+        # exclusion set: the legacy behaviour, draw for draw.
+        chosen: set[int] = set()
+        excluded: set[int] = (
+            {p for p in range(n_parties) if not view.is_online(p)}
+            if view.restricted else set())
 
         cohort: list[int] = []
-        chosen: set[int] = set()
         attempts = 0
         max_attempts = 4 * n_base * max(self.cluster_model.k, 1)
         while len(cohort) < n_base and attempts < max_attempts:
             attempts += 1
             cluster = self._cluster_heap.extract_min()
-            party = self._pick_from_cluster(int(cluster), exclude=chosen)
+            party = self._pick_from_cluster(int(cluster),
+                                            exclude=chosen | excluded)
             self._cluster_heap.increment_and_insert(cluster)
             if party is None:
                 continue
@@ -186,8 +198,8 @@ class FlipsSelector(SelectionStrategy):
 
         if self.overprovision and self._stragglers_active:
             n_extra = int(self._strg_estimate * n_select)
-            n_extra = min(n_extra, n_parties - len(cohort))
-            exclude = chosen | self._straggler_parties
+            n_extra = min(n_extra, n_online - len(cohort))
+            exclude = chosen | excluded | self._straggler_parties
             for _ in range(max(n_extra, 0)):
                 party = self._pick_replacement(exclude)
                 if party is None:

@@ -9,6 +9,7 @@ wrappers that call these generators and print the results.
 """
 
 from repro.experiments.config import (
+    AVAILABILITY_KINDS,
     BACKENDS,
     BENCH_TARGETS,
     ExperimentConfig,
@@ -27,9 +28,13 @@ from repro.experiments.runner import (
     run_repeated,
 )
 from repro.experiments.tables import (
+    AVAILABILITY_REGIMES,
     TABLE_INDEX,
+    AvailabilityTableResult,
     TableResult,
     TableSpec,
+    availability_table,
+    format_availability_table,
     format_table,
     generate_table,
 )
@@ -42,6 +47,9 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "AVAILABILITY_KINDS",
+    "AVAILABILITY_REGIMES",
+    "AvailabilityTableResult",
     "BACKENDS",
     "BENCH_TARGETS",
     "ExperimentConfig",
@@ -49,12 +57,14 @@ __all__ = [
     "TABLE_INDEX",
     "TableResult",
     "TableSpec",
+    "availability_table",
     "bench_config",
     "build_federation_for",
     "build_selector",
     "clear_cache",
     "convergence_figure",
     "elbow_figure",
+    "format_availability_table",
     "format_figure",
     "format_table",
     "generate_table",

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.availability.models import AVAILABILITY_KINDS
 from repro.common.exceptions import ConfigurationError
 
 __all__ = [
+    "AVAILABILITY_KINDS",
     "BACKENDS",
     "BENCH_TARGETS",
     "ExperimentConfig",
@@ -85,6 +87,13 @@ class ExperimentConfig:
     eval_every: int = 1
     eval_subsample: int | None = None
 
+    # dynamic population (availability / churn / deadline subsystem)
+    availability: str = "always"
+    availability_rate: float = 0.8
+    churn: float = 0.0
+    deadline_factor: float | None = None
+    device_tiers: bool = False
+
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:
             raise ConfigurationError(
@@ -110,6 +119,28 @@ class ExperimentConfig:
         if self.eval_subsample is not None and self.eval_subsample < 1:
             raise ConfigurationError(
                 "eval_subsample must be >= 1 or None")
+        if self.availability not in AVAILABILITY_KINDS or \
+                self.availability == "trace":
+            choices = tuple(k for k in AVAILABILITY_KINDS if k != "trace")
+            raise ConfigurationError(
+                f"unknown availability {self.availability!r}; choose from "
+                f"{choices} (trace schedules are programmatic-only)")
+        if not 0.0 < self.availability_rate <= 1.0:
+            raise ConfigurationError(
+                "availability_rate must be in (0, 1]")
+        if self.availability == "markov" and self.availability_rate == 1.0:
+            raise ConfigurationError(
+                "markov availability needs availability_rate in (0, 1); "
+                "use availability='always' for a fully-online population")
+        if not 0.0 <= self.churn < 1.0:
+            raise ConfigurationError("churn must be in [0, 1)")
+        if self.deadline_factor is not None:
+            if self.deadline_factor <= 0:
+                raise ConfigurationError("deadline_factor must be > 0")
+            if self.straggler_rate > 0:
+                raise ConfigurationError(
+                    "deadline_factor subsumes straggler_rate; "
+                    "set one or the other")
 
     @property
     def parties_per_round(self) -> int:
@@ -119,8 +150,11 @@ class ExperimentConfig:
     @property
     def oort_overprovision(self) -> float:
         """Oort's 1.3× hedge, active only in straggler experiments
-        (matching §5.3)."""
-        return 1.3 if self.straggler_rate > 0 else 1.0
+        (matching §5.3) — whether drops come from the rate models or
+        from deadline arrivals."""
+        if self.straggler_rate > 0 or self.deadline_factor is not None:
+            return 1.3
+        return 1.0
 
     def cache_key(self) -> tuple:
         """Hashable identity for the run cache: every field that affects
@@ -131,7 +165,9 @@ class ExperimentConfig:
                 self.model, self.mode, self.partition, self.local_epochs,
                 self.batch_size, self.learning_rate, self.lr_decay,
                 self.lr_decay_every, self.flips_k, self.server_lr,
-                self.backend, self.eval_every, self.eval_subsample)
+                self.backend, self.eval_every, self.eval_subsample,
+                self.availability, self.availability_rate, self.churn,
+                self.deadline_factor, self.device_tiers)
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         return replace(self, **kwargs)

@@ -14,7 +14,11 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.availability.churn import make_churn_process
+from repro.availability.models import make_availability_model
+from repro.availability.profiles import assign_profiles
 from repro.common.exceptions import ConfigurationError
+from repro.common.rng import RngFabric
 from repro.core.flips import FlipsSelector
 from repro.data.federated import FederatedDataset, build_federation
 from repro.experiments.config import ExperimentConfig
@@ -99,6 +103,15 @@ def run_experiment(config: ExperimentConfig) -> TrainingHistory:
     the bit-exact default —, "parallel" or "batched");
     ``config.eval_every`` / ``config.eval_subsample`` amortize global
     evaluation (the final round is always scored exactly).
+
+    The dynamic-population knobs map onto :mod:`repro.availability`:
+    ``availability``/``availability_rate`` pick the availability
+    process, ``churn`` adds permanent joins/departures at that
+    intensity, ``deadline_factor`` switches arrivals from rate-based
+    stragglers to the latency-vs-deadline model, and ``device_tiers``
+    assigns compute×bandwidth device profiles instead of the log-normal
+    speed spread.  The defaults reproduce the paper's static,
+    always-online population bit-for-bit.
     """
     federation = build_federation_for(config)
     model = make_model(config.model,
@@ -127,11 +140,22 @@ def run_experiment(config: ExperimentConfig) -> TrainingHistory:
     )
     trainer = FederatedTrainer(
         federation, model, algorithm, strategy, job,
-        straggler_model=make_straggler_model(config.straggler_rate),
+        straggler_model=(
+            None if config.deadline_factor is not None
+            else make_straggler_model(config.straggler_rate)),
         executor=make_executor(config.backend, n_workers=config.n_workers),
         eval_policy=make_evaluation_policy(
             eval_every=config.eval_every,
-            subsample=config.eval_subsample))
+            subsample=config.eval_subsample),
+        availability_model=make_availability_model(
+            config.availability, rate=config.availability_rate),
+        churn=make_churn_process(config.churn),
+        deadline_factor=config.deadline_factor,
+        device_profiles=(
+            assign_profiles(
+                config.n_parties,
+                RngFabric(config.seed).generator("device-profiles"))
+            if config.device_tiers else None))
     return trainer.run()
 
 

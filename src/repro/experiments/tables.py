@@ -23,6 +23,7 @@ import numpy as np
 from repro.common.exceptions import ConfigurationError
 from repro.experiments.config import (
     BENCH_TARGETS,
+    SELECTORS,
     ExperimentConfig,
     bench_config,
     paper_config,
@@ -32,9 +33,13 @@ from repro.experiments.runner import mean_accuracy_series, run_repeated
 from repro.metrics.convergence import rounds_to_target
 
 __all__ = [
+    "AVAILABILITY_REGIMES",
+    "AvailabilityTableResult",
     "TABLE_INDEX",
     "TableResult",
     "TableSpec",
+    "availability_table",
+    "format_availability_table",
     "format_table",
     "generate_table",
 ]
@@ -163,6 +168,119 @@ def generate_table(spec: TableSpec, *, preset: str = "bench",
                 result.cells[(alpha, participation, rate, selector)] = \
                     _metric_value(histories, spec.metric, result.target)
     return result
+
+
+# -- availability ablation ---------------------------------------------------
+#
+# Beyond the paper: how does each selector hold up when the population
+# is dynamic?  Rows are availability regimes (config-knob overrides),
+# columns the selectors; each cell reports peak accuracy, rounds to the
+# preset target and total communication — the same metrics as the paper
+# tables, now under populations that breathe.
+
+#: Named availability regimes: config overrides layered onto a preset.
+AVAILABILITY_REGIMES: "dict[str, dict]" = {
+    "always": {},
+    "bernoulli": {"availability": "bernoulli", "availability_rate": 0.7},
+    "markov": {"availability": "markov", "availability_rate": 0.7},
+    "diurnal": {"availability": "diurnal", "availability_rate": 0.6},
+    "diurnal+churn": {"availability": "diurnal",
+                      "availability_rate": 0.6, "churn": 0.05},
+}
+
+
+@dataclass
+class AvailabilityTableResult:
+    """One regenerated availability ablation.
+
+    ``cells[(regime, selector)]`` maps to a dict with ``peak`` (best
+    balanced accuracy), ``rounds`` (to the preset target; ``None`` =
+    never), ``comm_mb`` (mean total transfer) and ``mean_online`` (mean
+    online fraction per round, from the tracker-metered histories).
+    """
+
+    dataset: str
+    target: float
+    rounds_budget: int
+    regimes: "tuple[str, ...]" = ()
+    selectors: "tuple[str, ...]" = ()
+    cells: dict = field(default_factory=dict)
+
+    def cell(self, regime: str, selector: str) -> dict:
+        return self.cells[(regime, selector)]
+
+
+def _mean_online(history, n_parties: int) -> float:
+    """Mean parties online per round; static rounds count everyone."""
+    series = history.online_series()
+    return float(np.where(np.isnan(series), n_parties, series).mean())
+
+
+def availability_table(dataset: str = "ecg", *, preset: str = "bench",
+                       seeds: "tuple[int, ...]" = (0,),
+                       regimes: "dict[str, dict] | None" = None,
+                       selectors: "tuple[str, ...]" = SELECTORS,
+                       **overrides) -> AvailabilityTableResult:
+    """Selector × availability-regime ablation (not a paper table).
+
+    Every cell shares the run cache with the paper tables, so the
+    ``always`` column costs nothing after a bench session.  Per-round
+    communication comes from the engine's
+    :class:`~repro.fl.comm.CommunicationTracker` metering, surfaced
+    through each history's round records; dynamic regimes spend fewer
+    bytes when sparse rounds shrink the cohort below the nominal Nr.
+    """
+    if preset not in _PRESETS:
+        raise ConfigurationError(
+            f"unknown preset {preset!r}; choose from {sorted(_PRESETS)}")
+    if regimes is None:
+        regimes = AVAILABILITY_REGIMES
+    if not regimes or not selectors:
+        raise ConfigurationError("need at least one regime and selector")
+    base: ExperimentConfig = _PRESETS[preset](dataset, **overrides)
+    result = AvailabilityTableResult(
+        dataset=dataset, target=base.target_accuracy,
+        rounds_budget=base.rounds, regimes=tuple(regimes),
+        selectors=tuple(selectors))
+    for regime, knobs in regimes.items():
+        for selector in selectors:
+            config = base.with_overrides(selector=selector, **knobs)
+            histories = run_repeated(config, seeds)
+            series = mean_accuracy_series(histories)
+            online = np.array([_mean_online(h, config.n_parties)
+                               for h in histories])
+            result.cells[(regime, selector)] = {
+                "peak": float(series.max()),
+                "rounds": rounds_to_target(series, result.target),
+                "comm_mb": float(np.mean(
+                    [h.total_comm_bytes() for h in histories]) / 1e6),
+                "mean_online": float(online.mean() / config.n_parties),
+            }
+    return result
+
+
+def format_availability_table(result: AvailabilityTableResult) -> str:
+    """Render the availability ablation as fixed-width text."""
+    lines = [
+        f"Availability ablation — {result.dataset} "
+        f"(target {100 * result.target:.0f}%, "
+        f"round budget {result.rounds_budget})"]
+    header = (f"{'regime':>14} {'online%':>7} | " + " ".join(
+        f"{s:>16}" for s in result.selectors)
+        + "   [peak% / rounds-to-target]")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for regime in result.regimes:
+        online = result.cell(regime, result.selectors[0])["mean_online"]
+        cells = []
+        for selector in result.selectors:
+            cell = result.cell(regime, selector)
+            rounds = (f">{result.rounds_budget}" if cell["rounds"] is None
+                      else str(int(cell["rounds"])))
+            cells.append(f"{100 * cell['peak']:7.2f} /{rounds:>6}")
+        lines.append(f"{regime:>14} {100 * online:>6.1f}% | "
+                     + " ".join(f"{c:>16}" for c in cells))
+    return "\n".join(lines)
 
 
 def _format_cell(value, metric: str, budget: int) -> str:

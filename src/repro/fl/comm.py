@@ -21,6 +21,12 @@ __all__ = ["CommunicationTracker"]
 class CommunicationTracker:
     """Accumulates per-round down/up transfer volumes.
 
+    Downloads are metered per cohort member.  Under a dynamic
+    population that stays honest because the round plan *validates*
+    that every cohort member was online at dispatch (selection
+    validation plus ``RoundPlan.__post_init__``) — an offline party can
+    never appear in a cohort, so it can never be billed a download.
+
     Parameters
     ----------
     model_dimension:
@@ -31,6 +37,8 @@ class CommunicationTracker:
     downlink_bytes: int = 0
     uplink_bytes: int = 0
     per_round: list = field(default_factory=list)
+    per_round_downlink: list = field(default_factory=list)
+    per_round_uplink: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.model_dimension <= 0:
@@ -49,7 +57,19 @@ class CommunicationTracker:
         self.downlink_bytes += down
         self.uplink_bytes += up
         self.per_round.append(down + up)
+        self.per_round_downlink.append(down)
+        self.per_round_uplink.append(up)
         return down + up
+
+    def per_round_summary(self) -> "list[dict]":
+        """One dict per recorded round with split down/up volumes —
+        what the availability-ablation table and the churn example read
+        to show where dynamic populations spend (and waste) bytes."""
+        return [
+            {"round": i + 1, "downlink_bytes": down, "uplink_bytes": up,
+             "total_bytes": down + up}
+            for i, (down, up) in enumerate(
+                zip(self.per_round_downlink, self.per_round_uplink))]
 
     @property
     def total_bytes(self) -> int:

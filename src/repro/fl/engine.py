@@ -11,11 +11,20 @@ Each round is decomposed into explicit phases so the middle — client
 execution — is a pluggable backend (:mod:`repro.fl.execution`) and
 evaluation is a policy (:mod:`repro.fl.evaluation`):
 
-    plan_round()  → RoundPlan        (selection + straggler draw)
+    plan_round()  → RoundPlan        (availability + selection + arrivals)
     executor      → [ModelUpdate]    (serial / parallel / batched)
     _aggregate()  → new global model
     eval policy   → EvalResult       (full / amortized)
     _record()     → RoundRecord + RoundOutcome feedback
+
+Dynamic populations (:mod:`repro.availability`) slot into the planning
+phase: an availability model and an optional churn process decide who is
+online, the strategy's :class:`~repro.availability.view.OnlineView` is
+refreshed so selectors can only pick online parties, and an arrival
+model (rate-based stragglers, or the deadline model when
+``deadline_factor`` is set) decides who reports.  With the defaults
+(always-on, no churn, rate stragglers) every one of those hooks is inert
+and histories are bit-for-bit the pre-subsystem ones.
 
 Design notes
 ------------
@@ -40,8 +49,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.availability.churn import ChurnProcess
+from repro.availability.deadline import (
+    ArrivalModel,
+    DeadlineArrivals,
+    StragglerArrivals,
+)
+from repro.availability.models import AlwaysOn, AvailabilityModel
+from repro.availability.view import OnlineView
 from repro.common.exceptions import ConfigurationError
 from repro.common.rng import RngFabric
+from repro.ml.serialization import update_nbytes
 from repro.data.federated import FederatedDataset
 from repro.fl.algorithms import FLAlgorithm
 from repro.fl.comm import CommunicationTracker
@@ -113,6 +131,26 @@ class FederatedTrainer:
         Evaluation policy; default
         :class:`~repro.fl.evaluation.FullEvaluation` (every round, full
         test set).
+    availability_model:
+        Who is online each round; default
+        :class:`~repro.availability.models.AlwaysOn` (the paper's static
+        population).  Draws from the dedicated ``"availability"`` fabric
+        stream.
+    churn:
+        Optional :class:`~repro.availability.churn.ChurnProcess` for
+        permanent joins/departures (``"churn"`` stream).
+    deadline_factor:
+        When set, arrivals come from the
+        :class:`~repro.availability.deadline.DeadlineArrivals` model —
+        simulated latency raced against ``deadline_factor`` × the
+        cohort's median expected latency, drawn on the ``"deadline"``
+        stream — and ``straggler_model`` must be left unset (the
+        deadline mechanism subsumes the rate models).
+    device_profiles:
+        Optional per-party
+        :class:`~repro.availability.profiles.DeviceProfile` list; tier
+        compute speeds replace the log-normal speed spread and tier
+        bandwidth adds model-transfer time to expected latencies.
     """
 
     def __init__(self, federation: FederatedDataset, model: Model,
@@ -121,11 +159,19 @@ class FederatedTrainer:
                  straggler_model: StragglerModel | None = None,
                  compute_speeds: np.ndarray | None = None,
                  executor: ClientExecutor | None = None,
-                 eval_policy: EvaluationPolicy | None = None) -> None:
+                 eval_policy: EvaluationPolicy | None = None,
+                 availability_model: AvailabilityModel | None = None,
+                 churn: ChurnProcess | None = None,
+                 deadline_factor: float | None = None,
+                 device_profiles: "list | None" = None) -> None:
         if config.parties_per_round > federation.n_parties:
             raise ConfigurationError(
                 f"parties_per_round={config.parties_per_round} exceeds "
                 f"federation size {federation.n_parties}")
+        if deadline_factor is not None and straggler_model is not None:
+            raise ConfigurationError(
+                "deadline_factor subsumes rate-based straggler models; "
+                "configure one or the other")
         self.federation = federation
         self.model = model
         self.algorithm = algorithm
@@ -140,24 +186,58 @@ class FederatedTrainer:
         self._rng_straggle = fabric.generator("stragglers")
         self._fabric = fabric
 
+        if device_profiles is not None and \
+                len(device_profiles) != federation.n_parties:
+            raise ConfigurationError(
+                "device_profiles must cover every party")
         if compute_speeds is None:
-            # Log-normal spread of device speeds: a realistic platform mix
-            # whose slow tail is what TiFL tiers on.
-            compute_speeds = fabric.generator("speeds").lognormal(
-                mean=0.0, sigma=0.3, size=federation.n_parties)
+            if device_profiles is not None:
+                compute_speeds = np.array(
+                    [profile.compute_speed for profile in device_profiles])
+            else:
+                # Log-normal spread of device speeds: a realistic platform
+                # mix whose slow tail is what TiFL tiers on.
+                compute_speeds = fabric.generator("speeds").lognormal(
+                    mean=0.0, sigma=0.3, size=federation.n_parties)
         if len(compute_speeds) != federation.n_parties:
             raise ConfigurationError(
                 "compute_speeds must cover every party")
 
+        # One model download + one update upload per round.
+        payload_nbytes = 2 * update_nbytes(model.dimension)
         self.parties = [
             Party(i, federation.party(i),
                   compute_speed=float(compute_speeds[i]),
-                  rng=fabric.generator(f"party-{i}"))
+                  rng=fabric.generator(f"party-{i}"),
+                  profile=(None if device_profiles is None
+                           else device_profiles[i]),
+                  payload_nbytes=(0 if device_profiles is None
+                                  else payload_nbytes))
             for i in range(federation.n_parties)]
 
         self._local_config = algorithm.apply_client_overrides(config.local)
         self.comm = CommunicationTracker(model.dimension)
         self.global_parameters = model.get_parameters()
+
+        # Dynamic-population machinery, each on its own fabric stream so
+        # runs stay reproducible per seed and availability draws cannot
+        # perturb selector/straggler/jitter draws (or vice versa).
+        self.availability_model = availability_model or AlwaysOn()
+        self.availability_model.bind(federation.n_parties,
+                                     fabric.generator("availability"))
+        self.churn = churn
+        if churn is not None:
+            churn.bind(federation.n_parties, config.rounds,
+                       fabric.generator("churn"))
+        self._arrivals: ArrivalModel
+        if deadline_factor is not None:
+            self._arrivals = DeadlineArrivals(deadline_factor)
+            self._rng_arrival = fabric.generator("deadline")
+        else:
+            self._arrivals = StragglerArrivals(self.straggler_model)
+            self._rng_arrival = self._rng_straggle
+        self._arrivals.bind(self.parties, self._local_config)
+        self._online_view = OnlineView()
 
         strategy.initialize(SelectionContext(
             n_parties=federation.n_parties,
@@ -166,24 +246,57 @@ class FederatedTrainer:
             party_sizes=federation.party_sizes(),
             num_classes=federation.num_classes,
             seed=config.seed,
+            online_view=self._online_view,
         ))
 
     # -- phase 1: planning -------------------------------------------------
+    def _online_parties(self, round_index: int) -> "set[int] | None":
+        """The round's online population (availability ∩ churn-active),
+        or ``None`` when everyone is online — including the fallback
+        case where a sparse availability draw left nobody awake and the
+        aggregator waits for the active population instead."""
+        n_parties = self.federation.n_parties
+        active = (self.churn.active(round_index)
+                  if self.churn is not None else None)
+        drawn = (None if self.availability_model.trivial
+                 else self.availability_model.online(round_index))
+        if drawn is None and active is None:
+            return None
+        online = (set(drawn) if drawn is not None
+                  else set(range(n_parties)))
+        if active is not None:
+            online &= active
+        if not online:
+            # Nobody awake this round: the aggregator stalls until the
+            # enrolled population responds — model that by admitting the
+            # whole active set rather than crashing the job.
+            online = active if active else set(range(n_parties))
+        if len(online) == n_parties:
+            return None
+        return online
+
     def plan_round(self, round_index: int) -> RoundPlan:
-        """Selection + straggler draw: everything decided before any
-        client computes."""
+        """Availability + selection + arrival draw: everything decided
+        before any client computes."""
+        online = self._online_parties(round_index)
+        self._online_view.update(online)
+        n_select = (self.config.parties_per_round if online is None
+                    else min(self.config.parties_per_round, len(online)))
         cohort = self.strategy.validated_select(
-            round_index, self.config.parties_per_round, self._rng_select)
+            round_index, n_select, self._rng_select)
         if not cohort:
             raise ConfigurationError(
                 f"{self.strategy.name} returned an empty cohort")
-        dropped = self.straggler_model.draw(cohort, round_index,
-                                            self._rng_straggle)
+        arrival = self._arrivals.draw(cohort, round_index,
+                                      self._rng_arrival)
         return RoundPlan(
             round_index=round_index,
             cohort=tuple(cohort),
-            stragglers=tuple(sorted(dropped)),
-            local_config=self._local_config)
+            stragglers=tuple(sorted(arrival.missed)),
+            local_config=self._local_config,
+            online=None if online is None else tuple(sorted(online)),
+            deadline=arrival.deadline,
+            latencies=arrival.latencies)
 
     # -- phase 3: aggregation ----------------------------------------------
     def _aggregate(self, updates: "list[ModelUpdate]") -> None:
@@ -211,7 +324,15 @@ class FederatedTrainer:
         branch is the pre-backend engine's formula, kept verbatim for
         bit-exact histories; unifying both on the expected-latency
         deadline is a deliberate follow-up, not an oversight.
+
+        Deadline-planned rounds (``plan.deadline`` set) are simpler and
+        physical: any straggler means the aggregator waited out its
+        deadline, otherwise the round ends with its slowest arrival.
         """
+        if plan.deadline is not None:
+            if plan.stragglers or not latencies:
+                return plan.deadline
+            return max(latencies.values())
         if latencies:
             duration = max(latencies.values())
             if plan.stragglers:
@@ -230,6 +351,9 @@ class FederatedTrainer:
         updates = self.executor.execute(plan, self.global_parameters)
         self._aggregate(updates)
 
+        # Every cohort member consumed a download; plan validation
+        # guarantees the cohort only names parties online at dispatch,
+        # so dynamic populations never meter phantom transfers.
         comm_bytes = self.comm.record_round(
             n_downloads=len(plan.cohort), n_uploads=len(updates))
 
@@ -251,6 +375,7 @@ class FederatedTrainer:
                 [u.train_loss for u in updates])) if updates else float("nan"),
             comm_bytes=comm_bytes,
             round_duration=self._round_duration(plan, latencies),
+            n_online=None if plan.online is None else len(plan.online),
         ))
 
         outcome = RoundOutcome(

@@ -75,16 +75,27 @@ __all__ = [
 class RoundPlan:
     """One round's worth of decisions, fixed before any client runs.
 
-    The plan captures everything the selection and straggler phases
-    decided: who was asked to train (``cohort``, in selection order), who
-    will fail to report (``stragglers``), and the local hyperparameters
-    in force.  Executors only ever see plans — they make no decisions.
+    The plan captures everything the selection, availability and arrival
+    phases decided: who was asked to train (``cohort``, in selection
+    order), who will fail to report (``stragglers``), the local
+    hyperparameters in force, and — for dynamic-population jobs — which
+    parties were online when the round was planned (``online``), the
+    aggregator's round deadline and the per-party latency draws that
+    decided the arrivals.  Executors only ever see plans — they make no
+    decisions.
+
+    ``online``/``deadline``/``latencies`` default to ``None`` (static
+    population, rate-based stragglers): the pre-subsystem plan, and the
+    pre-subsystem execution semantics.
     """
 
     round_index: int
     cohort: tuple[int, ...]
     stragglers: tuple[int, ...]
     local_config: LocalTrainingConfig
+    online: "tuple[int, ...] | None" = None
+    deadline: "float | None" = None
+    latencies: "dict[int, float] | None" = None
 
     def __post_init__(self) -> None:
         if self.round_index < 1:
@@ -95,12 +106,31 @@ class RoundPlan:
         if unknown:
             raise ConfigurationError(
                 f"stragglers {sorted(unknown)} are not cohort members")
+        if self.online is not None:
+            offline = set(self.cohort) - set(self.online)
+            if offline:
+                raise ConfigurationError(
+                    f"cohort members {sorted(offline)} are not online")
+        if self.latencies is not None:
+            missing = set(self.cohort) - set(self.latencies)
+            if missing:
+                raise ConfigurationError(
+                    f"planned latencies missing for {sorted(missing)}")
+        if self.deadline is not None and self.deadline < 0:
+            raise ConfigurationError("deadline must be >= 0")
 
     @property
     def participants(self) -> tuple[int, ...]:
         """Cohort members expected to report, in cohort order."""
         dropped = set(self.stragglers)
         return tuple(p for p in self.cohort if p not in dropped)
+
+    def planned_latency(self, party_id: int) -> "float | None":
+        """The arrival model's latency draw for a party (``None`` when
+        arrivals are rate-based and parties draw their own jitter)."""
+        if self.latencies is None:
+            return None
+        return self.latencies.get(party_id)
 
 
 @dataclass(frozen=True)
@@ -171,7 +201,8 @@ class SerialExecutor(ClientExecutor):
         return [
             ctx.parties[party_id].local_train(
                 ctx.model, global_parameters, plan.local_config,
-                plan.round_index)
+                plan.round_index,
+                latency=plan.planned_latency(party_id))
             for party_id in plan.participants]
 
 
@@ -199,17 +230,25 @@ class BatchedExecutor(ClientExecutor):
                 global_parameters: np.ndarray) -> "list[ModelUpdate]":
         ctx = self.context
         participants = plan.participants
-        jitter = self._rng_latency.lognormal(
-            mean=0.0, sigma=LATENCY_JITTER_SIGMA, size=len(participants))
+        if plan.latencies is not None:
+            # Deadline-planned rounds fixed every latency at planning
+            # time; honour those draws instead of re-drawing.
+            latencies = [plan.latencies[p] for p in participants]
+        else:
+            jitter = self._rng_latency.lognormal(
+                mean=0.0, sigma=LATENCY_JITTER_SIGMA, size=len(participants))
+            latencies = [
+                ctx.parties[p].expected_latency(plan.local_config)
+                * float(jit)
+                for p, jit in zip(participants, jitter)]
         updates = []
-        for party_id, jit in zip(participants, jitter):
+        for party_id, latency in zip(participants, latencies):
             party = ctx.parties[party_id]
             updates.append(party.local_train(
                 ctx.model, global_parameters, plan.local_config,
                 plan.round_index,
                 collect_loss_stats=ctx.collect_loss_stats,
-                latency=party.expected_latency(plan.local_config)
-                * float(jit)))
+                latency=latency))
         return updates
 
 
@@ -228,13 +267,15 @@ def _worker_loop(conn, parties: "list[Party]", model: Model,
         message = conn.recv()
         if message is None:
             break
-        round_index, global_parameters, party_ids, config, with_stats = \
-            message
+        (round_index, global_parameters, party_ids, config, with_stats,
+         latencies) = message
         try:
             updates = [
                 table[party_id].local_train(
                     model, global_parameters, config, round_index,
-                    collect_loss_stats=with_stats)
+                    collect_loss_stats=with_stats,
+                    latency=(None if latencies is None
+                             else latencies.get(party_id)))
                 for party_id in party_ids]
             conn.send(("ok", updates))
         except Exception as exc:  # ship the failure to the parent
@@ -323,7 +364,7 @@ class ParallelExecutor(ClientExecutor):
             try:
                 self._conns[worker_index].send(
                     (plan.round_index, global_parameters, party_ids,
-                     plan.local_config, True))
+                     plan.local_config, True, plan.latencies))
             except (BrokenPipeError, OSError) as exc:
                 raise ExecutionError(
                     f"executor worker {worker_index} died between rounds"

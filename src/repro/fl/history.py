@@ -23,7 +23,12 @@ __all__ = ["RoundRecord", "TrainingHistory"]
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """Everything observed in one FL round."""
+    """Everything observed in one FL round.
+
+    ``n_online`` counts the parties online when the round was planned
+    (availability × churn); ``None`` means the job ran the static,
+    everyone-always-online population of the paper.
+    """
 
     round_index: int
     cohort: tuple[int, ...]
@@ -35,6 +40,7 @@ class RoundRecord:
     mean_train_loss: float
     comm_bytes: int
     round_duration: float
+    n_online: "int | None" = None
 
     @property
     def n_overprovisioned(self) -> int:
@@ -83,6 +89,12 @@ class TrainingHistory:
         series = self.loss_series()
         finite = series[np.isfinite(series)]
         return float(finite.mean()) if finite.size else float("nan")
+
+    def online_series(self) -> np.ndarray:
+        """Parties online per round (``NaN`` where the round ran the
+        static, always-online population)."""
+        return np.array([np.nan if r.n_online is None else r.n_online
+                         for r in self.records], dtype=float)
 
     def per_label_series(self, label: int) -> np.ndarray:
         """Recall of one label per round — Fig. 13's underrepresented-label

@@ -100,21 +100,34 @@ class Party:
         tiers on the resulting latencies.
     rng:
         Private generator driving batch order and latency jitter.
+    profile:
+        Optional :class:`~repro.availability.profiles.DeviceProfile`
+        tier.  When set, :meth:`expected_latency` adds the profile's
+        model-transfer time for ``payload_nbytes`` on top of compute
+        time — the latency a deadline-setting aggregator races.
+    payload_nbytes:
+        Bytes moved per round (model download + update upload); only
+        consulted when a profile is present.
     """
 
     def __init__(self, party_id: int, dataset: Dataset, *,
                  compute_speed: float = 1.0,
-                 rng: "int | np.random.Generator | None" = None) -> None:
+                 rng: "int | np.random.Generator | None" = None,
+                 profile=None, payload_nbytes: int = 0) -> None:
         if party_id < 0:
             raise ConfigurationError("party_id must be non-negative")
         if compute_speed <= 0:
             raise ConfigurationError("compute_speed must be positive")
+        if payload_nbytes < 0:
+            raise ConfigurationError("payload_nbytes must be >= 0")
         if len(dataset) == 0:
             raise ConfigurationError(
                 f"party {party_id} has no training data")
         self.party_id = int(party_id)
         self.dataset = dataset
         self.compute_speed = float(compute_speed)
+        self.profile = profile
+        self.payload_nbytes = int(payload_nbytes)
         self._rng = as_generator(rng)
         self._dyn_state: np.ndarray | None = None
         self.rounds_participated = 0
@@ -156,9 +169,16 @@ class Party:
 
     def expected_latency(self, config: LocalTrainingConfig) -> float:
         """Deterministic (jitter-free) seconds for one local-training
-        invocation — what a deadline-setting aggregator would budget."""
+        invocation — what a deadline-setting aggregator would budget.
+
+        Compute time scales with the inverse device speed; when the
+        party has a device profile, the model-transfer time for its
+        payload over the profile's link is added on top."""
         work = config.epochs * self.num_samples * _BASE_SECONDS_PER_SAMPLE
-        return work / self.compute_speed
+        seconds = work / self.compute_speed
+        if self.profile is not None and self.payload_nbytes:
+            seconds += self.profile.transfer_seconds(self.payload_nbytes)
+        return seconds
 
     def simulate_latency(self, config: LocalTrainingConfig) -> float:
         """Simulated seconds for one local-training invocation."""

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.availability.view import OnlineView
 from repro.common.exceptions import ConfigurationError, NotFittedError
 
 __all__ = ["SelectionContext", "RoundOutcome", "SelectionStrategy"]
@@ -28,6 +29,12 @@ class SelectionContext:
     Only public knowledge goes here — anything privacy-sensitive (label
     distributions) must be obtained explicitly, e.g. through the TEE
     clustering service.
+
+    ``online_view`` is the one deliberately *mutable* member: the engine
+    refreshes it at the top of every round with the set of currently
+    online parties (availability × churn), and strategies may only
+    select from it.  The default view is unrestricted — everyone online,
+    the paper's static setting.
     """
 
     n_parties: int
@@ -36,6 +43,7 @@ class SelectionContext:
     party_sizes: np.ndarray
     num_classes: int
     seed: int = 0
+    online_view: OnlineView = field(default_factory=OnlineView)
 
     def __post_init__(self) -> None:
         if self.n_parties <= 0:
@@ -142,6 +150,7 @@ class SelectionStrategy(ABC):
 
     # -- shared helpers -------------------------------------------------
     def _validate_selection(self, cohort: "list[int]") -> "list[int]":
+        view = self.context.online_view
         seen: set[int] = set()
         for party in cohort:
             if party in seen:
@@ -150,6 +159,9 @@ class SelectionStrategy(ABC):
             if not 0 <= party < self.context.n_parties:
                 raise ConfigurationError(
                     f"{self.name} selected unknown party {party}")
+            if not view.is_online(party):
+                raise ConfigurationError(
+                    f"{self.name} selected offline party {party}")
             seen.add(party)
         return list(cohort)
 

@@ -86,14 +86,20 @@ class GradClusSelection(SelectionStrategy):
     def select(self, round_index: int, n_select: int,
                rng: np.random.Generator) -> "list[int]":
         assert self._sketches is not None
-        n_parties = self.context.n_parties
-        n_clusters = min(n_select, n_parties)
-        dist = pairwise_distances(self._sketches, self.metric)
+        # Cluster only the online parties' sketches (offline sketches
+        # would anchor clusters nobody can be drawn from) and sample one
+        # representative per cluster.  With everyone online the pool is
+        # arange(n_parties), so indexing is the identity and the RNG
+        # draws are bit-identical to the pre-availability selector.
+        pool = np.asarray(
+            self.context.online_view.ids(self.context.n_parties))
+        n_clusters = min(n_select, len(pool))
+        dist = pairwise_distances(self._sketches[pool], self.metric)
         labels = AgglomerativeClustering(
             n_clusters, metric="precomputed").fit_predict(dist)
         cohort = []
         for cluster in range(n_clusters):
-            members = np.flatnonzero(labels == cluster)
+            members = pool[np.flatnonzero(labels == cluster)]
             cohort.append(int(rng.choice(members)))
         return cohort
 

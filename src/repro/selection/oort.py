@@ -128,12 +128,14 @@ class OortSelection(SelectionStrategy):
 
     def select(self, round_index: int, n_select: int,
                rng: np.random.Generator) -> "list[int]":
-        n_parties = self.context.n_parties
-        n_total = min(int(np.ceil(n_select * self.overprovision)), n_parties)
+        # Only currently-online parties are candidates; the pool is all
+        # of range(n_parties) in the static setting, keeping every draw
+        # bit-identical to the pre-availability selector.
+        pool = self.context.online_view.ids(self.context.n_parties)
+        n_total = min(int(np.ceil(n_select * self.overprovision)), len(pool))
 
-        explored = [p for p in range(n_parties) if p in self._stat_utility]
-        unexplored = [p for p in range(n_parties)
-                      if p not in self._stat_utility]
+        explored = [p for p in pool if p in self._stat_utility]
+        unexplored = [p for p in pool if p not in self._stat_utility]
 
         n_explore = min(int(round(self._epsilon * n_total)), len(unexplored))
         n_exploit = min(n_total - n_explore, len(explored))
@@ -150,22 +152,23 @@ class OortSelection(SelectionStrategy):
             # weighted by utility — exploitation with diversity.
             kth_utility = scores[order[n_exploit - 1]]
             cutoff = 0.95 * kth_utility
-            pool = [i for i in order if scores[i] >= cutoff]
-            weights = scores[pool]
+            cutoff_pool = [i for i in order if scores[i] >= cutoff]
+            weights = scores[cutoff_pool]
             if weights.sum() <= 0:
-                probabilities = np.full(len(pool), 1.0 / len(pool))
+                probabilities = np.full(len(cutoff_pool),
+                                        1.0 / len(cutoff_pool))
             else:
                 probabilities = weights / weights.sum()
-            picks = rng.choice(len(pool), size=n_exploit, replace=False,
-                               p=probabilities)
-            cohort.extend(int(explored[pool[i]]) for i in picks)
+            picks = rng.choice(len(cutoff_pool), size=n_exploit,
+                               replace=False, p=probabilities)
+            cohort.extend(int(explored[cutoff_pool[i]]) for i in picks)
         if n_explore > 0:
             picks = rng.choice(len(unexplored), size=n_explore, replace=False)
             cohort.extend(int(unexplored[i]) for i in picks)
 
         # Degenerate early rounds: top up uniformly from the remainder.
         if len(cohort) < n_total:
-            rest = [p for p in range(n_parties) if p not in set(cohort)]
+            rest = [p for p in pool if p not in set(cohort)]
             extra = rng.choice(len(rest), size=n_total - len(cohort),
                                replace=False)
             cohort.extend(int(rest[i]) for i in extra)

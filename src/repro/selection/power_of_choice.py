@@ -41,9 +41,13 @@ class PowerOfChoiceSelection(SelectionStrategy):
 
     def select(self, round_index: int, n_select: int,
                rng: np.random.Generator) -> "list[int]":
-        n_parties = self.context.n_parties
-        d = min(int(np.ceil(self.d_factor * n_select)), n_parties)
-        candidates = rng.choice(n_parties, size=d, replace=False)
+        # Candidates come from the online pool; with everyone online the
+        # index draw over the pool is bit-identical to the legacy draw
+        # over party ids (the pool is arange(n_parties)).
+        pool = np.asarray(
+            self.context.online_view.ids(self.context.n_parties))
+        d = min(int(np.ceil(self.d_factor * n_select)), len(pool))
+        candidates = pool[rng.choice(len(pool), size=d, replace=False)]
         losses = np.array([self._last_loss.get(int(p), np.inf)
                            for p in candidates])
         # Highest loss first; unseen (inf) parties sort to the front.

@@ -36,8 +36,12 @@ class RandomSelection(SelectionStrategy):
 
     def select(self, round_index: int, n_select: int,
                rng: np.random.Generator) -> "list[int]":
+        # The online pool is all of range(n_parties) in the static
+        # setting, so the draw below is bit-identical to sampling party
+        # ids directly (rng.choice(n) samples from arange(n)).
+        pool = np.asarray(
+            self.context.online_view.ids(self.context.n_parties))
         n_total = min(int(np.ceil(n_select * self.overprovision)),
-                      self.context.n_parties)
-        chosen = rng.choice(self.context.n_parties, size=n_total,
-                            replace=False)
-        return [int(p) for p in chosen]
+                      len(pool))
+        chosen = rng.choice(len(pool), size=n_total, replace=False)
+        return [int(pool[i]) for i in chosen]

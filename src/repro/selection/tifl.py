@@ -105,12 +105,26 @@ class TiflSelection(SelectionStrategy):
         if round_index > 1 and (round_index - 1) % self.retier_every == 0:
             self._retier()
 
-        eligible = [t for t in range(self.n_tiers) if self._credits[t] > 0]
+        # Tiers are drawn over the online population; with everyone
+        # online (every tier is non-empty by construction) this is the
+        # legacy behaviour, draw for draw.
+        n_parties = self.context.n_parties
+        online = np.zeros(n_parties, dtype=bool)
+        online[self.context.online_view.ids(n_parties)] = True
+
+        drawable = [t for t in range(self.n_tiers)
+                    if np.any(online[self._tier_of == t])]
+        eligible = [t for t in drawable if self._credits[t] > 0]
         if not eligible:
-            # All budgets spent: TiFL resets credits rather than stalling.
-            self._credits[:] = max(
+            # Every drawable budget spent: TiFL refills rather than
+            # stalling.  Only the drawable tiers refill — an offline
+            # tier keeps the unspent credits it will want back when its
+            # members wake up.
+            refill = max(
                 1, int(np.ceil(self.context.total_rounds / self.n_tiers)))
-            eligible = list(range(self.n_tiers))
+            for tier in drawable:
+                self._credits[tier] = refill
+            eligible = drawable
 
         # Adaptive tier probabilities ∝ (1 - estimated accuracy).
         weights = np.array([max(1.0 - self._tier_accuracy[t], 1e-3)
@@ -119,18 +133,18 @@ class TiflSelection(SelectionStrategy):
         self._credits[tier] -= 1
         self._last_selected_tier = tier
 
-        members = np.flatnonzero(self._tier_of == tier)
+        members = np.flatnonzero((self._tier_of == tier) & online)
         cohort = []
         if len(members) >= n_select:
             picks = rng.choice(len(members), size=n_select, replace=False)
             cohort = [int(members[i]) for i in picks]
         else:
-            # Small tier: take everyone, top up from the nearest tiers so
-            # the round still fields Nr parties.
+            # Small tier: take everyone, top up from the nearest online
+            # tiers so the round still fields Nr parties.
             cohort = [int(p) for p in members]
             others = [int(p) for p in np.argsort(
                 np.abs(self._tier_of - tier), kind="stable")
-                if int(p) not in set(cohort)]
+                if online[p] and int(p) not in set(cohort)]
             cohort.extend(others[:n_select - len(cohort)])
         return cohort
 

@@ -1,0 +1,177 @@
+"""Availability processes: determinism, marginals, stickiness, traces."""
+
+import numpy as np
+import pytest
+
+from repro.availability import (
+    AlwaysOn,
+    BernoulliAvailability,
+    DiurnalAvailability,
+    MarkovOnOff,
+    TraceAvailability,
+    make_availability_model,
+)
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import RngFabric
+
+
+def bound(model, n_parties=40, seed=3):
+    model.bind(n_parties, RngFabric(seed).generator("availability"))
+    return model
+
+
+def draws(model, rounds=60):
+    return [model.online(r) for r in range(1, rounds + 1)]
+
+
+class TestAlwaysOn:
+    def test_everyone_every_round(self):
+        model = bound(AlwaysOn(), n_parties=7)
+        assert model.trivial
+        assert model.online(1) == set(range(7))
+        assert model.online(99) == set(range(7))
+
+    def test_use_before_bind_fails(self):
+        with pytest.raises(ConfigurationError):
+            AlwaysOn().online(1)
+
+
+class TestBernoulli:
+    def test_marginal_rate(self):
+        model = bound(BernoulliAvailability(0.7), n_parties=50)
+        mean = np.mean([len(s) for s in draws(model, 200)]) / 50
+        assert 0.65 < mean < 0.75
+
+    def test_deterministic_per_seed(self):
+        a = draws(bound(BernoulliAvailability(0.5), seed=9))
+        b = draws(bound(BernoulliAvailability(0.5), seed=9))
+        assert a == b
+
+    def test_seed_changes_draws(self):
+        a = draws(bound(BernoulliAvailability(0.5), seed=1))
+        b = draws(bound(BernoulliAvailability(0.5), seed=2))
+        assert a != b
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliAvailability(0.0)
+
+
+class TestDiurnal:
+    def test_rates_cycle_with_period(self):
+        model = bound(DiurnalAvailability(mean_rate=0.5, amplitude=0.4,
+                                          period=24.0))
+        rates = model.rates(1)
+        assert np.allclose(rates, model.rates(25))
+        assert not np.allclose(rates, model.rates(13))
+
+    def test_peak_exceeds_trough_population(self):
+        model = bound(DiurnalAvailability(mean_rate=0.5, amplitude=0.45,
+                                          period=20.0), n_parties=200)
+        sizes = [len(s) for s in draws(model, 200)]
+        # Per-party phases are uniform, so *population* size stays near
+        # the mean — but individual parties must swing day/night.
+        rates = np.array([model.rates(r) for r in range(1, 21)])
+        assert rates.max() - rates.min() > 0.5
+        assert 0.3 < np.mean(sizes) / 200 < 0.7
+
+    def test_deterministic_per_seed(self):
+        make = lambda: bound(DiurnalAvailability(0.6, 0.3, 24.0), seed=4)
+        assert draws(make()) == draws(make())
+
+
+class TestMarkov:
+    def test_stationary_rate(self):
+        model = bound(MarkovOnOff(p_drop=0.1, p_return=0.3), n_parties=60)
+        assert model.stationary_rate == pytest.approx(0.75)
+        mean = np.mean([len(s) for s in draws(model, 300)]) / 60
+        assert 0.68 < mean < 0.82
+
+    def test_sticky_sessions_flip_less_than_bernoulli(self):
+        n, rounds = 60, 150
+        markov = bound(MarkovOnOff(p_drop=0.05, p_return=0.15), n_parties=n)
+        bern = bound(BernoulliAvailability(0.75), n_parties=n)
+
+        def flip_count(model):
+            previous, flips = None, 0
+            for online in draws(model, rounds):
+                if previous is not None:
+                    flips += len(previous ^ online)
+                previous = online
+            return flips
+
+        assert flip_count(markov) < 0.5 * flip_count(bern)
+
+    def test_frozen_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarkovOnOff(p_drop=0.0, p_return=0.0)
+
+
+class TestTrace:
+    def test_replay_and_cycle(self):
+        model = bound(TraceAvailability([{0, 1}, {2}], cycle=True),
+                      n_parties=4)
+        assert model.online(1) == {0, 1}
+        assert model.online(2) == {2}
+        assert model.online(3) == {0, 1}
+
+    def test_no_cycle_holds_last(self):
+        model = bound(TraceAvailability([{0}, {1, 2}], cycle=False),
+                      n_parties=4)
+        assert model.online(9) == {1, 2}
+
+    def test_unknown_party_rejected_at_bind(self):
+        with pytest.raises(ConfigurationError):
+            bound(TraceAvailability([{9}]), n_parties=3)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceAvailability([])
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        ("always", AlwaysOn),
+        ("bernoulli", BernoulliAvailability),
+        ("diurnal", DiurnalAvailability),
+        ("markov", MarkovOnOff),
+    ])
+    def test_kinds(self, kind, cls):
+        assert isinstance(make_availability_model(kind, rate=0.6), cls)
+
+    def test_trace_needs_schedule(self):
+        with pytest.raises(ConfigurationError):
+            make_availability_model("trace")
+        model = make_availability_model("trace", schedule=[{0, 1}])
+        assert isinstance(model, TraceAvailability)
+
+    def test_markov_matches_requested_rate(self):
+        model = make_availability_model("markov", rate=0.6, stickiness=0.9)
+        assert model.stationary_rate == pytest.approx(0.6)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_availability_model("solar-flare")
+
+    def test_schedule_only_for_trace(self):
+        with pytest.raises(ConfigurationError):
+            make_availability_model("bernoulli", schedule=[{0}])
+
+
+class TestStreamIndependence:
+    def test_availability_stream_independent_of_stragglers(self):
+        """Satellite: availability draws must not move when straggler or
+        jitter draws change — they live on their own fabric stream."""
+        fabric = RngFabric(11)
+        a = BernoulliAvailability(0.6)
+        a.bind(30, fabric.generator("availability"))
+        # Burn unrelated streams heavily between draws.
+        noise = fabric.generator("stragglers")
+        first = []
+        for r in range(1, 21):
+            first.append(a.online(r))
+            noise.random(1000)
+
+        b = BernoulliAvailability(0.6)
+        b.bind(30, RngFabric(11).generator("availability"))
+        assert first == [b.online(r) for r in range(1, 21)]

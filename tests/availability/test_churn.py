@@ -1,0 +1,80 @@
+"""Churn process: permanent joins/departures with a protected core."""
+
+import pytest
+
+from repro.availability import ChurnProcess, make_churn_process
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import RngFabric
+
+
+def bound(process, n_parties=50, rounds=40, seed=5):
+    process.bind(n_parties, rounds, RngFabric(seed).generator("churn"))
+    return process
+
+
+class TestChurnProcess:
+    def test_departure_is_permanent(self):
+        churn = bound(ChurnProcess(departure_hazard=0.15), rounds=60)
+        gone: set[int] = set()
+        for r in range(1, 61):
+            active = churn.active(r)
+            assert not gone & active, "a departed party came back"
+            gone |= set(range(50)) - active
+
+    def test_late_joiners_absent_then_present(self):
+        churn = bound(ChurnProcess(late_join_fraction=0.4), rounds=40)
+        first = churn.active(1)
+        last = churn.active(40)
+        assert len(first) < 50
+        assert last == set(range(50))  # no departures configured
+        for party in set(range(50)) - first:
+            join = churn.join_round(party)
+            assert join > 1
+            assert party not in churn.active(join - 1)
+            assert party in churn.active(join)
+
+    def test_protected_core_never_empties(self):
+        churn = bound(ChurnProcess(departure_hazard=0.6,
+                                   protected_fraction=0.1), rounds=200)
+        for r in (1, 50, 100, 200):
+            assert len(churn.active(r)) >= 5
+
+    def test_deterministic_per_seed(self):
+        make = lambda: bound(
+            ChurnProcess(late_join_fraction=0.3, departure_hazard=0.1),
+            seed=7)
+        a, b = make(), make()
+        assert all(a.active(r) == b.active(r) for r in range(1, 41))
+
+    def test_departure_round_reporting(self):
+        churn = bound(ChurnProcess(departure_hazard=0.3), rounds=50)
+        reported = 0
+        for party in range(50):
+            depart = churn.departure_round(party)
+            if depart is None:
+                continue
+            reported += 1
+            assert party in churn.active(max(depart - 1, 1))
+            assert party not in churn.active(depart)
+        assert reported > 0
+
+    def test_use_before_bind(self):
+        with pytest.raises(ConfigurationError):
+            ChurnProcess().active(1)
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ConfigurationError):
+            ChurnProcess(late_join_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ChurnProcess(departure_hazard=1.0)
+
+
+class TestFactory:
+    def test_zero_is_none(self):
+        assert make_churn_process(0.0) is None
+
+    def test_scalar_sets_both_axes(self):
+        churn = make_churn_process(0.2)
+        assert churn is not None
+        assert churn.late_join_fraction == 0.2
+        assert churn.departure_hazard == 0.2

@@ -1,0 +1,143 @@
+"""Device profiles and arrival models (deadline + legacy adapter)."""
+
+import numpy as np
+import pytest
+
+from repro.availability import (
+    DEVICE_TIERS,
+    DeadlineArrivals,
+    DeviceProfile,
+    StragglerArrivals,
+    assign_profiles,
+)
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import RngFabric
+from repro.data.dataset import Dataset
+from repro.fl.party import LocalTrainingConfig, Party
+from repro.fl.straggler import ExactFractionStragglers
+
+
+def make_party(party_id, n_samples=64, speed=1.0, profile=None,
+               payload=0):
+    x = np.zeros((n_samples, 4))
+    y = np.zeros(n_samples, dtype=np.int64)
+    dataset = Dataset(x, y, num_classes=2)
+    return Party(party_id, dataset, compute_speed=speed, rng=party_id,
+                 profile=profile, payload_nbytes=payload)
+
+
+class TestDeviceProfile:
+    def test_transfer_seconds(self):
+        profile = DeviceProfile("mid", compute_speed=1.0,
+                                bandwidth_mbps=8.0)
+        # 1 MB over 8 Mbps = 1 second.
+        assert profile.transfer_seconds(1_000_000) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("bad", compute_speed=0.0, bandwidth_mbps=1.0)
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("bad", compute_speed=1.0, bandwidth_mbps=0.0)
+
+    def test_assign_profiles_deterministic(self):
+        draw = lambda: assign_profiles(
+            200, RngFabric(3).generator("device-profiles"))
+        a, b = draw(), draw()
+        assert a == b
+        names = {p.name for p in a}
+        assert names == {t.name for t in DEVICE_TIERS}
+
+    def test_assign_profiles_weights_must_match(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            assign_profiles(10, rng, weights=(1.0,))
+
+    def test_party_latency_includes_transfer_time(self):
+        config = LocalTrainingConfig(epochs=2, batch_size=16,
+                                     learning_rate=0.1)
+        slow_link = DeviceProfile("edge", compute_speed=1.0,
+                                  bandwidth_mbps=1.0)
+        bare = make_party(0)
+        tiered = make_party(1, profile=slow_link, payload=500_000)
+        assert tiered.expected_latency(config) == pytest.approx(
+            bare.expected_latency(config)
+            + slow_link.transfer_seconds(500_000))
+
+
+def test_jitter_sigma_matches_party_layer():
+    """deadline.py duplicates the party layer's jitter sigma (importing
+    it would be circular); the two must never drift apart."""
+    from repro.availability.deadline import _JITTER_SIGMA
+    from repro.fl.party import LATENCY_JITTER_SIGMA
+    assert _JITTER_SIGMA == LATENCY_JITTER_SIGMA
+
+
+class TestStragglerArrivals:
+    def test_adapter_matches_wrapped_model_bit_for_bit(self):
+        model = ExactFractionStragglers(0.4)
+        cohort = list(range(10))
+        direct = model.draw(cohort, 3, np.random.default_rng(42))
+        adapted = StragglerArrivals(model).draw(
+            tuple(cohort), 3, np.random.default_rng(42))
+        assert adapted.missed == frozenset(direct)
+        assert adapted.latencies is None
+        assert adapted.deadline is None
+
+    def test_rejects_non_models(self):
+        with pytest.raises(ConfigurationError):
+            StragglerArrivals(object())
+
+
+class TestDeadlineArrivals:
+    def setup_method(self):
+        self.config = LocalTrainingConfig(epochs=2, batch_size=16,
+                                          learning_rate=0.1)
+        # Speeds 0.25..2.0: the slow tail should miss tight deadlines.
+        self.parties = [make_party(i, speed=0.25 + 0.25 * i)
+                        for i in range(8)]
+
+    def bound(self, factor, sigma=0.15):
+        arrivals = DeadlineArrivals(factor, jitter_sigma=sigma)
+        arrivals.bind(self.parties, self.config)
+        return arrivals
+
+    def test_generous_deadline_no_misses(self):
+        draw = self.bound(50.0).draw(tuple(range(8)), 1,
+                                     np.random.default_rng(0))
+        assert draw.missed == frozenset()
+        assert set(draw.latencies) == set(range(8))
+
+    def test_tight_deadline_drops_slow_tail(self):
+        draw = self.bound(0.6, sigma=0.0).draw(tuple(range(8)), 1,
+                                               np.random.default_rng(0))
+        # With zero jitter, exactly the parties whose expected latency
+        # exceeds 0.6 × median miss — and they are the slowest ones.
+        expected = np.array([p.expected_latency(self.config)
+                             for p in self.parties])
+        deadline = 0.6 * float(np.median(expected))
+        assert draw.missed == {i for i in range(8)
+                               if expected[i] > deadline}
+        assert draw.missed
+
+    def test_arrivals_meet_deadline(self):
+        draw = self.bound(1.2).draw(tuple(range(8)), 1,
+                                    np.random.default_rng(7))
+        for party, latency in draw.latencies.items():
+            if party not in draw.missed:
+                assert latency <= draw.deadline
+
+    def test_deterministic_per_stream(self):
+        a = self.bound(1.3).draw(tuple(range(8)), 1,
+                                 RngFabric(5).generator("deadline"))
+        b = self.bound(1.3).draw(tuple(range(8)), 1,
+                                 RngFabric(5).generator("deadline"))
+        assert a.missed == b.missed
+        assert a.latencies == b.latencies
+
+    def test_use_before_bind(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineArrivals(1.5).draw((0,), 1, np.random.default_rng(0))
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineArrivals(0.0)

@@ -1,0 +1,81 @@
+"""Arrival sets under the parallel backend must match serial bit-for-bit.
+
+Arrivals — whether from the persistent-slow-device rate model or the
+deadline model — are decided at *planning* time on the aggregator, so
+swapping the client-execution backend may not move a single straggler,
+latency or accuracy bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment, smoke_config
+from repro.fl.engine import FederatedTrainer, FLJobConfig
+from repro.fl.execution import ParallelExecutor
+from repro.fl.party import LocalTrainingConfig
+from repro.fl.algorithms import make_algorithm
+from repro.fl.straggler import SlowDeviceStragglers
+from repro.ml.models import make_model
+from repro.selection import RandomSelection
+
+
+def assert_histories_identical(a, b):
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        assert ra.cohort == rb.cohort
+        assert ra.received == rb.received
+        assert ra.stragglers == rb.stragglers
+        assert ra.balanced_accuracy == rb.balanced_accuracy
+        assert ra.mean_train_loss == rb.mean_train_loss or (
+            np.isnan(ra.mean_train_loss) and np.isnan(rb.mean_train_loss))
+        assert ra.comm_bytes == rb.comm_bytes
+        assert ra.round_duration == rb.round_duration
+        assert ra.n_online == rb.n_online
+
+
+def run_slow_device_job(federation, executor=None):
+    model = make_model("softmax", federation.parties[0].feature_shape,
+                       federation.num_classes, rng=0)
+    trainer = FederatedTrainer(
+        federation, model, make_algorithm("fedavg"), RandomSelection(),
+        FLJobConfig(rounds=6, parties_per_round=5,
+                    local=LocalTrainingConfig(epochs=1, batch_size=16,
+                                              learning_rate=0.1),
+                    seed=3),
+        straggler_model=SlowDeviceStragglers({0, 1, 2},
+                                             miss_probability=0.8),
+        executor=executor)
+    return trainer.run()
+
+
+class TestParallelArrivalParity:
+    def test_slow_device_stragglers_match_serial(self, small_federation):
+        serial = run_slow_device_job(small_federation)
+        parallel = run_slow_device_job(
+            small_federation, executor=ParallelExecutor(n_workers=2))
+        assert_histories_identical(serial, parallel)
+        # The persistent slow set must actually have straggled.
+        dropped = {p for r in serial.records for p in r.stragglers}
+        assert dropped and dropped <= {0, 1, 2}
+
+    def test_deadline_model_matches_serial(self, smoke):
+        config = smoke.with_overrides(deadline_factor=1.1,
+                                      device_tiers=True)
+        serial = run_experiment(config)
+        parallel = run_experiment(
+            config.with_overrides(backend="parallel", n_workers=2))
+        assert_histories_identical(serial, parallel)
+        assert any(r.stragglers for r in serial.records), \
+            "deadline_factor=1.1 over tiered devices should drop someone"
+
+    def test_deadline_model_matches_batched(self, smoke):
+        """Planned latencies override the batched backend's own jitter
+        stream, so arrivals and latencies agree there too."""
+        config = smoke.with_overrides(deadline_factor=1.1,
+                                      device_tiers=True)
+        serial = run_experiment(config)
+        batched = run_experiment(config.with_overrides(backend="batched"))
+        for ra, rb in zip(serial.records, batched.records):
+            assert ra.received == rb.received
+            assert ra.stragglers == rb.stragglers
+            assert ra.round_duration == rb.round_duration

@@ -1,0 +1,37 @@
+"""OnlineView: the engine↔selector contract object."""
+
+import pytest
+
+from repro.availability import OnlineView
+from repro.common.exceptions import ConfigurationError
+
+
+class TestOnlineView:
+    def test_default_unrestricted(self):
+        view = OnlineView()
+        assert not view.restricted
+        assert view.is_online(0) and view.is_online(10 ** 6)
+        assert view.ids(4) == [0, 1, 2, 3]
+        assert view.count(4) == 4
+
+    def test_restricted(self):
+        view = OnlineView({3, 1})
+        assert view.restricted
+        assert view.online == frozenset({1, 3})
+        assert view.is_online(3) and not view.is_online(0)
+        assert view.ids(5) == [1, 3]
+        assert view.count(5) == 2
+
+    def test_update_cycles(self):
+        view = OnlineView()
+        view.update({0})
+        assert view.restricted and view.ids(3) == [0]
+        view.update(None)
+        assert not view.restricted and view.ids(3) == [0, 1, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnlineView(set())
+        view = OnlineView({1})
+        with pytest.raises(ConfigurationError):
+            view.update(set())

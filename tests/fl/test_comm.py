@@ -42,3 +42,29 @@ class TestCommunicationTracker:
     def test_invalid_dimension(self):
         with pytest.raises(ConfigurationError):
             CommunicationTracker(0)
+
+
+class TestPerRoundSummary:
+    def test_split_down_up_per_round(self):
+        tracker = CommunicationTracker(10)
+        tracker.record_round(4, 3)
+        tracker.record_round(5, 5)
+        summary = tracker.per_round_summary()
+        assert [s["round"] for s in summary] == [1, 2]
+        assert summary[0]["downlink_bytes"] == 4 * 80
+        assert summary[0]["uplink_bytes"] == 3 * 80
+        assert summary[0]["total_bytes"] == 7 * 80
+        assert summary[1]["total_bytes"] == tracker.per_round[1]
+
+    def test_empty_tracker(self):
+        assert CommunicationTracker(10).per_round_summary() == []
+
+    def test_sparse_round_meters_fewer_downloads(self):
+        """A sparse availability round fields a smaller cohort (plan
+        validation forbids offline members), and the metering follows:
+        5 downloads, 4 arrivals — exactly those volumes."""
+        tracker = CommunicationTracker(10)
+        tracker.record_round(n_downloads=5, n_uploads=4)
+        summary = tracker.per_round_summary()[0]
+        assert summary["downlink_bytes"] == 5 * 80
+        assert summary["uplink_bytes"] == 4 * 80

@@ -1,0 +1,160 @@
+"""End-to-end dynamic-population runs: every selector honours the
+online view, golden behaviour survives, and the ablation table renders.
+"""
+
+import numpy as np
+import pytest
+
+from repro.availability import ChurnProcess, make_availability_model
+from repro.common.exceptions import ConfigurationError
+from repro.experiments import (
+    availability_table,
+    build_selector,
+    format_availability_table,
+    run_experiment,
+    smoke_config,
+)
+from repro.fl.engine import FederatedTrainer, FLJobConfig
+from repro.fl.party import LocalTrainingConfig
+from repro.fl.algorithms import make_algorithm
+from repro.ml.models import make_model
+
+ALL_SELECTORS = ("random", "flips", "oort", "grad_cls", "tifl",
+                 "power_of_choice")
+ROUNDS = 8
+
+
+def run_dynamic(selector_name, federation, *, with_availability=True,
+                churn=True):
+    """One diurnal + churn job; returns (captured plans, history)."""
+    config = smoke_config("ecg", selector=selector_name, rounds=ROUNDS)
+    strategy = build_selector(config, federation)
+    model = make_model("softmax", federation.parties[0].feature_shape,
+                       federation.num_classes, rng=0)
+    trainer = FederatedTrainer(
+        federation, model, make_algorithm("fedavg"), strategy,
+        FLJobConfig(rounds=ROUNDS, parties_per_round=5,
+                    local=LocalTrainingConfig(epochs=1, batch_size=16,
+                                              learning_rate=0.1),
+                    seed=2),
+        availability_model=(make_availability_model(
+            "diurnal", rate=0.55, amplitude=0.35, period=5.0)
+            if with_availability else None),
+        churn=(ChurnProcess(late_join_fraction=0.25,
+                            departure_hazard=0.08) if churn else None),
+        deadline_factor=1.4)
+
+    plans = []
+    original = trainer.plan_round
+
+    def capture(round_index):
+        plan = original(round_index)
+        plans.append(plan)
+        return plan
+
+    trainer.plan_round = capture
+    history = trainer.run()
+    return plans, history
+
+
+class TestDynamicPopulationEndToEnd:
+    @pytest.mark.parametrize("selector", ALL_SELECTORS)
+    def test_selector_only_picks_online_parties(self, selector,
+                                                small_federation):
+        plans, history = run_dynamic(selector, small_federation)
+        assert len(plans) == ROUNDS
+        restricted = 0
+        for plan in plans:
+            if plan.online is None:
+                continue
+            restricted += 1
+            assert set(plan.cohort) <= set(plan.online)
+        assert restricted > 0, \
+            "diurnal availability at rate 0.55 must restrict some round"
+        # Every record carries the online population it was planned for.
+        for plan, record in zip(plans, history.records):
+            expected = None if plan.online is None else len(plan.online)
+            assert record.n_online == expected
+
+    def test_offline_pick_is_rejected(self, small_federation):
+        """The validation layer, not selector goodwill, enforces the
+        online view."""
+        config = smoke_config("ecg")
+        strategy = build_selector(config, small_federation)
+        model = make_model("softmax",
+                           small_federation.parties[0].feature_shape,
+                           small_federation.num_classes, rng=0)
+        trainer = FederatedTrainer(
+            small_federation, model, make_algorithm("fedavg"), strategy,
+            FLJobConfig(rounds=2, parties_per_round=3, seed=0))
+        trainer._online_view.update({0, 1, 2, 3})
+        with pytest.raises(ConfigurationError, match="offline"):
+            strategy._validate_selection([0, 5])
+        # Online picks still pass the same validation.
+        assert strategy._validate_selection([0, 3]) == [0, 3]
+
+    def test_churned_parties_vanish_for_good(self, small_federation):
+        """Pure churn (no availability): once a party disappears from
+        the online view it has departed, and may never be selected
+        again."""
+        plans, _ = run_dynamic("flips", small_federation,
+                               with_availability=False)
+        population = set(range(small_federation.n_parties))
+        seen_online: set[int] = set()
+        departed: set[int] = set()
+        for plan in plans:
+            online = (population if plan.online is None
+                      else set(plan.online))
+            departed |= seen_online - online
+            assert not departed & set(plan.cohort)
+            assert not departed & online
+            seen_online |= online
+
+
+class TestAvailabilityTable:
+    def test_renders_for_all_six_selectors(self):
+        result = availability_table(
+            "ecg", preset="smoke", seeds=(0,),
+            regimes={
+                "always": {},
+                "diurnal+churn": {"availability": "diurnal",
+                                  "availability_rate": 0.6,
+                                  "churn": 0.08},
+            },
+            selectors=ALL_SELECTORS)
+        assert set(result.cells) == {
+            (regime, selector)
+            for regime in ("always", "diurnal+churn")
+            for selector in ALL_SELECTORS}
+        for cell in result.cells.values():
+            assert 0.0 <= cell["peak"] <= 1.0
+            assert cell["comm_mb"] > 0
+            assert 0.0 < cell["mean_online"] <= 1.0
+        always = result.cell("always", "flips")
+        dynamic = result.cell("diurnal+churn", "flips")
+        assert always["mean_online"] == 1.0
+        assert dynamic["mean_online"] < 1.0
+        # Fewer dispatches → the dynamic regime cannot cost more bytes.
+        assert dynamic["comm_mb"] <= always["comm_mb"]
+
+        text = format_availability_table(result)
+        for selector in ALL_SELECTORS:
+            assert selector in text
+        assert "diurnal+churn" in text
+
+    def test_rejects_empty_spec(self):
+        with pytest.raises(ConfigurationError):
+            availability_table("ecg", preset="smoke", regimes={},
+                               selectors=ALL_SELECTORS)
+
+
+class TestGoldenEquivalence:
+    def test_always_on_is_the_static_population(self, smoke):
+        """availability='always' + no churn must be byte-identical to
+        the config that never mentions availability at all (the golden
+        digests pin that path to the pre-subsystem engine)."""
+        baseline = run_experiment(smoke)
+        explicit = run_experiment(smoke.with_overrides(
+            availability="always", churn=0.0))
+        for ra, rb in zip(baseline.records, explicit.records):
+            assert ra == rb

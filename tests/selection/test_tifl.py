@@ -92,3 +92,33 @@ class TestTifl:
             TiflSelection(retier_every=0)
         with pytest.raises(ConfigurationError):
             TiflSelection(credits_per_tier=0)
+
+
+class TestOnlineRestriction:
+    def test_only_online_parties_selected(self):
+        strategy = TiflSelection(n_tiers=2)
+        context = ctx(n=10, npr=3)
+        strategy.initialize(context)
+        online = {0, 2, 4, 6, 8}
+        context.online_view.update(online)
+        for round_index in range(1, 6):
+            cohort = strategy.select(round_index, 3,
+                                     np.random.default_rng(round_index))
+            assert set(cohort) <= online
+
+    def test_offline_tier_keeps_credits_across_refill(self):
+        """Refilling exhausted budgets may not hand offline tiers fresh
+        credits they never spent."""
+        strategy = TiflSelection(n_tiers=2, credits_per_tier=1)
+        context = ctx(n=10, npr=2, rounds=20)
+        strategy.initialize(context)
+        # Provisional tiers are party_id % 2: tier 0 = even ids.
+        context.online_view.update({0, 2, 4, 6, 8})
+        rng = np.random.default_rng(0)
+        strategy.select(1, 2, rng)   # spends tier 0's single credit
+        assert strategy._credits[0] == 0
+        assert strategy._credits[1] == 1
+        strategy.select(2, 2, rng)   # forces a refill of drawable tiers
+        assert strategy._credits[1] == 1, \
+            "offline tier's unspent budget must survive the refill"
+        assert strategy._credits[0] >= 1

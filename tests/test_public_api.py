@@ -19,7 +19,7 @@ def test_all_exports_resolve():
 @pytest.mark.parametrize("module", [
     "repro.common", "repro.data", "repro.clustering", "repro.ml",
     "repro.fl", "repro.selection", "repro.core", "repro.tee",
-    "repro.metrics", "repro.experiments",
+    "repro.metrics", "repro.experiments", "repro.availability",
 ])
 def test_subpackage_all_exports_resolve(module):
     mod = importlib.import_module(module)
@@ -37,7 +37,7 @@ def test_quickstart_docstring_names_exist():
 
 @pytest.mark.parametrize("example", [
     "quickstart", "ecg_arrhythmia", "private_clustering_tee",
-    "straggler_resilience", "algorithms_tour",
+    "straggler_resilience", "algorithms_tour", "availability_dynamics",
 ])
 def test_examples_compile(example):
     """Every shipped example at least parses and has a main()."""
