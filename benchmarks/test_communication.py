@@ -1,0 +1,78 @@
+"""Communication-efficiency benchmark: compressed vs full uploads.
+
+Regenerates a laptop-scale slice of the communication-vs-accuracy table
+(:func:`repro.experiments.tables.communication_table`) and gates the
+paper's claim on it: importance-guided update compression must cut
+uplink bytes by at least 20 % while costing at most one point of peak
+balanced accuracy — under a fully-online population *and* under
+Bernoulli availability.  Every cell's metered uplink volume comes from
+the engine's :class:`~repro.fl.comm.CommunicationTracker`, and the
+numbers land in ``BENCH_round_loop.json`` next to the round-loop
+timings so CI keeps a communication trajectory too.
+
+Runs in seconds (the MLP workload is small and the run cache shares the
+uncompressed baseline with other benchmarks in the same session).
+"""
+
+import json
+import pathlib
+
+from repro.experiments import communication_table
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_JSON_PATH = _REPO_ROOT / "BENCH_round_loop.json"
+
+#: The gated setting: 16-bit quantization alone — the knob whose
+#: reconstruction error is far below training noise.
+_GATED = "q16"
+
+#: Laptop-scale overrides for the bench preset (the full bench scale is
+#: a benchmark-session artifact, not a CI gate).
+_SCALE = dict(n_parties=32, participation=0.25, rounds=25,
+              n_train=1600, n_test=800,
+              selector="random", algorithm="fedavg")
+
+
+def _merge_json(section: str, payload: dict) -> None:
+    data = {}
+    if _JSON_PATH.exists():
+        data = json.loads(_JSON_PATH.read_text())
+    data.setdefault("workloads", {})[section] = payload
+    _JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_compression_saves_bytes_without_accuracy_loss(report):
+    """≥20 % fewer uplink bytes at ≤1 pt peak-accuracy cost."""
+    result = communication_table("ecg", preset="bench", seeds=(0,),
+                                 **_SCALE)
+    assert _GATED in result.settings
+    baseline = result.settings[0]
+
+    payload = {
+        "rounds": result.rounds_budget,
+        "gated_setting": _GATED,
+        "cells": {
+            f"{regime}/{setting}": {
+                "peak": round(result.cell(regime, setting)["peak"], 4),
+                "uplink_mb": round(
+                    result.cell(regime, setting)["uplink_mb"], 4),
+                "reduction": round(
+                    result.cell(regime, setting)["reduction"], 4),
+            }
+            for regime in result.regimes
+            for setting in result.settings
+        },
+    }
+    _merge_json("communication", payload)
+    report("BENCH communication (uplink vs accuracy)",
+           json.dumps(payload, indent=2))
+
+    for regime in result.regimes:
+        base_peak = result.cell(regime, baseline)["peak"]
+        cell = result.cell(regime, _GATED)
+        assert cell["reduction"] >= 0.20, (
+            f"{regime}/{_GATED}: only {100 * cell['reduction']:.1f}% "
+            "uplink reduction")
+        assert cell["peak"] >= base_peak - 0.01, (
+            f"{regime}/{_GATED}: peak {cell['peak']:.4f} vs baseline "
+            f"{base_peak:.4f} — more than 1pt accuracy loss")

@@ -12,6 +12,7 @@ from repro.experiments.config import (
     AVAILABILITY_KINDS,
     BACKENDS,
     BENCH_TARGETS,
+    COMPRESSION_KINDS,
     ExperimentConfig,
     bench_config,
     paper_config,
@@ -29,12 +30,16 @@ from repro.experiments.runner import (
 )
 from repro.experiments.tables import (
     AVAILABILITY_REGIMES,
+    COMPRESSION_SETTINGS,
     TABLE_INDEX,
     AvailabilityTableResult,
+    CommunicationTableResult,
     TableResult,
     TableSpec,
     availability_table,
+    communication_table,
     format_availability_table,
+    format_communication_table,
     format_table,
     generate_table,
 )
@@ -52,6 +57,9 @@ __all__ = [
     "AvailabilityTableResult",
     "BACKENDS",
     "BENCH_TARGETS",
+    "COMPRESSION_KINDS",
+    "COMPRESSION_SETTINGS",
+    "CommunicationTableResult",
     "ExperimentConfig",
     "FigureResult",
     "TABLE_INDEX",
@@ -62,9 +70,11 @@ __all__ = [
     "build_federation_for",
     "build_selector",
     "clear_cache",
+    "communication_table",
     "convergence_figure",
     "elbow_figure",
     "format_availability_table",
+    "format_communication_table",
     "format_figure",
     "format_table",
     "generate_table",

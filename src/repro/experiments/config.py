@@ -24,6 +24,7 @@ __all__ = [
     "AVAILABILITY_KINDS",
     "BACKENDS",
     "BENCH_TARGETS",
+    "COMPRESSION_KINDS",
     "ExperimentConfig",
     "bench_config",
     "paper_config",
@@ -34,6 +35,7 @@ SELECTORS = ("random", "flips", "oort", "grad_cls", "tifl",
              "power_of_choice")
 DATASETS = ("ecg", "skin", "femnist", "fashion")
 BACKENDS = ("serial", "parallel", "batched")
+COMPRESSION_KINDS = ("none", "importance")
 
 #: Target balanced accuracies for the "rounds to target" tables, per
 #: preset.  The paper's absolute targets (60 % for ECG/HAM, 80 % for
@@ -94,6 +96,12 @@ class ExperimentConfig:
     deadline_factor: float | None = None
     device_tiers: bool = False
 
+    # update compression (communication-efficiency layer, fl/updates.py)
+    compression: str = "none"
+    pruning_fraction: float = 0.0
+    quantize_bits: int | None = None
+    importance_weighting: bool = False
+
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:
             raise ConfigurationError(
@@ -141,6 +149,25 @@ class ExperimentConfig:
                 raise ConfigurationError(
                     "deadline_factor subsumes straggler_rate; "
                     "set one or the other")
+        if self.compression not in COMPRESSION_KINDS:
+            raise ConfigurationError(
+                f"unknown compression {self.compression!r}; choose from "
+                f"{COMPRESSION_KINDS}")
+        if self.compression == "none":
+            if self.pruning_fraction != 0.0 or \
+                    self.quantize_bits is not None or \
+                    self.importance_weighting:
+                raise ConfigurationError(
+                    "pruning_fraction/quantize_bits/importance_weighting "
+                    "require compression='importance'")
+        else:
+            if not 0.0 <= self.pruning_fraction < 1.0:
+                raise ConfigurationError(
+                    "pruning_fraction must be in [0, 1)")
+            if self.quantize_bits is not None and \
+                    not 2 <= self.quantize_bits <= 16:
+                raise ConfigurationError(
+                    "quantize_bits must be in [2, 16] or None")
 
     @property
     def parties_per_round(self) -> int:
@@ -167,7 +194,9 @@ class ExperimentConfig:
                 self.lr_decay_every, self.flips_k, self.server_lr,
                 self.backend, self.eval_every, self.eval_subsample,
                 self.availability, self.availability_rate, self.churn,
-                self.deadline_factor, self.device_tiers)
+                self.deadline_factor, self.device_tiers,
+                self.compression, self.pruning_fraction,
+                self.quantize_bits, self.importance_weighting)
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         return replace(self, **kwargs)

@@ -29,6 +29,7 @@ from repro.fl.history import TrainingHistory
 from repro.fl.party import LocalTrainingConfig
 from repro.fl.algorithms import make_algorithm
 from repro.fl.straggler import make_straggler_model
+from repro.fl.updates import make_compressor
 from repro.ml.models import make_model
 from repro.selection import (
     GradClusSelection,
@@ -112,6 +113,14 @@ def run_experiment(config: ExperimentConfig) -> TrainingHistory:
     assigns compute×bandwidth device profiles instead of the log-normal
     speed spread.  The defaults reproduce the paper's static,
     always-online population bit-for-bit.
+
+    ``compression='importance'`` activates the communication-efficiency
+    layer (:mod:`repro.fl.updates`): importance-guided pruning of the
+    ``pruning_fraction`` lowest-importance layers per upload, optional
+    ``quantize_bits``-wide quantization of the survivors and
+    actual-payload communication metering; ``importance_weighting``
+    additionally derives label-entropy aggregation weights from the
+    federation's label distributions.
     """
     federation = build_federation_for(config)
     model = make_model(config.model,
@@ -125,6 +134,14 @@ def run_experiment(config: ExperimentConfig) -> TrainingHistory:
         algorithm_kwargs["server_lr"] = config.server_lr
     algorithm = make_algorithm(config.algorithm, **algorithm_kwargs)
     strategy = build_selector(config, federation)
+    compressor = None
+    if config.compression != "none":
+        compressor = make_compressor(
+            model,
+            pruning_fraction=config.pruning_fraction,
+            quantize_bits=config.quantize_bits,
+            label_distributions=(federation.label_distributions()
+                                 if config.importance_weighting else None))
     job = FLJobConfig(
         rounds=config.rounds,
         parties_per_round=config.parties_per_round,
@@ -140,6 +157,7 @@ def run_experiment(config: ExperimentConfig) -> TrainingHistory:
     )
     trainer = FederatedTrainer(
         federation, model, algorithm, strategy, job,
+        compressor=compressor,
         straggler_model=(
             None if config.deadline_factor is not None
             else make_straggler_model(config.straggler_rate)),

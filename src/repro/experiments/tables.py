@@ -35,11 +35,15 @@ from repro.metrics.convergence import rounds_to_target
 __all__ = [
     "AVAILABILITY_REGIMES",
     "AvailabilityTableResult",
+    "COMPRESSION_SETTINGS",
+    "CommunicationTableResult",
     "TABLE_INDEX",
     "TableResult",
     "TableSpec",
     "availability_table",
+    "communication_table",
     "format_availability_table",
+    "format_communication_table",
     "format_table",
     "generate_table",
 ]
@@ -280,6 +284,122 @@ def format_availability_table(result: AvailabilityTableResult) -> str:
             cells.append(f"{100 * cell['peak']:7.2f} /{rounds:>6}")
         lines.append(f"{regime:>14} {100 * online:>6.1f}% | "
                      + " ".join(f"{c:>16}" for c in cells))
+    return "\n".join(lines)
+
+
+# -- communication vs accuracy ----------------------------------------------
+#
+# The paper's "20-60 % lower communication" claim has two parts: fewer
+# rounds (the selection tables above) and smaller uploads (the update
+# compression layer, fl/updates.py).  This table isolates the second part:
+# compression settings × availability regimes, each cell reporting peak
+# accuracy next to the metered uplink volume and the reduction relative
+# to the uncompressed setting under the same regime.
+
+#: Named compression settings: config overrides layered onto a preset.
+#: The first entry must be the uncompressed baseline — reductions are
+#: reported relative to it, regime by regime.
+COMPRESSION_SETTINGS: "dict[str, dict]" = {
+    "uncompressed": {},
+    "q16": {"compression": "importance", "quantize_bits": 16},
+    "q8+iw": {"compression": "importance", "quantize_bits": 8,
+              "importance_weighting": True},
+    "prune25+q16": {"compression": "importance", "pruning_fraction": 0.25,
+                    "quantize_bits": 16},
+}
+
+
+@dataclass
+class CommunicationTableResult:
+    """One regenerated communication-vs-accuracy ablation.
+
+    ``cells[(regime, setting)]`` maps to a dict with ``peak`` (best
+    balanced accuracy), ``uplink_mb`` (mean metered upload volume) and
+    ``reduction`` (fraction of uplink bytes saved relative to the
+    baseline setting under the same availability regime; 0.0 for the
+    baseline itself).
+    """
+
+    dataset: str
+    rounds_budget: int
+    regimes: "tuple[str, ...]" = ()
+    settings: "tuple[str, ...]" = ()
+    cells: dict = field(default_factory=dict)
+
+    def cell(self, regime: str, setting: str) -> dict:
+        return self.cells[(regime, setting)]
+
+
+def communication_table(dataset: str = "ecg", *, preset: str = "bench",
+                        seeds: "tuple[int, ...]" = (0,),
+                        settings: "dict[str, dict] | None" = None,
+                        regimes: "dict[str, dict] | None" = None,
+                        **overrides) -> CommunicationTableResult:
+    """Compression-setting × availability-regime ablation.
+
+    The first setting is the baseline every reduction is measured
+    against.  Unless overridden, the table swaps the bench preset's
+    softmax learner for the ``mlp`` model — with four parameter
+    segments instead of two, layer pruning has room to act.  Uplink
+    volumes come from the engine's actual-payload metering
+    (:class:`~repro.fl.comm.CommunicationTracker` fed by
+    :class:`~repro.fl.updates.UpdateCompressor` byte counts), surfaced
+    through each history's per-round records.
+    """
+    if preset not in _PRESETS:
+        raise ConfigurationError(
+            f"unknown preset {preset!r}; choose from {sorted(_PRESETS)}")
+    if settings is None:
+        settings = COMPRESSION_SETTINGS
+    if regimes is None:
+        regimes = {"always": {},
+                   "bernoulli": AVAILABILITY_REGIMES["bernoulli"]}
+    if not settings or not regimes:
+        raise ConfigurationError("need at least one setting and regime")
+    overrides.setdefault("model", "mlp")
+    base: ExperimentConfig = _PRESETS[preset](dataset, **overrides)
+    result = CommunicationTableResult(
+        dataset=dataset, rounds_budget=base.rounds,
+        regimes=tuple(regimes), settings=tuple(settings))
+    baseline = next(iter(settings))
+    for regime, regime_knobs in regimes.items():
+        for setting, knobs in settings.items():
+            config = base.with_overrides(**regime_knobs, **knobs)
+            histories = run_repeated(config, seeds)
+            series = mean_accuracy_series(histories)
+            result.cells[(regime, setting)] = {
+                "peak": float(series.max()),
+                "uplink_mb": float(np.mean(
+                    [h.total_uplink_bytes() for h in histories]) / 1e6),
+            }
+        base_mb = result.cells[(regime, baseline)]["uplink_mb"]
+        for setting in settings:
+            cell = result.cells[(regime, setting)]
+            cell["reduction"] = (
+                0.0 if base_mb == 0
+                else 1.0 - cell["uplink_mb"] / base_mb)
+    return result
+
+
+def format_communication_table(result: CommunicationTableResult) -> str:
+    """Render the communication ablation as fixed-width text."""
+    lines = [
+        f"Communication vs accuracy — {result.dataset} "
+        f"(round budget {result.rounds_budget})"]
+    header = (f"{'regime':>12} | " + " ".join(
+        f"{s:>22}" for s in result.settings)
+        + "   [peak% / uplink MB / saved%]")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for regime in result.regimes:
+        cells = []
+        for setting in result.settings:
+            cell = result.cell(regime, setting)
+            cells.append(f"{100 * cell['peak']:6.2f} /"
+                         f"{cell['uplink_mb']:7.2f} /"
+                         f"{100 * cell['reduction']:5.1f}%")
+        lines.append(f"{regime:>12} | "
+                     + " ".join(f"{c:>22}" for c in cells))
     return "\n".join(lines)
 
 

@@ -17,6 +17,8 @@ from repro.fl.algorithms import (
     FedYogiServer,
     FLAlgorithm,
     ServerOptimizer,
+    importance_weighted_aggregation,
+    importance_weights,
     make_algorithm,
     weighted_mean_delta,
 )
@@ -49,7 +51,16 @@ from repro.fl.straggler import (
     StragglerModel,
     make_straggler_model,
 )
-from repro.fl.updates import ModelUpdate
+from repro.fl.updates import (
+    LayerLayout,
+    ModelUpdate,
+    UpdateCompressor,
+    label_entropy_weights,
+    layer_importance_scores,
+    make_compressor,
+    quantize_layer_deltas,
+    selective_layer_pruning,
+)
 
 __all__ = [
     "ALGORITHM_REGISTRY",
@@ -72,6 +83,7 @@ __all__ = [
     "FedDynServer",
     "FedYogiServer",
     "FederatedTrainer",
+    "LayerLayout",
     "LocalTrainingConfig",
     "ModelUpdate",
     "NoStragglers",
@@ -84,9 +96,17 @@ __all__ = [
     "SlowDeviceStragglers",
     "StragglerModel",
     "TrainingHistory",
+    "UpdateCompressor",
+    "importance_weighted_aggregation",
+    "importance_weights",
+    "label_entropy_weights",
+    "layer_importance_scores",
     "make_algorithm",
+    "make_compressor",
     "make_evaluation_policy",
     "make_executor",
     "make_straggler_model",
+    "quantize_layer_deltas",
+    "selective_layer_pruning",
     "weighted_mean_delta",
 ]

@@ -40,22 +40,83 @@ __all__ = [
     "FedDynServer",
     "FedYogiServer",
     "ServerOptimizer",
+    "importance_weighted_aggregation",
+    "importance_weights",
     "make_algorithm",
     "weighted_mean_delta",
 ]
 
 
+def importance_weights(updates: "list[ModelUpdate]") -> "np.ndarray | None":
+    """Aggregation weights ``w_i = n_i × importance_i`` for a round.
+
+    ``importance_i`` is the scalar the
+    :class:`~repro.fl.updates.UpdateCompressor` attached to each update
+    (the party's label-entropy weight).  Returns
+    ``None`` — meaning "fall back to plain sample weighting" — when any
+    update lacks importance metadata (uncompressed jobs) or when every
+    importance is zero (no party's model moved, e.g. a degenerate
+    round), so the weighting can never divide by zero or silently drop
+    a round.
+    """
+    if not updates or any(u.importance_weight is None for u in updates):
+        return None
+    weights = np.array([u.num_samples * u.importance_weight
+                        for u in updates], dtype=np.float64)
+    if not np.all(np.isfinite(weights)) or weights.sum() <= 0.0:
+        return None
+    return weights
+
+
 def weighted_mean_delta(global_parameters: np.ndarray,
                         updates: "list[ModelUpdate]") -> np.ndarray:
-    """``Δ = Σ n_i (x_i − m) / Σ n_i`` — the round's pseudo-gradient."""
+    """``Δ = Σ w_i (x_i − m) / Σ w_i`` — the round's pseudo-gradient.
+
+    Uncompressed rounds weight by sample count alone (``w_i = n_i``,
+    exactly McMahan et al. — this path is bit-exact with the
+    pre-compression engine).  When every update carries compressor
+    metadata the weights become importance-scaled
+    (:func:`importance_weights`), which is FLIPS's
+    importance-weighted aggregation: pruned updates were already
+    reconstructed client-side (zero delta in pruned layers), so the
+    same delta fold serves both regimes.
+    """
     if not updates:
         raise ConfigurationError("cannot aggregate an empty round")
-    total = float(sum(u.num_samples for u in updates))
+    weights = importance_weights(updates)
+    if weights is None:
+        total = float(sum(u.num_samples for u in updates))
+        delta = np.zeros_like(global_parameters)
+        for update in updates:
+            delta += (update.num_samples / total) * update.delta(
+                global_parameters)
+        return delta
+    total = float(weights.sum())
     delta = np.zeros_like(global_parameters)
-    for update in updates:
-        delta += (update.num_samples / total) * update.delta(
-            global_parameters)
+    for weight, update in zip(weights, updates):
+        delta += (weight / total) * update.delta(global_parameters)
     return delta
+
+
+def importance_weighted_aggregation(global_parameters: np.ndarray,
+                                    updates: "list[ModelUpdate]",
+                                    server_lr: float = 1.0) -> np.ndarray:
+    """One FedAvg-style aggregation step under importance weighting.
+
+    The public form of the FLIPS mechanism (flips_fedjax's
+    ``importance_weighted_aggregation``): reconstruct each (possibly
+    pruned + quantized) update's delta against the round's global model,
+    weight it by ``n_i × importance_i``, and apply the mean.  Updates
+    without importance metadata fall back to plain sample weighting, so
+    the function is safe to call on any round.  Adaptive server
+    optimizers get the same weighting implicitly, because every
+    :class:`ServerOptimizer` derives its pseudo-gradient from
+    :func:`weighted_mean_delta`.
+    """
+    if server_lr <= 0:
+        raise ConfigurationError("server_lr must be > 0")
+    return global_parameters + server_lr * weighted_mean_delta(
+        global_parameters, updates)
 
 
 class ServerOptimizer(ABC):
@@ -84,6 +145,7 @@ class FedAvgServer(ServerOptimizer):
 
     def step(self, global_parameters: np.ndarray,
              updates: "list[ModelUpdate]") -> np.ndarray:
+        """Apply the (importance-)weighted mean delta at the server lr."""
         delta = weighted_mean_delta(global_parameters, updates)
         return global_parameters + self.server_lr * delta
 
@@ -102,6 +164,7 @@ class FedAdagradServer(ServerOptimizer):
 
     def step(self, global_parameters: np.ndarray,
              updates: "list[ModelUpdate]") -> np.ndarray:
+        """Adagrad step on the round's pseudo-gradient."""
         delta = weighted_mean_delta(global_parameters, updates)
         if self._v is None:
             self._v = np.zeros_like(delta)
@@ -110,6 +173,7 @@ class FedAdagradServer(ServerOptimizer):
             np.sqrt(self._v) + self.eps)
 
     def reset(self) -> None:
+        """Drop the accumulated second moment."""
         self._v = None
 
 
@@ -131,6 +195,7 @@ class FedAdamServer(ServerOptimizer):
 
     def step(self, global_parameters: np.ndarray,
              updates: "list[ModelUpdate]") -> np.ndarray:
+        """Adam step on the round's pseudo-gradient."""
         delta = weighted_mean_delta(global_parameters, updates)
         if self._m is None:
             self._m = np.zeros_like(delta)
@@ -141,6 +206,7 @@ class FedAdamServer(ServerOptimizer):
             np.sqrt(self._v) + self.eps)
 
     def reset(self) -> None:
+        """Drop both accumulated moments."""
         self._m = None
         self._v = None
 
@@ -169,6 +235,7 @@ class FedYogiServer(ServerOptimizer):
 
     def step(self, global_parameters: np.ndarray,
              updates: "list[ModelUpdate]") -> np.ndarray:
+        """Yogi step on the round's pseudo-gradient."""
         delta = weighted_mean_delta(global_parameters, updates)
         if self._m is None:
             self._m = np.zeros_like(delta)
@@ -180,6 +247,7 @@ class FedYogiServer(ServerOptimizer):
             np.sqrt(np.maximum(self._v, 0.0)) + self.eps)
 
     def reset(self) -> None:
+        """Drop both accumulated moments."""
         self._m = None
         self._v = None
 
@@ -204,6 +272,13 @@ class FedDynServer(ServerOptimizer):
 
     def step(self, global_parameters: np.ndarray,
              updates: "list[ModelUpdate]") -> np.ndarray:
+        """FedDyn server step (unweighted client-model mean + ``h``).
+
+        FedDyn's correction is derived for the *unweighted* mean client
+        model, so compression importance weights do not apply here —
+        pruned updates still participate through their reconstructed
+        parameter vectors.
+        """
         if not updates:
             raise ConfigurationError("cannot aggregate an empty round")
         if self._h is None:
@@ -216,6 +291,7 @@ class FedDynServer(ServerOptimizer):
         return mean_model - self._h / self.dyn_alpha
 
     def reset(self) -> None:
+        """Drop the running ``h`` correction."""
         self._h = None
 
 

@@ -1,10 +1,12 @@
 """Communication-cost accounting.
 
 The paper's headline includes "20–60 % lower communication costs", which
-follow directly from needing fewer rounds: each round costs one model
-download per cohort member plus one upload per reporting member.  This
-tracker meters those transfers in bytes so tables and ablations can report
-cost alongside accuracy.
+come from two places: needing fewer rounds (each round costs one model
+download per cohort member plus one upload per reporting member) and
+shipping smaller uploads (importance-guided layer pruning + quantization,
+:mod:`repro.fl.updates`).  This tracker meters both in bytes — actual
+compressed uplink volume alongside what the same uploads would have cost
+uncompressed — so tables and ablations can report cost next to accuracy.
 """
 
 from __future__ import annotations
@@ -36,6 +38,7 @@ class CommunicationTracker:
     model_dimension: int
     downlink_bytes: int = 0
     uplink_bytes: int = 0
+    uplink_full_bytes: int = 0
     per_round: list = field(default_factory=list)
     per_round_downlink: list = field(default_factory=list)
     per_round_uplink: list = field(default_factory=list)
@@ -44,22 +47,49 @@ class CommunicationTracker:
         if self.model_dimension <= 0:
             raise ConfigurationError("model_dimension must be positive")
 
-    def record_round(self, n_downloads: int, n_uploads: int) -> int:
-        """Meter one round; returns this round's total bytes."""
+    def record_round(self, n_downloads: int, n_uploads: int,
+                     uplink_nbytes: "int | None" = None) -> int:
+        """Meter one round; returns this round's total bytes.
+
+        ``uplink_nbytes`` is the *actual* upload volume when the job
+        compresses updates (pruned + quantized payloads as metered by
+        the :class:`~repro.fl.updates.UpdateCompressor`); ``None`` bills
+        the full float64 vector per upload, exactly the pre-compression
+        accounting.  ``uplink_full_bytes`` always accumulates what the
+        uploads *would* have cost uncompressed, so
+        :attr:`uplink_reduction` can report the savings ratio.
+        """
         if n_downloads < 0 or n_uploads < 0:
             raise ConfigurationError("transfer counts must be >= 0")
         if n_uploads > n_downloads:
             raise ConfigurationError(
                 "cannot receive more updates than models were sent")
+        if uplink_nbytes is not None and uplink_nbytes < 0:
+            raise ConfigurationError("uplink_nbytes must be >= 0")
         nbytes = update_nbytes(self.model_dimension)
         down = n_downloads * nbytes
-        up = n_uploads * nbytes
+        full_up = n_uploads * nbytes
+        up = full_up if uplink_nbytes is None else int(uplink_nbytes)
         self.downlink_bytes += down
         self.uplink_bytes += up
+        self.uplink_full_bytes += full_up
         self.per_round.append(down + up)
         self.per_round_downlink.append(down)
         self.per_round_uplink.append(up)
         return down + up
+
+    @property
+    def uplink_reduction(self) -> float:
+        """Fraction of uplink bytes saved by update compression.
+
+        ``1 − uplink / uplink_full``; 0.0 for uncompressed jobs (and for
+        jobs that have not uploaded anything yet).  Slightly negative
+        values are possible when a compressor is configured but prunes
+        and quantizes nothing — the layer mask still ships.
+        """
+        if self.uplink_full_bytes == 0:
+            return 0.0
+        return 1.0 - self.uplink_bytes / self.uplink_full_bytes
 
     def per_round_summary(self) -> "list[dict]":
         """One dict per recorded round with split down/up volumes —
@@ -73,6 +103,7 @@ class CommunicationTracker:
 
     @property
     def total_bytes(self) -> int:
+        """All metered transfer volume, both directions."""
         return self.downlink_bytes + self.uplink_bytes
 
     def bytes_until_round(self, round_index: int) -> int:

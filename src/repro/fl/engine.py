@@ -12,8 +12,9 @@ execution — is a pluggable backend (:mod:`repro.fl.execution`) and
 evaluation is a policy (:mod:`repro.fl.evaluation`):
 
     plan_round()  → RoundPlan        (availability + selection + arrivals)
-    executor      → [ModelUpdate]    (serial / parallel / batched)
-    _aggregate()  → new global model
+    executor      → [ModelUpdate]    (serial / parallel / batched;
+                                      client-side update compression)
+    _aggregate()  → new global model (importance-weighted when compressed)
     eval policy   → EvalResult       (full / amortized)
     _record()     → RoundRecord + RoundOutcome feedback
 
@@ -73,7 +74,7 @@ from repro.fl.execution import (
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.party import LocalTrainingConfig, Party
 from repro.fl.straggler import NoStragglers, StragglerModel
-from repro.fl.updates import ModelUpdate
+from repro.fl.updates import ModelUpdate, UpdateCompressor
 from repro.ml.models import Model
 from repro.selection.base import (
     RoundOutcome,
@@ -151,6 +152,15 @@ class FederatedTrainer:
         :class:`~repro.availability.profiles.DeviceProfile` list; tier
         compute speeds replace the log-normal speed spread and tier
         bandwidth adds model-transfer time to expected latencies.
+    compressor:
+        Optional :class:`~repro.fl.updates.UpdateCompressor`.  When set,
+        every executor applies importance-guided layer pruning (and
+        optional quantization) client-side before "uploading", the
+        tracker meters the actual pruned payload bytes, and aggregation
+        becomes importance-weighted
+        (:func:`~repro.fl.algorithms.weighted_mean_delta`).  ``None``
+        (the default) leaves every mechanism inert — histories are
+        bit-for-bit the uncompressed ones.
     """
 
     def __init__(self, federation: FederatedDataset, model: Model,
@@ -163,7 +173,8 @@ class FederatedTrainer:
                  availability_model: AvailabilityModel | None = None,
                  churn: ChurnProcess | None = None,
                  deadline_factor: float | None = None,
-                 device_profiles: "list | None" = None) -> None:
+                 device_profiles: "list | None" = None,
+                 compressor: UpdateCompressor | None = None) -> None:
         if config.parties_per_round > federation.n_parties:
             raise ConfigurationError(
                 f"parties_per_round={config.parties_per_round} exceeds "
@@ -180,6 +191,12 @@ class FederatedTrainer:
         self.straggler_model = straggler_model or NoStragglers()
         self.executor = executor or SerialExecutor()
         self.eval_policy = eval_policy or FullEvaluation()
+        if compressor is not None and \
+                compressor.layout.dimension != model.dimension:
+            raise ConfigurationError(
+                f"compressor layout covers {compressor.layout.dimension} "
+                f"scalars, model has {model.dimension}")
+        self.compressor = compressor
 
         fabric = RngFabric(config.seed)
         self._rng_select = fabric.generator("selector")
@@ -353,9 +370,14 @@ class FederatedTrainer:
 
         # Every cohort member consumed a download; plan validation
         # guarantees the cohort only names parties online at dispatch,
-        # so dynamic populations never meter phantom transfers.
+        # so dynamic populations never meter phantom transfers.  Under
+        # update compression, uploads bill their actual pruned/quantized
+        # payload bytes instead of the full vector.
+        uplink_nbytes = (sum(u.nbytes for u in updates)
+                         if self.compressor is not None else None)
         comm_bytes = self.comm.record_round(
-            n_downloads=len(plan.cohort), n_uploads=len(updates))
+            n_downloads=len(plan.cohort), n_uploads=len(updates),
+            uplink_nbytes=uplink_nbytes)
 
         # Evaluate the (possibly unchanged) global model.
         evaluation = self.eval_policy.evaluate(round_index,
@@ -376,6 +398,7 @@ class FederatedTrainer:
             comm_bytes=comm_bytes,
             round_duration=self._round_duration(plan, latencies),
             n_online=None if plan.online is None else len(plan.online),
+            uplink_bytes=self.comm.per_round_uplink[-1],
         ))
 
         outcome = RoundOutcome(
@@ -412,7 +435,8 @@ class FederatedTrainer:
             local_config=self._local_config,
             seed=self.config.seed,
             collect_loss_stats=getattr(
-                self.strategy, "wants_loss_statistics", True)))
+                self.strategy, "wants_loss_statistics", True),
+            compressor=self.compressor))
         self.eval_policy.bind(self.model, self.federation.test,
                               total_rounds=self.config.rounds,
                               seed=self.config.seed)

@@ -108,6 +108,7 @@ class FullEvaluation(EvaluationPolicy):
 
     def evaluate(self, round_index: int,
                  parameters: np.ndarray) -> EvalResult:
+        """Score the model exactly on the full test set."""
         test = self._test
         if test is None:
             raise NotFittedError("FullEvaluation used before bind()")
@@ -162,6 +163,7 @@ class AmortizedEvaluation(EvaluationPolicy):
 
     def bind(self, model: Model, test: Dataset, total_rounds: int,
              seed: int = 0) -> None:
+        """Attach job state and draw the per-job stratified subsample."""
         super().bind(model, test, total_rounds, seed)
         self._last = None
         self._subset = None
@@ -213,6 +215,10 @@ class AmortizedEvaluation(EvaluationPolicy):
 
     def evaluate(self, round_index: int,
                  parameters: np.ndarray) -> EvalResult:
+        """Score on schedule; carry the last measurement otherwise.
+
+        The final round is always scored exactly on the full test set.
+        """
         test = self._test
         if test is None:
             raise NotFittedError("AmortizedEvaluation used before bind()")

@@ -141,6 +141,14 @@ class ExecutionContext:
     consumes the per-sample-loss statistics (Oort's utility signal);
     fast-path executors may skip the probe when it is False.  The serial
     backend always collects, preserving bit-exact legacy behaviour.
+
+    ``compressor`` is the job's optional
+    :class:`~repro.fl.updates.UpdateCompressor`.  Compression is a
+    *client-side* transform, so every executor applies it to each update
+    before returning it (the parallel backend applies it inside the
+    worker process, shrinking the bytes crossing the pipe exactly as a
+    real network upload would shrink).  The transform is deterministic,
+    which keeps compressed payloads byte-identical across backends.
     """
 
     parties: "list[Party]" = field(repr=False)
@@ -148,6 +156,17 @@ class ExecutionContext:
     local_config: LocalTrainingConfig = field(repr=False)
     seed: int = 0
     collect_loss_stats: bool = True
+    compressor: "object | None" = field(default=None, repr=False)
+
+
+def _compress_updates(compressor, updates: "list[ModelUpdate]",
+                      global_parameters: np.ndarray) -> "list[ModelUpdate]":
+    """Apply the job's compressor to a round's updates (inert when
+    no compressor is configured)."""
+    if compressor is None:
+        return updates
+    return [compressor.compress(update, global_parameters)
+            for update in updates]
 
 
 class ClientExecutor(ABC):
@@ -161,6 +180,7 @@ class ClientExecutor(ABC):
 
     @property
     def context(self) -> ExecutionContext:
+        """The bound :class:`ExecutionContext` (raises before bind)."""
         if self._ctx is None:
             raise ExecutionError(
                 f"{type(self).__name__} used before bind()")
@@ -197,13 +217,15 @@ class SerialExecutor(ClientExecutor):
 
     def execute(self, plan: RoundPlan,
                 global_parameters: np.ndarray) -> "list[ModelUpdate]":
+        """Train each participant in cohort order on the shared model."""
         ctx = self.context
-        return [
+        updates = [
             ctx.parties[party_id].local_train(
                 ctx.model, global_parameters, plan.local_config,
                 plan.round_index,
                 latency=plan.planned_latency(party_id))
             for party_id in plan.participants]
+        return _compress_updates(ctx.compressor, updates, global_parameters)
 
 
 class BatchedExecutor(ClientExecutor):
@@ -223,11 +245,13 @@ class BatchedExecutor(ClientExecutor):
     name = "batched"
 
     def bind(self, ctx: ExecutionContext) -> None:
+        """Attach to one job and set up the vectorized jitter stream."""
         super().bind(ctx)
         self._rng_latency = RngFabric(ctx.seed).generator("executor-latency")
 
     def execute(self, plan: RoundPlan,
                 global_parameters: np.ndarray) -> "list[ModelUpdate]":
+        """Train the participants with batched latency bookkeeping."""
         ctx = self.context
         participants = plan.participants
         if plan.latencies is not None:
@@ -249,18 +273,22 @@ class BatchedExecutor(ClientExecutor):
                 plan.round_index,
                 collect_loss_stats=ctx.collect_loss_stats,
                 latency=latency))
-        return updates
+        return _compress_updates(ctx.compressor, updates, global_parameters)
 
 
 # -- parallel backend -------------------------------------------------------
 
 def _worker_loop(conn, parties: "list[Party]", model: Model,
+                 compressor=None,
                  ) -> None:  # pragma: no cover - runs in child processes
     """Request loop of one worker process.
 
     The worker owns its parties for the job's lifetime: their RNG
     streams, FedDyn state and participation counters advance here and
     only here, which is what makes parallel execution deterministic.
+    Update compression runs here too — client side of the simulated
+    network — so the updates crossing the pipe back to the aggregator
+    are the already-pruned/quantized payloads.
     """
     table = {party.party_id: party for party in parties}
     while True:
@@ -277,6 +305,8 @@ def _worker_loop(conn, parties: "list[Party]", model: Model,
                     latency=(None if latencies is None
                              else latencies.get(party_id)))
                 for party_id in party_ids]
+            updates = _compress_updates(compressor, updates,
+                                        global_parameters)
             conn.send(("ok", updates))
         except Exception as exc:  # ship the failure to the parent
             conn.send(("error", repr(exc)))
@@ -321,6 +351,7 @@ class ParallelExecutor(ClientExecutor):
         self._owner: dict[int, int] = {}
 
     def bind(self, ctx: ExecutionContext) -> None:
+        """Spawn the worker pool, sharding parties by ownership."""
         self.close()
         super().bind(ctx)
         n_workers = min(self.n_workers or _default_workers(),
@@ -338,7 +369,8 @@ class ParallelExecutor(ClientExecutor):
             parent_conn, child_conn = mp.Pipe()
             proc = mp.Process(
                 target=_worker_loop,
-                args=(child_conn, owned, ctx.model.clone()),
+                args=(child_conn, owned, ctx.model.clone(),
+                      ctx.compressor),
                 daemon=True,
                 name=f"repro-executor-{worker_index}")
             proc.start()
@@ -348,6 +380,7 @@ class ParallelExecutor(ClientExecutor):
 
     def execute(self, plan: RoundPlan,
                 global_parameters: np.ndarray) -> "list[ModelUpdate]":
+        """Fan the plan out to the owning workers; reassemble in order."""
         if self._ctx is None or not self._procs:
             raise ExecutionError("ParallelExecutor used before bind()")
         assignments: dict[int, list[int]] = {}
@@ -385,6 +418,7 @@ class ParallelExecutor(ClientExecutor):
         return [by_party[party_id] for party_id in plan.participants]
 
     def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
         for conn in self._conns:
             try:
                 conn.send(None)

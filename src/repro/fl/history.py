@@ -28,6 +28,11 @@ class RoundRecord:
     ``n_online`` counts the parties online when the round was planned
     (availability × churn); ``None`` means the job ran the static,
     everyone-always-online population of the paper.
+
+    ``uplink_bytes`` is the round's metered upload volume alone — the
+    compressed payload bytes when the job runs an
+    :class:`~repro.fl.updates.UpdateCompressor`, the full vectors
+    otherwise; ``None`` on records from jobs predating the split.
     """
 
     round_index: int
@@ -41,6 +46,7 @@ class RoundRecord:
     comm_bytes: int
     round_duration: float
     n_online: "int | None" = None
+    uplink_bytes: "int | None" = None
 
     @property
     def n_overprovisioned(self) -> int:
@@ -58,6 +64,7 @@ class TrainingHistory:
     records: list = field(default_factory=list)
 
     def append(self, record: RoundRecord) -> None:
+        """Add the next round's record (strictly increasing round index)."""
         if self.records and record.round_index <= self.records[-1].round_index:
             raise ConfigurationError("rounds must be appended in order")
         self.records.append(record)
@@ -71,6 +78,7 @@ class TrainingHistory:
         return np.array([r.balanced_accuracy for r in self.records])
 
     def plain_accuracy_series(self) -> np.ndarray:
+        """Unweighted test accuracy per round."""
         return np.array([r.plain_accuracy for r in self.records])
 
     def loss_series(self) -> np.ndarray:
@@ -121,7 +129,14 @@ class TrainingHistory:
         return _peak(self.accuracy_series())
 
     def total_comm_bytes(self) -> int:
+        """All metered transfer volume across rounds, both directions."""
         return int(sum(r.comm_bytes for r in self.records))
+
+    def total_uplink_bytes(self) -> int:
+        """Metered upload volume across rounds (compressed payload bytes
+        under update compression).  Records without the split — written
+        before the communication-efficiency layer — count zero."""
+        return int(sum(r.uplink_bytes or 0 for r in self.records))
 
     def comm_bytes_to_target(self, target: float) -> int | None:
         """Bytes spent up to (and including) the round that reached
@@ -144,6 +159,7 @@ class TrainingHistory:
         return counts
 
     def straggler_count(self) -> int:
+        """Total straggler slots across all rounds."""
         return int(sum(len(r.stragglers) for r in self.records))
 
     def summary(self, target: float | None = None) -> dict:

@@ -134,6 +134,7 @@ class Party:
 
     @property
     def num_samples(self) -> int:
+        """Local training-set size (``n_i`` in the weighted average)."""
         return len(self.dataset)
 
     def label_distribution(self) -> np.ndarray:

@@ -53,6 +53,7 @@ class NoStragglers(StragglerModel):
 
     def draw(self, cohort: "list[int]", round_index: int,
              rng: np.random.Generator) -> "set[int]":
+        """Nobody straggles."""
         return set()
 
 
@@ -69,6 +70,7 @@ class ExactFractionStragglers(StragglerModel):
 
     def draw(self, cohort: "list[int]", round_index: int,
              rng: np.random.Generator) -> "set[int]":
+        """Drop a deterministic count of uniformly-random members."""
         if not cohort or self.rate == 0.0:
             return set()
         n_drop = int(round(self.rate * len(cohort)))
@@ -91,6 +93,7 @@ class BernoulliStragglers(StragglerModel):
 
     def draw(self, cohort: "list[int]", round_index: int,
              rng: np.random.Generator) -> "set[int]":
+        """Independent coin flip per cohort member."""
         if not cohort or self.rate == 0.0:
             return set()
         mask = rng.random(len(cohort)) < self.rate
@@ -122,6 +125,7 @@ class SlowDeviceStragglers(StragglerModel):
 
     def draw(self, cohort: "list[int]", round_index: int,
              rng: np.random.Generator) -> "set[int]":
+        """Selected slow devices miss with ``miss_probability``."""
         dropped = set()
         for party in cohort:
             if party in self.slow_parties and (

@@ -1,14 +1,44 @@
-"""Model-update message exchanged between parties and aggregator."""
+"""Model-update message + the FLIPS update-compression layer.
+
+Two halves live here:
+
+* :class:`ModelUpdate` — the message a party uploads after local
+  training (unchanged wire semantics; compression only adds optional
+  metadata fields that default to ``None``).
+* The communication-efficiency mechanisms behind the paper's
+  "20–60 % lower communication cost" claim: per-layer importance
+  scoring, :func:`selective_layer_pruning` of low-importance layers
+  before upload, optional uniform quantization of the surviving layer
+  deltas, and the :class:`UpdateCompressor` that packages all three into
+  one deterministic client-side transform.
+
+The compressor is **pure**: given the same update and the same global
+model it produces the same compressed payload, with no RNG draw — which
+is what lets the serial, parallel and batched execution backends emit
+byte-identical compressed uploads (asserted in
+``tests/fl/test_compression.py``).  With no compressor configured every
+mechanism is inert and histories are bit-for-bit the uncompressed ones.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.common.exceptions import ConfigurationError
 
-__all__ = ["ModelUpdate"]
+__all__ = [
+    "LayerLayout",
+    "ModelUpdate",
+    "UpdateCompressor",
+    "label_entropy_weights",
+    "layer_importance_scores",
+    "make_compressor",
+    "quantize_layer_deltas",
+    "selective_layer_pruning",
+]
 
 
 @dataclass(frozen=True)
@@ -22,7 +52,10 @@ class ModelUpdate:
     parameters:
         The party's local model *after* local training (flat vector) —
         FedAvg-family algorithms reconstruct the delta against the round's
-        global model.
+        global model.  Compressed updates store the *reconstructed*
+        vector: pruned layers carry the global values (zero delta) and
+        quantized layers carry the dequantized values, so aggregation
+        needs no special casing.
     num_samples:
         Local training-set size (``n_i`` in the weighted average).
     train_loss:
@@ -35,6 +68,23 @@ class ModelUpdate:
         Simulated seconds from model receipt to update upload.
     round_index:
         The round this update belongs to.
+    kept_layers:
+        Indices (into the compressor's :class:`LayerLayout`) of the
+        layers that survived pruning; ``None`` = uncompressed upload.
+    layer_importance:
+        The per-layer importance scores the pruning decision was made
+        from (full layout length, in layout order).
+    importance_weight:
+        Scalar aggregation weight — the party's label-distribution
+        entropy weight (1.0 when the compressor has none), the
+        cluster-informed signal FLIPS selects on.  Consumed by
+        :func:`repro.fl.algorithms.importance_weighted_aggregation`.
+    quantize_bits:
+        Bit width the kept layer deltas were quantized to (``None`` =
+        full float64).
+    payload_nbytes:
+        Actual bytes this (possibly pruned + quantized) upload occupies
+        on the wire, including the layer mask and per-layer scales.
     """
 
     party_id: int
@@ -45,6 +95,11 @@ class ModelUpdate:
     loss_count: int
     latency: float
     round_index: int
+    kept_layers: "tuple[int, ...] | None" = None
+    layer_importance: "tuple[float, ...] | None" = None
+    importance_weight: "float | None" = None
+    quantize_bits: "int | None" = None
+    payload_nbytes: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.num_samples <= 0:
@@ -52,6 +107,10 @@ class ModelUpdate:
         if self.loss_count < 0 or self.latency < 0:
             raise ConfigurationError(
                 "loss_count and latency must be non-negative")
+        if self.payload_nbytes is not None and self.payload_nbytes < 0:
+            raise ConfigurationError("payload_nbytes must be >= 0")
+        if self.importance_weight is not None and self.importance_weight < 0:
+            raise ConfigurationError("importance_weight must be >= 0")
 
     def delta(self, global_parameters: np.ndarray) -> np.ndarray:
         """Update direction ``x_i - m`` relative to the round's model."""
@@ -61,9 +120,311 @@ class ModelUpdate:
         return self.parameters - global_parameters
 
     @property
+    def compressed(self) -> bool:
+        """Whether this update went through an :class:`UpdateCompressor`."""
+        return self.kept_layers is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes this upload occupies on the wire.
+
+        Uncompressed updates ship the full float64 vector; compressed
+        ones report the metered payload the compressor computed.
+        """
+        if self.payload_nbytes is not None:
+            return self.payload_nbytes
+        return 8 * int(self.parameters.size)
+
+    @property
     def statistical_utility(self) -> float:
         """Oort's statistical utility ``|B| * sqrt(mean per-sample loss²)``."""
         if self.loss_count == 0:
             return 0.0
         return float(self.num_samples
                      * np.sqrt(self.loss_sq_sum / self.loss_count))
+
+
+# ---------------------------------------------------------------------------
+# Layer layout: naming the segments of the flat update vector
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LayerLayout:
+    """Named segmentation of the flat parameter vector into layers.
+
+    FL ships flat update vectors (:mod:`repro.ml.serialization`), but
+    the FLIPS compression mechanisms reason about *layers*: importance
+    is scored per layer, pruning masks whole layers, quantization scales
+    are per layer.  A layout records, in canonical packing order, the
+    name and scalar count of every parameter-carrying segment — e.g. the
+    MLP model yields ``("1.dense.W", "1.dense.b", "3.dense.W",
+    "3.dense.b")``.
+
+    Layouts are plain data (picklable), so parallel executor workers can
+    carry one into their process.
+    """
+
+    names: tuple[str, ...]
+    sizes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.names or len(self.names) != len(self.sizes):
+            raise ConfigurationError(
+                "layout needs matching, non-empty names and sizes")
+        if any(s <= 0 for s in self.sizes):
+            raise ConfigurationError("layer sizes must be positive")
+
+    @classmethod
+    def from_model(cls, model) -> "LayerLayout":
+        """Derive the layout from a :class:`repro.ml.models.Model`.
+
+        One segment per :class:`~repro.ml.layers.Parameter`, named
+        ``"<layer_index>.<parameter_name>"`` in packing order — the same
+        order :func:`repro.ml.serialization.pack_parameters` uses, so
+        segment offsets line up with the flat update vector.
+        """
+        names: list[str] = []
+        sizes: list[int] = []
+        for index, layer in enumerate(model.layers):
+            for param in layer.parameters():
+                names.append(f"{index}.{param.name}")
+                sizes.append(param.size)
+        if not names:
+            raise ConfigurationError("model has no trainable parameters")
+        return cls(names=tuple(names), sizes=tuple(sizes))
+
+    @property
+    def n_layers(self) -> int:
+        """Number of named segments."""
+        return len(self.names)
+
+    @property
+    def dimension(self) -> int:
+        """Total scalar count — must equal the model dimension."""
+        return int(sum(self.sizes))
+
+    def slices(self) -> "list[slice]":
+        """One slice into the flat vector per layer, in layout order."""
+        out, offset = [], 0
+        for size in self.sizes:
+            out.append(slice(offset, offset + size))
+            offset += size
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Importance scoring, pruning, quantization
+# ---------------------------------------------------------------------------
+
+def layer_importance_scores(delta: np.ndarray,
+                            layout: LayerLayout) -> np.ndarray:
+    """Per-layer importance of one update: mean |delta| per segment.
+
+    The flips_fedjax exemplar scores a layer by the mean absolute value
+    of its weights; here the score is taken over the *update direction*
+    instead — a layer whose parameters barely moved during local
+    training carries little information and is the first pruning
+    candidate.  Deterministic, RNG-free.
+    """
+    delta = np.asarray(delta, dtype=np.float64)
+    if delta.shape != (layout.dimension,):
+        raise ConfigurationError(
+            f"delta has shape {delta.shape}, layout needs "
+            f"({layout.dimension},)")
+    return np.array([float(np.mean(np.abs(delta[s])))
+                     for s in layout.slices()])
+
+
+def label_entropy_weights(label_distributions: np.ndarray) -> np.ndarray:
+    """Per-party aggregation weight from label-distribution entropy.
+
+    FLIPS's clustering favours parties whose data covers many labels;
+    the same signal scales each party's aggregation importance here.  A
+    party with perfectly balanced labels gets weight 1.0, a single-label
+    party 0.5 — mapped as ``(1 + H/H_max) / 2`` so no party is silenced
+    outright, only discounted.
+    """
+    matrix = np.asarray(label_distributions, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] < 1:
+        raise ConfigurationError(
+            "label_distributions must be an (n_parties, n_classes) matrix")
+    totals = matrix.sum(axis=1, keepdims=True)
+    probs = np.where(totals > 0, matrix / np.where(totals > 0, totals, 1.0),
+                     1.0 / matrix.shape[1])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        plogp = np.where(probs > 0, probs * np.log(probs), 0.0)
+    entropy = -plogp.sum(axis=1)
+    h_max = math.log(matrix.shape[1]) if matrix.shape[1] > 1 else 1.0
+    return (1.0 + entropy / h_max) / 2.0
+
+
+def selective_layer_pruning(delta: np.ndarray, scores: np.ndarray,
+                            layout: LayerLayout, pruning_fraction: float,
+                            ) -> "tuple[np.ndarray, tuple[int, ...]]":
+    """Mask the lowest-importance layers out of an update delta.
+
+    Prunes ``floor(pruning_fraction × n_layers)`` layers — always
+    keeping at least one — chosen as the lowest ``scores`` with ties
+    broken by layer index (stable sort), so the transform is
+    deterministic.  Returns the pruned copy of ``delta`` (pruned
+    segments zeroed) and the sorted tuple of kept layer indices.
+    """
+    if not 0.0 <= pruning_fraction < 1.0:
+        raise ConfigurationError("pruning_fraction must be in [0, 1)")
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.shape != (layout.n_layers,):
+        raise ConfigurationError(
+            f"scores has shape {scores.shape}, layout has "
+            f"{layout.n_layers} layers")
+    n_prune = min(int(pruning_fraction * layout.n_layers),
+                  layout.n_layers - 1)
+    pruned = np.array(delta, dtype=np.float64, copy=True)
+    if n_prune == 0:
+        return pruned, tuple(range(layout.n_layers))
+    order = np.argsort(scores, kind="stable")
+    dropped = set(int(i) for i in order[:n_prune])
+    slices = layout.slices()
+    for index in dropped:
+        pruned[slices[index]] = 0.0
+    kept = tuple(i for i in range(layout.n_layers) if i not in dropped)
+    return pruned, kept
+
+
+def quantize_layer_deltas(delta: np.ndarray, layout: LayerLayout,
+                          kept: "tuple[int, ...]", bits: int) -> np.ndarray:
+    """Uniform symmetric quantization of the kept layer deltas.
+
+    Each kept layer is quantized independently: its scale is
+    ``max|delta| / (2^(bits-1) - 1)`` and values are rounded to the
+    nearest quantization level, so the worst-case per-scalar error is
+    half a level.  Returns the dequantized vector (what the aggregator
+    reconstructs); the wire cost is metered separately by
+    :meth:`UpdateCompressor.payload_nbytes`.  Deterministic, RNG-free.
+    """
+    if not 2 <= bits <= 16:
+        raise ConfigurationError("quantize_bits must be in [2, 16]")
+    levels = float(2 ** (bits - 1) - 1)
+    out = np.array(delta, dtype=np.float64, copy=True)
+    slices = layout.slices()
+    for index in kept:
+        segment = out[slices[index]]
+        peak = float(np.max(np.abs(segment))) if segment.size else 0.0
+        if peak == 0.0:
+            continue
+        scale = peak / levels
+        out[slices[index]] = np.round(segment / scale) * scale
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The client-side compressor
+# ---------------------------------------------------------------------------
+
+#: Bytes for one float (per-layer quantization scale on the wire).
+_SCALE_NBYTES = 8
+
+
+@dataclass(frozen=True)
+class UpdateCompressor:
+    """Deterministic client-side update compression (FLIPS §5 mechanisms).
+
+    Composes, in order: per-layer importance scoring of the update
+    delta, :func:`selective_layer_pruning` of the ``pruning_fraction``
+    lowest-importance layers, and optional ``quantize_bits``-wide
+    uniform quantization of the surviving layer deltas.  The compressed
+    :class:`ModelUpdate` carries the reconstructed parameter vector
+    (so aggregation code is unchanged) plus the metadata the
+    importance-weighted aggregator and the communication tracker need.
+
+    ``label_weights`` (one scalar per party, from
+    :func:`label_entropy_weights`) makes the aggregation weight
+    label-distribution-informed: diverse parties count more, mirroring
+    what FLIPS's cluster-based selection optimises for.
+
+    Instances are immutable plain data — picklable into parallel
+    executor workers, and shareable across rounds.
+    """
+
+    layout: LayerLayout
+    pruning_fraction: float = 0.0
+    quantize_bits: "int | None" = None
+    label_weights: "tuple[float, ...] | None" = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.pruning_fraction < 1.0:
+            raise ConfigurationError("pruning_fraction must be in [0, 1)")
+        if self.quantize_bits is not None and \
+                not 2 <= self.quantize_bits <= 16:
+            raise ConfigurationError("quantize_bits must be in [2, 16]")
+        if self.label_weights is not None and \
+                any(w < 0 for w in self.label_weights):
+            raise ConfigurationError("label_weights must be >= 0")
+
+    def payload_nbytes(self, kept: "tuple[int, ...]") -> int:
+        """Wire bytes of a compressed upload.
+
+        One bit per layout layer for the pruning mask, one float scale
+        per kept layer when quantizing, and ``quantize_bits`` (or 64)
+        bits per surviving scalar.
+        """
+        mask = math.ceil(self.layout.n_layers / 8)
+        scalars = sum(self.layout.sizes[i] for i in kept)
+        bits = self.quantize_bits if self.quantize_bits is not None else 64
+        scales = (_SCALE_NBYTES * len(kept)
+                  if self.quantize_bits is not None else 0)
+        return mask + scales + math.ceil(scalars * bits / 8)
+
+    def compress(self, update: ModelUpdate,
+                 global_parameters: np.ndarray) -> ModelUpdate:
+        """Transform one update into its pruned/quantized upload.
+
+        Pure function of ``(update, global_parameters)`` — no RNG — so
+        every execution backend produces identical compressed payloads
+        for the same plan.
+        """
+        if global_parameters.shape != (self.layout.dimension,):
+            raise ConfigurationError(
+                f"compressor layout covers {self.layout.dimension} "
+                f"scalars, model has {global_parameters.shape}")
+        delta = update.delta(global_parameters)
+        scores = layer_importance_scores(delta, self.layout)
+        pruned, kept = selective_layer_pruning(
+            delta, scores, self.layout, self.pruning_fraction)
+        if self.quantize_bits is not None:
+            pruned = quantize_layer_deltas(
+                pruned, self.layout, kept, self.quantize_bits)
+        weight = 1.0
+        if self.label_weights is not None:
+            if update.party_id >= len(self.label_weights):
+                raise ConfigurationError(
+                    f"no label weight for party {update.party_id}")
+            weight = float(self.label_weights[update.party_id])
+        return replace(
+            update,
+            parameters=global_parameters + pruned,
+            kept_layers=kept,
+            layer_importance=tuple(float(s) for s in scores),
+            importance_weight=weight,
+            quantize_bits=self.quantize_bits,
+            payload_nbytes=self.payload_nbytes(kept))
+
+
+def make_compressor(model, *, pruning_fraction: float = 0.0,
+                    quantize_bits: "int | None" = None,
+                    label_distributions: "np.ndarray | None" = None,
+                    ) -> UpdateCompressor:
+    """Build an :class:`UpdateCompressor` for a model.
+
+    Derives the :class:`LayerLayout` from the model and, when a
+    label-distribution matrix is supplied, the per-party entropy
+    weights that make aggregation label-informed.
+    """
+    layout = LayerLayout.from_model(model)
+    weights = None
+    if label_distributions is not None:
+        weights = tuple(float(w)
+                        for w in label_entropy_weights(label_distributions))
+    return UpdateCompressor(layout=layout,
+                            pruning_fraction=pruning_fraction,
+                            quantize_bits=quantize_bits,
+                            label_weights=weights)

@@ -123,6 +123,7 @@ class SelectionStrategy(ABC):
 
     @property
     def context(self) -> SelectionContext:
+        """The population facts received at :meth:`initialize` time."""
         if self._context is None:
             raise NotFittedError(
                 f"{type(self).__name__} used before initialize()")

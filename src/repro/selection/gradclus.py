@@ -64,6 +64,7 @@ class GradClusSelection(SelectionStrategy):
         self._init_rng: np.random.Generator | None = None
 
     def initialize(self, context: SelectionContext) -> None:
+        """Seed every party with a random cold-start sketch."""
         super().initialize(context)
         # Random initial sketches (the algorithm's stated cold start).
         init = np.random.default_rng(context.seed + 7)
@@ -85,6 +86,7 @@ class GradClusSelection(SelectionStrategy):
 
     def select(self, round_index: int, n_select: int,
                rng: np.random.Generator) -> "list[int]":
+        """Cluster online sketches, draw one member per cluster."""
         assert self._sketches is not None
         # Cluster only the online parties' sketches (offline sketches
         # would anchor clusters nobody can be drawn from) and sample one
@@ -104,6 +106,7 @@ class GradClusSelection(SelectionStrategy):
         return cohort
 
     def report_round(self, outcome: RoundOutcome) -> None:
+        """Refresh reporting parties' sketches from their update deltas."""
         assert self._sketches is not None
         for party, delta in outcome.update_deltas.items():
             sketch = self._project(np.asarray(delta, dtype=np.float64))

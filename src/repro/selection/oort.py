@@ -115,6 +115,7 @@ class OortSelection(SelectionStrategy):
 
     # -- strategy interface ---------------------------------------------
     def initialize(self, context: SelectionContext) -> None:
+        """Reset the utility state and derive the size cap."""
         super().initialize(context)
         self._epsilon = self.exploration_factor
         self._stat_utility.clear()
@@ -128,6 +129,7 @@ class OortSelection(SelectionStrategy):
 
     def select(self, round_index: int, n_select: int,
                rng: np.random.Generator) -> "list[int]":
+        """ε-greedy split between utility exploitation and exploration."""
         # Only currently-online parties are candidates; the pool is all
         # of range(n_parties) in the static setting, keeping every draw
         # bit-identical to the pre-availability selector.
@@ -178,6 +180,7 @@ class OortSelection(SelectionStrategy):
         return cohort
 
     def report_round(self, outcome: RoundOutcome) -> None:
+        """Update utilities/latencies; penalise this round's stragglers."""
         self._round = outcome.round_index
         for party in outcome.received:
             count = outcome.loss_counts.get(party, 0)

@@ -36,11 +36,13 @@ class PowerOfChoiceSelection(SelectionStrategy):
         self._last_loss: dict[int, float] = {}
 
     def initialize(self, context: SelectionContext) -> None:
+        """Forget loss observations from any previous job."""
         super().initialize(context)
         self._last_loss.clear()
 
     def select(self, round_index: int, n_select: int,
                rng: np.random.Generator) -> "list[int]":
+        """Sample ``d`` candidates, keep the ``Nr`` highest-loss ones."""
         # Candidates come from the online pool; with everyone online the
         # index draw over the pool is bit-identical to the legacy draw
         # over party ids (the pool is arange(n_parties)).
@@ -55,5 +57,6 @@ class PowerOfChoiceSelection(SelectionStrategy):
         return [int(candidates[i]) for i in order[:n_select]]
 
     def report_round(self, outcome: RoundOutcome) -> None:
+        """Remember each reporting party's latest training loss."""
         for party, loss in outcome.train_losses.items():
             self._last_loss[party] = loss

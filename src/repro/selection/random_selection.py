@@ -36,6 +36,7 @@ class RandomSelection(SelectionStrategy):
 
     def select(self, round_index: int, n_select: int,
                rng: np.random.Generator) -> "list[int]":
+        """Uniform draw (without replacement) from the online pool."""
         # The online pool is all of range(n_parties) in the static
         # setting, so the draw below is bit-identical to sampling party
         # ids directly (rng.choice(n) samples from arange(n)).

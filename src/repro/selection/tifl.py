@@ -63,6 +63,7 @@ class TiflSelection(SelectionStrategy):
         self._last_selected_tier: int | None = None
 
     def initialize(self, context: SelectionContext) -> None:
+        """Assign provisional tiers and per-tier selection credits."""
         super().initialize(context)
         n_tiers = min(self.n_tiers, context.n_parties)
         self.n_tiers = n_tiers
@@ -100,6 +101,7 @@ class TiflSelection(SelectionStrategy):
     # -- strategy interface ------------------------------------------------
     def select(self, round_index: int, n_select: int,
                rng: np.random.Generator) -> "list[int]":
+        """Pick an accuracy-weighted tier, then a cohort inside it."""
         assert (self._tier_of is not None and self._credits is not None
                 and self._tier_accuracy is not None)
         if round_index > 1 and (round_index - 1) % self.retier_every == 0:
@@ -149,6 +151,7 @@ class TiflSelection(SelectionStrategy):
         return cohort
 
     def report_round(self, outcome: RoundOutcome) -> None:
+        """Profile latencies; update the selected tier's accuracy EMA."""
         for party, latency in outcome.latencies.items():
             self._latency_sum[party] += latency
             self._latency_count[party] += 1

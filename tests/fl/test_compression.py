@@ -1,0 +1,356 @@
+"""The update-compression layer: pruning masks, quantization error,
+bit-exactness when disabled, and byte-identical payloads across the
+execution backends."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import RngFabric
+from repro.data import build_federation
+from repro.fl import (
+    BatchedExecutor,
+    ExecutionContext,
+    FederatedTrainer,
+    FLJobConfig,
+    LayerLayout,
+    LocalTrainingConfig,
+    ModelUpdate,
+    ParallelExecutor,
+    Party,
+    RoundPlan,
+    SerialExecutor,
+    UpdateCompressor,
+    importance_weighted_aggregation,
+    label_entropy_weights,
+    layer_importance_scores,
+    make_algorithm,
+    make_compressor,
+    quantize_layer_deltas,
+    selective_layer_pruning,
+)
+from repro.ml import make_model
+from repro.selection import RandomSelection
+
+LAYOUT = LayerLayout(names=("a.W", "a.b", "b.W", "b.b"),
+                     sizes=(12, 4, 8, 2))
+
+
+def flat(*segments):
+    return np.concatenate([np.asarray(s, dtype=np.float64)
+                           for s in segments])
+
+
+@pytest.fixture(scope="module")
+def fed():
+    return build_federation("ecg", 8, alpha=0.5, n_train=400, n_test=200,
+                            seed=3)
+
+
+class TestLayerLayout:
+    def test_from_model_segments_cover_dimension(self, fed):
+        model = make_model("mlp", fed.parties[0].feature_shape,
+                           fed.num_classes, rng=0)
+        layout = LayerLayout.from_model(model)
+        assert layout.dimension == model.dimension
+        assert layout.n_layers == 4  # two Dense layers, W + b each
+        assert all("dense" in name for name in layout.names)
+        slices = layout.slices()
+        assert slices[0].start == 0 and slices[-1].stop == layout.dimension
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LayerLayout(names=(), sizes=())
+        with pytest.raises(ConfigurationError):
+            LayerLayout(names=("a",), sizes=(0,))
+        with pytest.raises(ConfigurationError):
+            LayerLayout(names=("a", "b"), sizes=(1,))
+
+
+class TestImportanceScores:
+    def test_mean_abs_delta_per_segment(self):
+        delta = flat(np.full(12, 0.5), np.full(4, -2.0), np.zeros(8),
+                     [1.0, -3.0])
+        scores = layer_importance_scores(delta, LAYOUT)
+        np.testing.assert_allclose(scores, [0.5, 2.0, 0.0, 2.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            layer_importance_scores(np.zeros(5), LAYOUT)
+
+
+class TestSelectiveLayerPruning:
+    def test_masks_exactly_the_lowest_layers(self):
+        delta = flat(np.full(12, 0.5), np.full(4, -2.0),
+                     np.full(8, 0.01), np.full(2, 3.0))
+        scores = layer_importance_scores(delta, LAYOUT)
+        pruned, kept = selective_layer_pruning(delta, scores, LAYOUT, 0.5)
+        # 4 layers × 0.5 → prune 2: the 0.01 segment and the 0.5 one.
+        assert kept == (1, 3)
+        assert np.all(pruned[:12] == 0.0) and np.all(pruned[16:24] == 0.0)
+        np.testing.assert_array_equal(pruned[12:16], delta[12:16])
+        np.testing.assert_array_equal(pruned[24:], delta[24:])
+
+    def test_input_delta_unmodified(self):
+        delta = flat(np.full(12, 0.5), np.full(4, -2.0),
+                     np.full(8, 0.01), np.full(2, 3.0))
+        before = delta.copy()
+        scores = layer_importance_scores(delta, LAYOUT)
+        selective_layer_pruning(delta, scores, LAYOUT, 0.5)
+        np.testing.assert_array_equal(delta, before)
+
+    def test_zero_fraction_keeps_everything(self):
+        delta = np.arange(26, dtype=np.float64)
+        scores = layer_importance_scores(delta, LAYOUT)
+        pruned, kept = selective_layer_pruning(delta, scores, LAYOUT, 0.0)
+        assert kept == (0, 1, 2, 3)
+        np.testing.assert_array_equal(pruned, delta)
+
+    def test_always_keeps_at_least_one_layer(self):
+        delta = np.ones(26)
+        scores = layer_importance_scores(delta, LAYOUT)
+        pruned, kept = selective_layer_pruning(delta, scores, LAYOUT,
+                                               0.999)
+        assert len(kept) == 1
+
+    def test_ties_break_by_layer_index(self):
+        delta = np.ones(26)  # every layer equally unimportant
+        scores = layer_importance_scores(delta, LAYOUT)
+        _, kept = selective_layer_pruning(delta, scores, LAYOUT, 0.5)
+        assert kept == (2, 3)  # stable argsort prunes layers 0 and 1
+
+
+class TestQuantization:
+    def test_error_bounded_by_half_a_level(self):
+        rng = np.random.default_rng(0)
+        delta = rng.normal(scale=0.3, size=LAYOUT.dimension)
+        for bits in (2, 4, 8, 16):
+            out = quantize_layer_deltas(delta, LAYOUT, (0, 1, 2, 3), bits)
+            levels = 2 ** (bits - 1) - 1
+            for s in LAYOUT.slices():
+                scale = np.max(np.abs(delta[s])) / levels
+                assert np.max(np.abs(out[s] - delta[s])) <= scale / 2 + 1e-12
+
+    def test_higher_bits_reduce_error(self):
+        rng = np.random.default_rng(1)
+        delta = rng.normal(size=LAYOUT.dimension)
+        errors = [
+            np.max(np.abs(
+                quantize_layer_deltas(delta, LAYOUT, (0, 1, 2, 3), bits)
+                - delta))
+            for bits in (2, 8, 16)]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_only_kept_layers_touched(self):
+        delta = np.linspace(-1, 1, LAYOUT.dimension)
+        out = quantize_layer_deltas(delta, LAYOUT, (1,), 4)
+        slices = LAYOUT.slices()
+        np.testing.assert_array_equal(out[slices[0]], delta[slices[0]])
+        assert not np.array_equal(out[slices[1]], delta[slices[1]])
+
+    def test_zero_segment_stays_zero(self):
+        delta = np.zeros(LAYOUT.dimension)
+        out = quantize_layer_deltas(delta, LAYOUT, (0, 1, 2, 3), 8)
+        np.testing.assert_array_equal(out, delta)
+
+    def test_bits_validated(self):
+        with pytest.raises(ConfigurationError):
+            quantize_layer_deltas(np.zeros(26), LAYOUT, (0,), 1)
+        with pytest.raises(ConfigurationError):
+            quantize_layer_deltas(np.zeros(26), LAYOUT, (0,), 17)
+
+
+class TestLabelEntropyWeights:
+    def test_balanced_party_weighs_one_single_label_half(self):
+        weights = label_entropy_weights(
+            np.array([[10.0, 10.0], [20.0, 0.0]]))
+        np.testing.assert_allclose(weights, [1.0, 0.5])
+
+    def test_empty_party_gets_uniform_entropy(self):
+        weights = label_entropy_weights(
+            np.array([[0.0, 0.0], [5.0, 5.0]]))
+        np.testing.assert_allclose(weights, [1.0, 1.0])
+
+
+def make_update(parameters, party_id=0, num_samples=10):
+    return ModelUpdate(party_id=party_id, parameters=parameters,
+                       num_samples=num_samples, train_loss=0.1,
+                       loss_sq_sum=0.0, loss_count=0, latency=1.0,
+                       round_index=1)
+
+
+class TestUpdateCompressor:
+    def test_payload_smaller_than_full_vector(self):
+        comp = UpdateCompressor(layout=LAYOUT, pruning_fraction=0.5,
+                                quantize_bits=8)
+        rng = np.random.default_rng(2)
+        g = rng.normal(size=LAYOUT.dimension)
+        update = comp.compress(make_update(g + rng.normal(size=g.shape)), g)
+        assert update.compressed
+        assert update.nbytes == update.payload_nbytes < 8 * LAYOUT.dimension
+
+    def test_pruned_layers_reconstruct_to_global(self):
+        comp = UpdateCompressor(layout=LAYOUT, pruning_fraction=0.5)
+        rng = np.random.default_rng(3)
+        g = rng.normal(size=LAYOUT.dimension)
+        update = comp.compress(make_update(g + rng.normal(size=g.shape)), g)
+        slices = LAYOUT.slices()
+        kept = set(update.kept_layers)
+        for index, s in enumerate(slices):
+            if index not in kept:
+                np.testing.assert_array_equal(update.parameters[s], g[s])
+
+    def test_noop_compressor_is_bit_exact(self):
+        comp = UpdateCompressor(layout=LAYOUT)
+        rng = np.random.default_rng(4)
+        g = rng.normal(size=LAYOUT.dimension)
+        local = g + rng.normal(size=g.shape)
+        update = comp.compress(make_update(local), g)
+        np.testing.assert_array_equal(update.parameters, local)
+        assert update.kept_layers == (0, 1, 2, 3)
+        assert update.importance_weight == 1.0
+
+    def test_dimension_mismatch_rejected(self):
+        comp = UpdateCompressor(layout=LAYOUT)
+        with pytest.raises(ConfigurationError):
+            comp.compress(make_update(np.zeros(5)), np.zeros(5))
+
+    def test_label_weights_scale_importance(self):
+        comp = UpdateCompressor(
+            layout=LAYOUT, label_weights=(0.5, 1.0))
+        g = np.zeros(LAYOUT.dimension)
+        local = np.ones(LAYOUT.dimension)
+        half = comp.compress(make_update(local, party_id=0), g)
+        full = comp.compress(make_update(local, party_id=1), g)
+        assert half.importance_weight == 0.5
+        assert full.importance_weight == 1.0
+
+    def test_unknown_party_rejected(self):
+        comp = UpdateCompressor(layout=LAYOUT, label_weights=(1.0,))
+        with pytest.raises(ConfigurationError):
+            comp.compress(make_update(np.zeros(26), party_id=3),
+                          np.zeros(26))
+
+
+class TestImportanceWeightedAggregation:
+    def test_uncompressed_updates_fall_back_to_sample_weighting(self):
+        g = np.zeros(4)
+        updates = [make_update(np.array([1.0, 0, 0, 0]), num_samples=30),
+                   make_update(np.array([0, 1.0, 0, 0]), num_samples=10)]
+        out = importance_weighted_aggregation(g, updates)
+        np.testing.assert_allclose(out, [0.75, 0.25, 0.0, 0.0])
+
+    def test_importance_reweights_the_mean(self):
+        layout = LayerLayout(names=("w",), sizes=(4,))
+        comp = UpdateCompressor(layout=layout, label_weights=(1.0, 0.5))
+        g = np.zeros(4)
+        a = comp.compress(
+            make_update(np.array([1.0, 0, 0, 0]), party_id=0,
+                        num_samples=10), g)
+        b = comp.compress(
+            make_update(np.array([0, 1.0, 0, 0]), party_id=1,
+                        num_samples=10), g)
+        out = importance_weighted_aggregation(g, [a, b])
+        # weights 10×1.0 vs 10×0.5 → 2/3 vs 1/3.
+        np.testing.assert_allclose(out, [2 / 3, 1 / 3, 0.0, 0.0],
+                                   atol=1e-12)
+
+    def test_server_lr_validated(self):
+        with pytest.raises(ConfigurationError):
+            importance_weighted_aggregation(
+                np.zeros(4), [make_update(np.ones(4))], server_lr=0.0)
+
+
+def make_trainer(fed, *, compressor=None, rounds=2, seed=0, model="mlp"):
+    mdl = make_model(model, fed.parties[0].feature_shape,
+                     fed.num_classes, rng=seed)
+    config = FLJobConfig(rounds=rounds, parties_per_round=3,
+                         local=LocalTrainingConfig(epochs=1, batch_size=16,
+                                                   learning_rate=0.1),
+                         seed=seed)
+    return FederatedTrainer(fed, mdl, make_algorithm("fedavg"),
+                            RandomSelection(), config,
+                            compressor=compressor)
+
+
+class TestEngineIntegration:
+    def test_disabled_compression_is_bit_exact(self, fed):
+        """No compressor vs an inert one: same model, same accuracy —
+        only the uplink metering differs (mask overhead)."""
+        plain = make_trainer(fed, seed=11)
+        history_plain = plain.run()
+        inert = make_trainer(
+            fed, seed=11,
+            compressor=make_compressor(
+                make_model("mlp", fed.parties[0].feature_shape,
+                           fed.num_classes, rng=11)))
+        history_inert = inert.run()
+        assert np.array_equal(plain.global_parameters,
+                              inert.global_parameters)
+        assert np.array_equal(history_plain.accuracy_series(),
+                              history_inert.accuracy_series())
+
+    def test_compressed_run_meters_fewer_uplink_bytes(self, fed):
+        mdl = make_model("mlp", fed.parties[0].feature_shape,
+                         fed.num_classes, rng=0)
+        comp = make_compressor(mdl, pruning_fraction=0.25,
+                               quantize_bits=8)
+        trainer = make_trainer(fed, compressor=comp)
+        history = trainer.run()
+        assert trainer.comm.uplink_reduction > 0.5
+        assert history.total_uplink_bytes() == trainer.comm.uplink_bytes
+        for record in history.records:
+            assert record.uplink_bytes is not None
+
+    def test_uncompressed_records_meter_full_bytes(self, fed):
+        trainer = make_trainer(fed)
+        history = trainer.run()
+        assert trainer.comm.uplink_reduction == 0.0
+        assert history.total_uplink_bytes() == trainer.comm.uplink_bytes
+
+    def test_layout_dimension_checked(self, fed):
+        bad = UpdateCompressor(layout=LAYOUT)  # 26 ≠ model dimension
+        with pytest.raises(ConfigurationError):
+            make_trainer(fed, compressor=bad)
+
+
+class TestCrossBackendPayloads:
+    """The compressor is deterministic and RNG-free, so for one planned
+    round over fresh party state every backend must emit byte-identical
+    compressed payloads."""
+
+    def executor_payloads(self, fed, executor, seed=7):
+        mdl = make_model("mlp", fed.parties[0].feature_shape,
+                         fed.num_classes, rng=seed)
+        comp = make_compressor(mdl, pruning_fraction=0.25,
+                               quantize_bits=8)
+        fabric = RngFabric(seed)
+        parties = [
+            Party(i, fed.party(i), compute_speed=1.0,
+                  rng=fabric.generator(f"party-{i}"))
+            for i in range(fed.n_parties)]
+        local = LocalTrainingConfig(epochs=1, batch_size=16,
+                                    learning_rate=0.1)
+        executor.bind(ExecutionContext(
+            parties=parties, model=mdl.clone(), local_config=local,
+            seed=seed, collect_loss_stats=True, compressor=comp))
+        plan = RoundPlan(round_index=1, cohort=(0, 2, 5), stragglers=(),
+                         local_config=local,
+                         latencies={0: 1.0, 2: 1.0, 5: 1.0})
+        updates = executor.execute(plan, mdl.get_parameters())
+        executor.close()
+        return updates
+
+    def test_all_backends_byte_identical(self, fed):
+        serial = self.executor_payloads(fed, SerialExecutor())
+        batched = self.executor_payloads(fed, BatchedExecutor())
+        parallel = self.executor_payloads(
+            fed, ParallelExecutor(n_workers=2))
+        for others in (batched, parallel):
+            for a, b in zip(serial, others):
+                assert a.party_id == b.party_id
+                assert a.parameters.tobytes() == b.parameters.tobytes()
+                assert a.kept_layers == b.kept_layers
+                assert a.layer_importance == b.layer_importance
+                assert a.importance_weight == b.importance_weight
+                assert a.payload_nbytes == b.payload_nbytes

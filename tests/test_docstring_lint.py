@@ -1,0 +1,22 @@
+"""Docstring coverage of the public API surface (fl/ and selection/).
+
+Runs the same dependency-free checker CI invokes
+(``tools/lint_docstrings.py``), so the tier-1 suite and the workflow
+step cannot drift apart.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from lint_docstrings import check_paths  # noqa: E402
+
+LINTED = [REPO_ROOT / "src" / "repro" / "fl",
+          REPO_ROOT / "src" / "repro" / "selection"]
+
+
+def test_public_api_docstrings_complete():
+    violations = check_paths(LINTED)
+    assert not violations, "\n".join(violations)

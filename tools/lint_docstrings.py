@@ -1,0 +1,116 @@
+"""Dependency-free docstring linter for the public API surface.
+
+The container this repo targets ships no ``ruff`` or ``pydocstyle``, so
+CI enforces docstring coverage with this self-contained AST walker
+instead.  It applies the pydocstyle rules that matter for an API
+reference:
+
+* D100 — missing module docstring;
+* D101 — missing docstring on a public class;
+* D102 — missing docstring on a public method;
+* D103 — missing docstring on a public function.
+
+"Public" follows the usual convention: names not starting with ``_``,
+inside classes that are themselves public.  ``__init__`` and other
+dunders are exempt (the class docstring documents construction);
+``@overload`` stubs and abstract one-liner ``...`` bodies are not
+exempt — if they are part of the public surface they need a docstring
+somewhere, and the linter accepts docstring inheritance only through
+``@property`` wrappers of documented abstract methods being *absent*
+— i.e. it does not chase the MRO, deliberately: the rendered API page
+does not either.
+
+Usage::
+
+    python tools/lint_docstrings.py src/repro/fl src/repro/selection
+
+Exit status 0 when clean, 1 with one ``path:line: code name`` line per
+violation otherwise.  ``tests/test_docstring_lint.py`` runs the same
+check inside the tier-1 suite, so CI and local runs cannot drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+__all__ = ["check_file", "check_paths", "main"]
+
+
+def _has_docstring(node) -> bool:
+    return ast.get_docstring(node, clean=False) is not None
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _walk_body(body, *, inside_class: bool, violations, path: Path) -> None:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            name = node.name
+            if _is_dunder(name) or not _is_public(name):
+                continue
+            if not _has_docstring(node):
+                code = "D102" if inside_class else "D103"
+                kind = "method" if inside_class else "function"
+                violations.append(
+                    f"{path}:{node.lineno}: {code} missing docstring on "
+                    f"public {kind} {name!r}")
+        elif isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            if not _has_docstring(node):
+                violations.append(
+                    f"{path}:{node.lineno}: D101 missing docstring on "
+                    f"public class {node.name!r}")
+            _walk_body(node.body, inside_class=True,
+                       violations=violations, path=path)
+
+
+def check_file(path: Path) -> "list[str]":
+    """Lint one Python file; returns a list of violation lines."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    violations: list[str] = []
+    if not _has_docstring(tree):
+        violations.append(f"{path}:1: D100 missing module docstring")
+    _walk_body(tree.body, inside_class=False,
+               violations=violations, path=path)
+    return violations
+
+
+def check_paths(paths: "list[str | Path]") -> "list[str]":
+    """Lint every ``.py`` file under the given files/directories."""
+    violations: list[str] = []
+    for raw in paths:
+        path = Path(raw)
+        files = (sorted(path.rglob("*.py")) if path.is_dir() else [path])
+        if not files:
+            raise FileNotFoundError(f"no Python files under {path}")
+        for file in files:
+            violations.extend(check_file(file))
+    return violations
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print("usage: lint_docstrings.py PATH [PATH ...]", file=sys.stderr)
+        return 2
+    violations = check_paths(args)
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"{len(violations)} docstring violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
