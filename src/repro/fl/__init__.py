@@ -41,8 +41,9 @@ from repro.fl.execution import (
     SerialExecutor,
     make_executor,
 )
-from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.history import RoundRecord, TrainingHistory, mean_or_nan
 from repro.fl.party import LocalTrainingConfig, Party
+from repro.fl.profiling import PHASES, PhaseProfiler
 from repro.fl.straggler import (
     BernoulliStragglers,
     ExactFractionStragglers,
@@ -87,8 +88,10 @@ __all__ = [
     "LocalTrainingConfig",
     "ModelUpdate",
     "NoStragglers",
+    "PHASES",
     "ParallelExecutor",
     "Party",
+    "PhaseProfiler",
     "RoundPlan",
     "RoundRecord",
     "SerialExecutor",
@@ -106,6 +109,7 @@ __all__ = [
     "make_evaluation_policy",
     "make_executor",
     "make_straggler_model",
+    "mean_or_nan",
     "quantize_layer_deltas",
     "selective_layer_pruning",
     "weighted_mean_delta",

@@ -71,8 +71,9 @@ from repro.fl.execution import (
     RoundPlan,
     SerialExecutor,
 )
-from repro.fl.history import RoundRecord, TrainingHistory
+from repro.fl.history import RoundRecord, TrainingHistory, mean_or_nan
 from repro.fl.party import LocalTrainingConfig, Party
+from repro.fl.profiling import PhaseProfiler
 from repro.fl.straggler import NoStragglers, StragglerModel
 from repro.fl.updates import ModelUpdate, UpdateCompressor
 from repro.ml.models import Model
@@ -360,13 +361,20 @@ class FederatedTrainer:
             for p in plan.cohort)
 
     # -- one round ---------------------------------------------------------
-    def _run_round(self, round_index: int,
-                   history: TrainingHistory) -> None:
-        plan = self.plan_round(round_index)
+    def _run_round(self, round_index: int, history: TrainingHistory,
+                   profiler: PhaseProfiler) -> None:
+        with profiler.phase("plan"):
+            plan = self.plan_round(round_index)
         round_start_parameters = self.global_parameters
 
-        updates = self.executor.execute(plan, self.global_parameters)
-        self._aggregate(updates)
+        with profiler.phase("train"):
+            updates = self.executor.execute(plan, self.global_parameters)
+        # The executor timed its own dispatch slice inside our "train"
+        # measurement; carve it out so broadcast cost is attributable.
+        profiler.reattribute("train", "broadcast",
+                             self.executor.last_broadcast_seconds)
+        with profiler.phase("aggregate"):
+            self._aggregate(updates)
 
         # Every cohort member consumed a download; plan validation
         # guarantees the cohort only names parties online at dispatch,
@@ -380,8 +388,9 @@ class FederatedTrainer:
             uplink_nbytes=uplink_nbytes)
 
         # Evaluate the (possibly unchanged) global model.
-        evaluation = self.eval_policy.evaluate(round_index,
-                                               self.global_parameters)
+        with profiler.phase("evaluate"):
+            evaluation = self.eval_policy.evaluate(round_index,
+                                                   self.global_parameters)
 
         latencies = {u.party_id: u.latency for u in updates}
         history.append(RoundRecord(
@@ -393,12 +402,12 @@ class FederatedTrainer:
             plain_accuracy=evaluation.plain_accuracy,
             per_label_recall=tuple(np.nan_to_num(
                 evaluation.per_label_recall, nan=0.0)),
-            mean_train_loss=float(np.mean(
-                [u.train_loss for u in updates])) if updates else float("nan"),
+            mean_train_loss=mean_or_nan([u.train_loss for u in updates]),
             comm_bytes=comm_bytes,
             round_duration=self._round_duration(plan, latencies),
             n_online=None if plan.online is None else len(plan.online),
             uplink_bytes=self.comm.per_round_uplink[-1],
+            phase_seconds=profiler.finish_round(),
         ))
 
         outcome = RoundOutcome(
@@ -440,9 +449,10 @@ class FederatedTrainer:
         self.eval_policy.bind(self.model, self.federation.test,
                               total_rounds=self.config.rounds,
                               seed=self.config.seed)
+        profiler = PhaseProfiler()
         try:
             for round_index in range(1, self.config.rounds + 1):
-                self._run_round(round_index, history)
+                self._run_round(round_index, history, profiler)
         finally:
             self.executor.close()
         return history

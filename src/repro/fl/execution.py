@@ -25,15 +25,27 @@ Three executors ship here:
     order evolve exactly as they would serially — results are
     deterministic and match :class:`SerialExecutor` for models without
     stochastic layers (dropout advances a model-level stream and is the
-    one documented exception).
+    one documented exception).  The round-trip is engineered to move as
+    few bytes as possible: the global vector is broadcast through one
+    shared-memory block (a single write per round, wrapped read-only by
+    every worker — zero copies, zero pickling), the local-training
+    config crosses the pipe once at bind (per round only the round
+    index and any override), and updates come back as packed arrays
+    reassembled parent-side — all bit-identical to the object protocol.
 
 :class:`BatchedExecutor`
-    A single-process fast path that keeps the shared-model training loop
-    but vectorizes the per-party bookkeeping: latency jitter is drawn in
-    one vectorized call from a dedicated stream, and the per-sample-loss
+    A single-process fast path.  For stackable architectures (Dense/ReLU
+    under plain SGD) it trains the *whole cohort at once* through
+    :class:`~repro.ml.cohort.CohortTrainer` — per-party SGD steps become
+    batched matrix ops over a leading party axis — and falls back to the
+    shared-model per-party loop for conv models, Adam/FedDyn, or
+    anything else it cannot stack.  Latency jitter is drawn in one
+    vectorized call from a dedicated stream, and the per-sample-loss
     probe (Oort's utility signal) is skipped entirely when the selection
     strategy does not consume it.  Deterministic per seed, but *not*
-    bit-identical to the serial backend (different RNG stream layout).
+    bit-identical to the serial backend (different RNG stream layout);
+    the vectorized path is allclose-equivalent to the per-party loop on
+    the same draws.
 
 Executors are single-job objects: ``bind`` once against a trainer's
 :class:`ExecutionContext`, ``execute`` once per round, ``close`` at job
@@ -44,19 +56,24 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+import traceback
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.common.exceptions import ConfigurationError, ExecutionError
 from repro.common.rng import RngFabric
 from repro.fl.party import (
+    _UTILITY_SAMPLE_CAP,
     LATENCY_JITTER_SIGMA,
     LocalTrainingConfig,
     Party,
 )
 from repro.fl.updates import ModelUpdate
+from repro.ml.cohort import CohortTrainer
 from repro.ml.models import Model
 
 __all__ = [
@@ -175,6 +192,13 @@ class ClientExecutor(ABC):
     #: registry / config name ("serial", "parallel", "batched")
     name: str = "base"
 
+    #: Wall-clock seconds the most recent :meth:`execute` spent getting
+    #: the global parameters to the clients (shared-memory write +
+    #: dispatch for the parallel backend; ~0 for in-process backends).
+    #: The engine reads this to carve the broadcast slice out of the
+    #: round's ``train`` phase timing.
+    last_broadcast_seconds: float = 0.0
+
     def __init__(self) -> None:
         self._ctx: ExecutionContext | None = None
 
@@ -229,57 +253,183 @@ class SerialExecutor(ClientExecutor):
 
 
 class BatchedExecutor(ClientExecutor):
-    """Single-process fast path with amortized per-party bookkeeping.
+    """Single-process fast path that vectorizes *across* the cohort.
 
-    Training still lends the shared model serially (numpy saturates one
-    core per party anyway), but the simulation bookkeeping around it is
-    batched: all latency jitters of a round are drawn in one vectorized
-    lognormal call from a dedicated ``executor-latency`` stream, and the
-    per-sample-loss probe — a full extra forward pass over up to 256
-    samples per party — runs only when the strategy consumes it.
+    When the bound model is a stackable Dense/ReLU architecture and the
+    round runs plain SGD (no Adam, no FedDyn), the whole cohort trains
+    through :class:`~repro.ml.cohort.CohortTrainer`: parameter vectors
+    are stacked along a leading party axis and every per-party SGD batch
+    step becomes one batched matmul.  Anything the trainer cannot stack
+    — conv models, dropout, Adam, ``dyn_alpha > 0`` — falls back to the
+    shared-model per-party loop automatically.
+
+    Either way the simulation bookkeeping is batched: all latency
+    jitters of a round are drawn in one vectorized lognormal call from a
+    dedicated ``executor-latency`` stream, and the per-sample-loss probe
+    — a full extra forward pass over up to 256 samples per party — runs
+    only when the strategy consumes it.
 
     Deterministic per seed; not bit-identical to :class:`SerialExecutor`
-    because the jitter draws move to a different stream.
+    because the jitter draws move to a different stream.  The vectorized
+    path draws each party's batch orders from that party's own stream in
+    the serial loop's order, so fast and fallback paths are
+    allclose-equivalent at float64 (batched matmul may sum in a
+    different order than per-party GEMM).
     """
 
     name = "batched"
 
     def bind(self, ctx: ExecutionContext) -> None:
-        """Attach to one job and set up the vectorized jitter stream."""
+        """Attach to one job; set up the jitter stream and, when the
+        model's architecture stacks, the cohort trainer."""
         super().bind(ctx)
         self._rng_latency = RngFabric(ctx.seed).generator("executor-latency")
+        self._cohort_trainer = CohortTrainer.for_model(ctx.model)
 
-    def execute(self, plan: RoundPlan,
-                global_parameters: np.ndarray) -> "list[ModelUpdate]":
-        """Train the participants with batched latency bookkeeping."""
+    def _round_latencies(self, plan: RoundPlan) -> "list[float]":
+        """Simulated seconds per participant, in participant order."""
         ctx = self.context
         participants = plan.participants
         if plan.latencies is not None:
             # Deadline-planned rounds fixed every latency at planning
             # time; honour those draws instead of re-drawing.
-            latencies = [plan.latencies[p] for p in participants]
-        else:
-            jitter = self._rng_latency.lognormal(
-                mean=0.0, sigma=LATENCY_JITTER_SIGMA, size=len(participants))
-            latencies = [
-                ctx.parties[p].expected_latency(plan.local_config)
+            return [plan.latencies[p] for p in participants]
+        jitter = self._rng_latency.lognormal(
+            mean=0.0, sigma=LATENCY_JITTER_SIGMA, size=len(participants))
+        return [ctx.parties[p].expected_latency(plan.local_config)
                 * float(jit)
                 for p, jit in zip(participants, jitter)]
+
+    def _can_vectorize(self, config: LocalTrainingConfig) -> bool:
+        """Whether this round is expressible as stacked SGD."""
+        return (self._cohort_trainer is not None
+                and config.optimizer == "sgd"
+                and config.dyn_alpha == 0.0)
+
+    def _train_vectorized(self, plan: RoundPlan,
+                          global_parameters: np.ndarray,
+                          latencies: "list[float]",
+                          ) -> "list[ModelUpdate]":
+        """One :class:`CohortTrainer` call for the whole cohort."""
+        ctx = self.context
+        config = plan.local_config
+        parties = [ctx.parties[p] for p in plan.participants]
+        result = self._cohort_trainer.train(
+            [party.cohort_shard() for party in parties],
+            global_parameters,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.effective_lr(plan.round_index),
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+            proximal_mu=config.proximal_mu,
+            collect_loss_stats=ctx.collect_loss_stats,
+            loss_sample_cap=_UTILITY_SAMPLE_CAP)
         updates = []
-        for party_id, latency in zip(participants, latencies):
-            party = ctx.parties[party_id]
-            updates.append(party.local_train(
-                ctx.model, global_parameters, plan.local_config,
-                plan.round_index,
-                collect_loss_stats=ctx.collect_loss_stats,
-                latency=latency))
+        for index, party in enumerate(parties):
+            party.rounds_participated += 1
+            updates.append(ModelUpdate(
+                party_id=party.party_id,
+                parameters=result.parameters[index],
+                num_samples=party.num_samples,
+                train_loss=float(result.train_losses[index]),
+                loss_sq_sum=float(result.loss_sq_sums[index]),
+                loss_count=int(result.loss_counts[index]),
+                latency=latencies[index],
+                round_index=plan.round_index))
+        return updates
+
+    def execute(self, plan: RoundPlan,
+                global_parameters: np.ndarray) -> "list[ModelUpdate]":
+        """Train the participants, vectorized across the cohort when the
+        model and config allow, per-party otherwise."""
+        ctx = self.context
+        latencies = self._round_latencies(plan)
+        if self._can_vectorize(plan.local_config):
+            updates = self._train_vectorized(plan, global_parameters,
+                                             latencies)
+        else:
+            updates = []
+            for party_id, latency in zip(plan.participants, latencies):
+                party = ctx.parties[party_id]
+                updates.append(party.local_train(
+                    ctx.model, global_parameters, plan.local_config,
+                    plan.round_index,
+                    collect_loss_stats=ctx.collect_loss_stats,
+                    latency=latency))
         return _compress_updates(ctx.compressor, updates, global_parameters)
 
 
 # -- parallel backend -------------------------------------------------------
 
+def _attach_shared_block(name: str,
+                         ):  # pragma: no cover - runs in child processes
+    """Attach to the parent's shared-memory block without registering it.
+
+    Python < 3.13 has no ``track=False``: every ``SharedMemory`` attach
+    registers the segment with the resource tracker, which then warns
+    about (and re-unlinks) a segment the parent already unlinked.  The
+    parent is the sole owner here — workers only ever read — so the
+    attach suppresses registration, the standard workaround until
+    ``track=`` exists.
+    """
+    from multiprocessing import resource_tracker
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _pack_updates(updates: "list[ModelUpdate]", compressor) -> tuple:
+    """Updates → a compact pipe payload.
+
+    Uncompressed updates are pure numbers, so they cross the pipe as
+    three arrays — ids, a stacked ``(n, dim)`` parameter matrix, and an
+    ``(n, 5)`` scalar block — instead of n pickled objects: one pickle
+    buffer each way, reassembled losslessly by :func:`_unpack_updates`.
+    Compressed updates carry per-update metadata (kept layers, scales)
+    and already shrank their payload client-side, so they ship as
+    objects.
+    """
+    if compressor is not None:
+        return ("objects", updates)
+    ids = np.array([u.party_id for u in updates], dtype=np.int64)
+    parameters = np.stack([u.parameters for u in updates])
+    scalars = np.array(
+        [[u.num_samples, u.train_loss, u.loss_sq_sum, u.loss_count,
+          u.latency] for u in updates], dtype=np.float64)
+    return ("packed", ids, parameters, scalars)
+
+
+def _unpack_updates(payload: tuple, round_index: int,
+                    ) -> "list[ModelUpdate]":
+    """Pipe payload → updates (inverse of :func:`_pack_updates`).
+
+    Reassembly is bit-exact: the packed arrays hold the original float64
+    values untouched, and integer fields round-trip through float64
+    exactly (counts are far below 2**53).
+    """
+    if payload[0] == "objects":
+        return payload[1]
+    _, ids, parameters, scalars = payload
+    return [
+        ModelUpdate(
+            party_id=int(party_id),
+            parameters=parameters[index],
+            num_samples=int(scalars[index, 0]),
+            train_loss=float(scalars[index, 1]),
+            loss_sq_sum=float(scalars[index, 2]),
+            loss_count=int(scalars[index, 3]),
+            latency=float(scalars[index, 4]),
+            round_index=round_index)
+        for index, party_id in enumerate(ids)]
+
+
 def _worker_loop(conn, parties: "list[Party]", model: Model,
-                 compressor=None,
+                 compressor=None, bound_config=None, shm_name=None,
+                 dimension=0,
                  ) -> None:  # pragma: no cover - runs in child processes
     """Request loop of one worker process.
 
@@ -289,28 +439,51 @@ def _worker_loop(conn, parties: "list[Party]", model: Model,
     Update compression runs here too — client side of the simulated
     network — so the updates crossing the pipe back to the aggregator
     are the already-pruned/quantized payloads.
+
+    The global parameter vector arrives through the ``shm_name``
+    shared-memory block (wrapped read-only, never copied or pickled);
+    a message may carry an inline vector instead when the parent could
+    not create the block.  The local-training config is fixed at bind
+    (``bound_config``); a message carries a config only when a round
+    overrides it.
     """
     table = {party.party_id: party for party in parties}
-    while True:
-        message = conn.recv()
-        if message is None:
-            break
-        (round_index, global_parameters, party_ids, config, with_stats,
-         latencies) = message
-        try:
-            updates = [
-                table[party_id].local_train(
-                    model, global_parameters, config, round_index,
-                    collect_loss_stats=with_stats,
-                    latency=(None if latencies is None
-                             else latencies.get(party_id)))
-                for party_id in party_ids]
-            updates = _compress_updates(compressor, updates,
-                                        global_parameters)
-            conn.send(("ok", updates))
-        except Exception as exc:  # ship the failure to the parent
-            conn.send(("error", repr(exc)))
-    conn.close()
+    shm = None
+    shared_view = None
+    if shm_name is not None:
+        shm = _attach_shared_block(shm_name)
+        shared_view = np.ndarray((dimension,), dtype=np.float64,
+                                 buffer=shm.buf)
+        shared_view.flags.writeable = False
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            (round_index, party_ids, config_override, with_stats,
+             latencies, inline_parameters) = message
+            config = (bound_config if config_override is None
+                      else config_override)
+            global_parameters = (shared_view if inline_parameters is None
+                                 else inline_parameters)
+            try:
+                updates = [
+                    table[party_id].local_train(
+                        model, global_parameters, config, round_index,
+                        collect_loss_stats=with_stats,
+                        latency=(None if latencies is None
+                                 else latencies.get(party_id)))
+                    for party_id in party_ids]
+                updates = _compress_updates(compressor, updates,
+                                            global_parameters)
+                conn.send(("ok", _pack_updates(updates, compressor)))
+            except Exception as exc:  # ship the failure to the parent
+                conn.send(("error",
+                           f"{exc!r}\n{traceback.format_exc()}"))
+    finally:
+        if shm is not None:
+            shm.close()
+        conn.close()
 
 
 def _default_workers() -> int:
@@ -333,6 +506,24 @@ class ParallelExecutor(ClientExecutor):
     bit-for-bit for deterministic models (dropout layers draw from a
     model-level stream and are the documented exception).
 
+    Dispatch is zero-copy for the dominant payload: the global parameter
+    vector is written once per round into a shared-memory block created
+    at bind, which every worker wraps read-only with
+    ``np.ndarray(buffer=...)`` — nothing is pickled or copied per
+    worker.  (If the platform cannot provide shared memory the vector
+    falls back to inline pipe transfer, same results.)  The
+    local-training config crosses the pipe once at bind; a round sends a
+    config only when its plan overrides the bound one.  Updates return
+    as packed arrays (see :func:`_pack_updates`), reassembled
+    parent-side bit-exactly.
+
+    A pool of **one** worker is degenerate: it serializes every party
+    anyway, so a subprocess buys no parallelism and costs a pipe
+    round-trip per round plus scheduler ping-pong on whatever core it
+    shares with the parent.  When the resolved worker count is 1 the
+    executor therefore trains in-process (no subprocess, no shared
+    memory) — results are bit-identical either way.
+
     The main process's party objects do not advance while this backend
     runs; executors are single-job objects, so nothing reads them.
     """
@@ -349,6 +540,24 @@ class ParallelExecutor(ClientExecutor):
         self._procs: list = []
         self._conns: list = []
         self._owner: dict[int, int] = {}
+        self._bound_config: LocalTrainingConfig | None = None
+        self._inline_mode = False
+        self._shm: "shared_memory.SharedMemory | None" = None
+        self._shm_view: "np.ndarray | None" = None
+
+    def _create_broadcast_block(self, dimension: int) -> "str | None":
+        """Allocate the round-broadcast segment; ``None`` on platforms
+        without usable shared memory (workers then get inline vectors)."""
+        try:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(8, dimension * 8))
+            self._shm_view = np.ndarray((dimension,), dtype=np.float64,
+                                        buffer=self._shm.buf)
+            return self._shm.name
+        except (OSError, ValueError):  # pragma: no cover - platform
+            self._shm = None
+            self._shm_view = None
+            return None
 
     def bind(self, ctx: ExecutionContext) -> None:
         """Spawn the worker pool, sharding parties by ownership."""
@@ -356,6 +565,12 @@ class ParallelExecutor(ClientExecutor):
         super().bind(ctx)
         n_workers = min(self.n_workers or _default_workers(),
                         len(ctx.parties))
+        self._bound_config = ctx.local_config
+        self._inline_mode = n_workers == 1
+        if self._inline_mode:
+            return
+        dimension = ctx.model.dimension
+        shm_name = self._create_broadcast_block(dimension)
         # Respect the platform's default start method (fork on Linux,
         # spawn on macOS/Windows — forking a thread-initialized BLAS
         # process is unsafe there); everything crossing the Pipe is
@@ -370,7 +585,8 @@ class ParallelExecutor(ClientExecutor):
             proc = mp.Process(
                 target=_worker_loop,
                 args=(child_conn, owned, ctx.model.clone(),
-                      ctx.compressor),
+                      ctx.compressor, ctx.local_config, shm_name,
+                      dimension),
                 daemon=True,
                 name=f"repro-executor-{worker_index}")
             proc.start()
@@ -381,8 +597,21 @@ class ParallelExecutor(ClientExecutor):
     def execute(self, plan: RoundPlan,
                 global_parameters: np.ndarray) -> "list[ModelUpdate]":
         """Fan the plan out to the owning workers; reassemble in order."""
-        if self._ctx is None or not self._procs:
+        if self._ctx is None or not (self._procs or self._inline_mode):
             raise ExecutionError("ParallelExecutor used before bind()")
+        if self._inline_mode:
+            # Degenerate single-worker pool: same draws, same results,
+            # without the per-round pipe round-trip.
+            ctx = self.context
+            self.last_broadcast_seconds = 0.0
+            updates = [
+                ctx.parties[party_id].local_train(
+                    ctx.model, global_parameters, plan.local_config,
+                    plan.round_index,
+                    latency=plan.planned_latency(party_id))
+                for party_id in plan.participants]
+            return _compress_updates(ctx.compressor, updates,
+                                     global_parameters)
         assignments: dict[int, list[int]] = {}
         for party_id in plan.participants:
             if party_id not in self._owner:
@@ -390,18 +619,28 @@ class ParallelExecutor(ClientExecutor):
                     f"plan names unknown party {party_id}")
             assignments.setdefault(self._owner[party_id], []).append(
                 party_id)
+        broadcast_start = time.perf_counter()
+        inline_parameters = None
+        if self._shm_view is not None:
+            # The round's one write: every worker reads this block.
+            self._shm_view[:] = global_parameters
+        else:  # pragma: no cover - platform without shared memory
+            inline_parameters = global_parameters
+        config_override = (None if plan.local_config == self._bound_config
+                           else plan.local_config)
         for worker_index, party_ids in assignments.items():
             # Always collect loss statistics: the probe consumes a party
             # RNG draw for large parties, and skipping it would desync
             # the streams from SerialExecutor's bit-exact histories.
             try:
                 self._conns[worker_index].send(
-                    (plan.round_index, global_parameters, party_ids,
-                     plan.local_config, True, plan.latencies))
+                    (plan.round_index, party_ids, config_override, True,
+                     plan.latencies, inline_parameters))
             except (BrokenPipeError, OSError) as exc:
                 raise ExecutionError(
                     f"executor worker {worker_index} died between rounds"
                 ) from exc
+        self.last_broadcast_seconds = time.perf_counter() - broadcast_start
         by_party: dict[int, ModelUpdate] = {}
         for worker_index in assignments:
             try:
@@ -413,12 +652,13 @@ class ParallelExecutor(ClientExecutor):
             if status != "ok":
                 raise ExecutionError(
                     f"executor worker {worker_index} failed: {payload}")
-            for update in payload:
+            for update in _unpack_updates(payload, plan.round_index):
                 by_party[update.party_id] = update
         return [by_party[party_id] for party_id in plan.participants]
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and release the broadcast block
+        (idempotent; tolerates workers that already died)."""
         for conn in self._conns:
             try:
                 conn.send(None)
@@ -433,6 +673,15 @@ class ParallelExecutor(ClientExecutor):
             conn.close()
         self._procs = []
         self._conns = []
+        self._inline_mode = False
+        if self._shm is not None:
+            self._shm_view = None
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
 
     def __repr__(self) -> str:
         return (f"ParallelExecutor(n_workers={self.n_workers}, "

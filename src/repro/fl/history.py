@@ -18,7 +18,19 @@ from repro.common.exceptions import ConfigurationError
 from repro.metrics.convergence import peak_accuracy as _peak
 from repro.metrics.convergence import rounds_to_target as _rounds_to
 
-__all__ = ["RoundRecord", "TrainingHistory"]
+__all__ = ["RoundRecord", "TrainingHistory", "mean_or_nan"]
+
+
+def mean_or_nan(values) -> float:
+    """Mean of ``values``, or ``NaN`` when there is nothing to average.
+
+    The history-wide convention (see :meth:`TrainingHistory.
+    mean_train_loss`): an empty observation set yields ``NaN`` rather
+    than a ``RuntimeWarning`` + ``nan`` from ``np.mean([])``, so callers
+    can rely on a silent, explicit sentinel.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    return float(values.mean()) if values.size else float("nan")
 
 
 @dataclass(frozen=True)
@@ -33,6 +45,13 @@ class RoundRecord:
     compressed payload bytes when the job runs an
     :class:`~repro.fl.updates.UpdateCompressor`, the full vectors
     otherwise; ``None`` on records from jobs predating the split.
+
+    ``phase_seconds`` is the round's wall-clock phase breakdown from
+    :class:`~repro.fl.profiling.PhaseProfiler` — a real-time
+    observation, not part of the simulation, and deliberately excluded
+    from golden history digests and from record equality (two runs of
+    the same job must compare equal even though their wall clocks
+    differ).
     """
 
     round_index: int
@@ -47,6 +66,8 @@ class RoundRecord:
     round_duration: float
     n_online: "int | None" = None
     uplink_bytes: "int | None" = None
+    phase_seconds: "dict[str, float] | None" = field(
+        default=None, compare=False)
 
     @property
     def n_overprovisioned(self) -> int:
@@ -161,6 +182,20 @@ class TrainingHistory:
     def straggler_count(self) -> int:
         """Total straggler slots across all rounds."""
         return int(sum(len(r.stragglers) for r in self.records))
+
+    def phase_summary(self) -> "dict[str, float]":
+        """Total wall-clock seconds per round phase across the job.
+
+        Sums the per-round ``phase_seconds`` snapshots; rounds recorded
+        without profiling (older histories) contribute nothing.  Returns
+        ``{}`` when no round carries timings.
+        """
+        totals: dict[str, float] = {}
+        for record in self.records:
+            if record.phase_seconds:
+                for name, seconds in record.phase_seconds.items():
+                    totals[name] = totals.get(name, 0.0) + float(seconds)
+        return totals
 
     def summary(self, target: float | None = None) -> dict:
         """Compact dict used by the experiment cache and the benches."""

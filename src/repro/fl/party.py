@@ -20,7 +20,9 @@ import numpy as np
 from repro.common.exceptions import ConfigurationError
 from repro.common.rng import as_generator
 from repro.data.dataset import Dataset
+from repro.fl.history import mean_or_nan
 from repro.fl.updates import ModelUpdate
+from repro.ml.cohort import CohortShard
 from repro.ml.models import Model
 from repro.ml.optim import SGD, Adam, LocalOptimizer
 
@@ -240,13 +242,25 @@ class Party:
             party_id=self.party_id,
             parameters=local_parameters,
             num_samples=self.num_samples,
-            train_loss=float(np.mean(last_epoch_losses)),
+            train_loss=mean_or_nan(last_epoch_losses),
             loss_sq_sum=loss_sq_sum,
             loss_count=int(loss_count),
             latency=(self.simulate_latency(config)
                      if latency is None else float(latency)),
             round_index=round_index,
         )
+
+    def cohort_shard(self) -> CohortShard:
+        """This party's view for the vectorized cohort fast path.
+
+        Hands the :class:`~repro.ml.cohort.CohortTrainer` the raw shard
+        arrays plus the party's *own* RNG stream (not a copy), so the
+        trainer's batch-order and probe draws advance the stream exactly
+        as :meth:`local_train` would — serial and vectorized rounds stay
+        interchangeable mid-job.
+        """
+        return CohortShard(x=self.dataset.x, y=self.dataset.y,
+                           rng=self._rng)
 
     def __repr__(self) -> str:
         return (f"Party(id={self.party_id}, n={self.num_samples}, "

@@ -1,0 +1,83 @@
+"""Phase-timing profiler for the FL round loop.
+
+The round loop's perf story ("batched is 2x serial") is only
+actionable when a regression can be *attributed*: did planning get
+slower, did the executor, or did evaluation grow because the test set
+did?  :class:`PhaseProfiler` meters wall time per named phase —
+
+    plan      selection + availability + arrival draws
+    broadcast getting the global parameters to the clients (shared-
+              memory write + dispatch for the parallel backend; ~0 for
+              in-process backends)
+    train     client execution minus the broadcast slice
+    aggregate folding updates into the global model
+    evaluate  scoring the global model
+
+— and the engine stores each round's snapshot on its
+:class:`~repro.fl.history.RoundRecord`, so
+``TrainingHistory.phase_summary()`` can decompose a whole job and the
+round-loop benchmark can publish the breakdown next to its speedups.
+
+The profiler is always on: its cost is two ``perf_counter`` calls per
+phase, ~100 ns against round times in the millisecond range.  Timings
+are wall-clock observations, not part of the simulation — they are
+deliberately excluded from golden history digests.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["PHASES", "PhaseProfiler"]
+
+#: Canonical phase names, in round-lifecycle order.  Every snapshot
+#: carries exactly these keys so downstream tables need no key juggling.
+PHASES = ("plan", "broadcast", "train", "aggregate", "evaluate")
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds per round phase.
+
+    One profiler serves a whole job: the engine wraps each phase of a
+    round in :meth:`phase` and calls :meth:`finish_round` to collect
+    (and reset) the round's snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._acc: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager timing one phase; re-entry accumulates."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._acc[name] = (self._acc.get(name, 0.0)
+                               + time.perf_counter() - start)
+
+    def reattribute(self, source: str, target: str,
+                    seconds: float) -> None:
+        """Move up to ``seconds`` of measured time between phases.
+
+        Executors time their own broadcast slice *inside* the engine's
+        ``train`` measurement; the engine calls this to carve it out.
+        Clamped to what ``source`` actually accumulated so a snapshot
+        never goes negative.
+        """
+        moved = min(float(seconds), self._acc.get(source, 0.0))
+        if moved <= 0.0:
+            return
+        self._acc[source] -= moved
+        self._acc[target] = self._acc.get(target, 0.0) + moved
+
+    def finish_round(self) -> dict[str, float]:
+        """The round's phase → seconds snapshot; resets the profiler.
+
+        Always contains every name in :data:`PHASES` (unvisited phases
+        report 0.0), so per-round dicts line up across a history.
+        """
+        snapshot = {name: self._acc.get(name, 0.0) for name in PHASES}
+        self._acc = {}
+        return snapshot

@@ -14,6 +14,7 @@ engine ships between parties and aggregator — making communication-cost
 accounting exact and server optimizers model-agnostic.
 """
 
+from repro.ml.cohort import CohortResult, CohortShard, CohortTrainer
 from repro.ml.layers import (
     Conv1D,
     Conv2D,
@@ -50,6 +51,9 @@ from repro.ml.serialization import (
 
 __all__ = [
     "Adam",
+    "CohortResult",
+    "CohortShard",
+    "CohortTrainer",
     "Conv1D",
     "Conv2D",
     "Dense",

@@ -1,0 +1,452 @@
+"""Cross-party vectorized local training — the batched backend's fast path.
+
+Serial cohort training spends most of its wall-clock on Python/numpy
+call overhead, not arithmetic: with feature-mode datasets the per-batch
+matrices are tiny (16 × ~60 floats), so one 16-party round issues
+thousands of sub-microsecond BLAS calls, each wrapped in generator
+machinery, ``asarray`` coercions and gradient bookkeeping.
+
+:class:`CohortTrainer` removes the per-party Python loop.  It stacks the
+cohort's parameter vectors along a leading *party* axis — per layer,
+weights become ``(P, in, out)`` and biases ``(P, out)`` — and runs every
+party's SGD batch step as one batched ``matmul``: a single numpy call
+advances the whole cohort.  Ragged shards are handled by grouping: at
+each (epoch, step) the parties still holding a batch are grouped by
+batch length and each group trains in one stacked call, so Dirichlet
+partitions with wildly different shard sizes still vectorize (the
+occasional short tail batch trains in its own small group).
+
+Equivalence contract
+--------------------
+Each party's batch order comes from its *own* RNG stream via exactly the
+draws ``Party.local_train`` would make — one ``permutation(n)`` per
+epoch, in epoch order, then one ``choice(n, cap)`` for the loss probe
+when it applies — so the streams end in the same state either way and
+the trained parameters are allclose-equivalent at float64 to the serial
+loop (batched matmul may sum in a different order than per-party GEMM,
+so bit-equality is not guaranteed; ``tests/ml/test_cohort.py`` pins the
+equivalence).
+
+Scope: ``softmax``/``mlp`` architectures (Flatten + Dense/ReLU stacks,
+no dropout) under plain SGD — momentum, weight decay and the FedProx
+proximal term vectorize; Adam, FedDyn and conv models do not stack and
+callers must fall back to the per-party loop
+(:meth:`CohortTrainer.for_model` returns ``None`` for unsupported
+architectures; config eligibility stays with the caller, who owns the
+config type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.ml.layers import Dense, Flatten, ReLU
+from repro.ml.losses import log_softmax
+from repro.ml.models import Model
+
+__all__ = ["CohortResult", "CohortShard", "CohortTrainer"]
+
+
+@dataclass(frozen=True)
+class CohortShard:
+    """One party's training inputs for a vectorized cohort step.
+
+    ``rng`` is the party's own stream object (not a copy): the trainer
+    draws batch orders and probe subsamples from it in the exact order
+    the serial loop would, so serial and vectorized rounds can
+    interleave against the same parties.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    rng: np.random.Generator
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+
+@dataclass(frozen=True)
+class CohortResult:
+    """What one vectorized cohort round produced, party-major.
+
+    ``parameters`` is ``(P, dimension)`` in the model's flat packing
+    order; the loss fields mirror the scalars ``Party.local_train``
+    reports (``train_losses`` may carry NaN for a party whose shard
+    yielded no batches).
+    """
+
+    parameters: np.ndarray
+    train_losses: np.ndarray
+    loss_sq_sums: np.ndarray
+    loss_counts: np.ndarray
+
+
+class CohortTrainer:
+    """Batched SGD over a stack of per-party parameter vectors.
+
+    Build via :meth:`for_model`, which returns ``None`` when the model's
+    architecture cannot be expressed as a Dense/ReLU stack; one trainer
+    is reusable across rounds (it holds only the layer shapes).
+    """
+
+    def __init__(self, shapes: "list[tuple[int, int]]") -> None:
+        if not shapes:
+            raise ConfigurationError(
+                "a cohort trainer needs at least one dense layer")
+        self._shapes = list(shapes)
+        self._dim = int(sum(fi * fo + fo for fi, fo in shapes))
+
+    @classmethod
+    def for_model(cls, model: Model) -> "CohortTrainer | None":
+        """A trainer matching ``model``'s architecture, or ``None``.
+
+        Accepts exactly the stackable shape: a leading
+        :class:`~repro.ml.layers.Flatten`, then Dense layers with ReLU
+        between them (and nothing after the final Dense).  Dropout,
+        convolutions and pooling make per-party state that does not
+        stack, so any other layer rejects the model.
+        """
+        layers = model.layers
+        if not layers or not isinstance(layers[0], Flatten):
+            return None
+        shapes: list[tuple[int, int]] = []
+        expect_dense = True
+        for layer in layers[1:]:
+            if expect_dense and isinstance(layer, Dense):
+                shapes.append((layer.weight.value.shape[0],
+                               layer.weight.value.shape[1]))
+                expect_dense = False
+            elif not expect_dense and isinstance(layer, ReLU):
+                expect_dense = True
+            else:
+                return None
+        if not shapes or expect_dense:  # empty, or trailing ReLU
+            return None
+        trainer = cls(shapes)
+        if trainer.dimension != model.dimension:  # pragma: no cover
+            return None  # defensive: non-Dense parameters somewhere
+        return trainer
+
+    @property
+    def dimension(self) -> int:
+        """Flat parameter count per party (the update-vector length)."""
+        return self._dim
+
+    # -- parameter (un)stacking ---------------------------------------------
+    def _stack_global(self, global_parameters: np.ndarray, n_parties: int,
+                      ) -> "tuple[list[np.ndarray], list[np.ndarray]]":
+        """P copies of the global vector as per-layer stacked arrays."""
+        weights, biases = [], []
+        offset = 0
+        for fan_in, fan_out in self._shapes:
+            w = global_parameters[offset:offset + fan_in * fan_out]
+            offset += fan_in * fan_out
+            b = global_parameters[offset:offset + fan_out]
+            offset += fan_out
+            weights.append(np.broadcast_to(
+                w.reshape(fan_in, fan_out),
+                (n_parties, fan_in, fan_out)).copy())
+            # (P, 1, out): broadcasts against (g, B, out) activations
+            # directly, sparing the hot loop a reshape per step.
+            biases.append(np.broadcast_to(
+                b, (n_parties, 1, fan_out)).copy())
+        return weights, biases
+
+    def _slice_global(self, global_parameters: np.ndarray,
+                      ) -> "tuple[list[np.ndarray], list[np.ndarray]]":
+        """Per-layer views of the global vector (proximal anchors)."""
+        anchors_w, anchors_b = [], []
+        offset = 0
+        for fan_in, fan_out in self._shapes:
+            anchors_w.append(
+                global_parameters[offset:offset + fan_in * fan_out]
+                .reshape(fan_in, fan_out))
+            offset += fan_in * fan_out
+            anchors_b.append(global_parameters[offset:offset + fan_out])
+            offset += fan_out
+        return anchors_w, anchors_b
+
+    @staticmethod
+    def _flatten(weights: "list[np.ndarray]", biases: "list[np.ndarray]",
+                 ) -> np.ndarray:
+        """(P, dim) flat vectors in the model's packing order."""
+        n_parties = len(weights[0])
+        chunks = []
+        for w, b in zip(weights, biases):
+            chunks.append(w.reshape(n_parties, -1))
+            chunks.append(b.reshape(n_parties, -1))
+        return np.concatenate(chunks, axis=1)
+
+    # -- forward / backward on a stacked group ------------------------------
+    def _forward(self, x: np.ndarray, weights: "list[np.ndarray]",
+                 biases: "list[np.ndarray]", sel,
+                 ) -> "tuple[np.ndarray, list[np.ndarray]]":
+        """Stacked forward pass; returns logits and per-layer inputs.
+
+        ``sel`` selects the parties along the leading axis — a ``slice``
+        (a zero-copy view, the common case: full-batch parties are a
+        prefix of the size-sorted stack) or an index array (the rare
+        tail-batch groups).
+        """
+        inputs = []
+        activation = x
+        last = len(weights) - 1
+        for index, (w, b) in enumerate(zip(weights, biases)):
+            inputs.append(activation)
+            z = activation @ w[sel] + b[sel]
+            activation = z if index == last else np.maximum(z, 0.0)
+        return activation, inputs
+
+    def _train_step(self, sel, x: np.ndarray, y: np.ndarray,
+                    weights, biases, velocities, anchors, *,
+                    learning_rate: float, momentum: float,
+                    weight_decay: float, proximal_mu: float,
+                    mask: "np.ndarray | None" = None,
+                    lengths: "np.ndarray | None" = None,
+                    rows: "np.ndarray | None" = None,
+                    cols: "np.ndarray | None" = None) -> np.ndarray:
+        """One SGD step for every party ``sel`` selects; returns batch
+        losses.
+
+        ``x`` is ``(g, B, features)``, ``y`` ``(g, B)``.  The arithmetic
+        mirrors ``Model.loss_and_backward`` + ``SGD.step`` exactly, with
+        the party axis threaded through every operation.
+
+        ``mask``/``lengths`` handle ragged batches in one call: rows of
+        ``x`` beyond a party's real ``lengths[i]`` are padding whose
+        loss-gradient is zeroed by ``mask``, so they contribute exact
+        ``0.0`` terms to every matmul — each party's step is arithmetic
+        on its real samples only, normalized by its own batch length.
+        """
+        g, batch = x.shape[0], x.shape[1]
+        logits, inputs = self._forward(x, weights, biases, sel)
+        log_p = log_softmax(logits)
+        if rows is None:
+            rows = np.arange(g)[:, None]
+        if cols is None:
+            cols = np.arange(batch)[None, :]
+        picked = log_p[rows, cols, y]
+
+        # dL/dlogits of the *mean* cross-entropy, as the fused loss does.
+        grad = np.exp(log_p)
+        grad[rows, cols, y] -= 1.0
+        if mask is None:
+            # sum/n is bitwise np.mean (add.reduce then a true divide).
+            batch_losses = -picked.sum(axis=1) / batch
+            grad /= batch
+        else:
+            batch_losses = -(picked * mask).sum(axis=1) / lengths
+            grad *= (mask / lengths[:, None])[:, :, None]
+
+        grads_w, grads_b = [], []
+        for index in range(len(weights) - 1, -1, -1):
+            layer_in = inputs[index]
+            grads_w.append(layer_in.transpose(0, 2, 1) @ grad)
+            grads_b.append(grad.sum(axis=1, keepdims=True))
+            if index > 0:
+                grad = grad @ weights[index][sel].transpose(0, 2, 1)
+                grad *= inputs[index] > 0.0  # ReLU mask (pre-act > 0)
+        grads_w.reverse()
+        grads_b.reverse()
+
+        anchors_w, anchors_b = anchors
+        for stack, grads, vel, anchor in (
+                (weights, grads_w, velocities[0], anchors_w),
+                (biases, grads_b, velocities[1], anchors_b)):
+            for layer, grad_l in enumerate(grads):
+                current = stack[layer][sel]
+                if weight_decay:
+                    grad_l = grad_l + weight_decay * current
+                if proximal_mu:
+                    grad_l = grad_l + proximal_mu * (
+                        current - anchor[layer])
+                if momentum:
+                    grad_l = momentum * vel[layer][sel] + grad_l
+                    vel[layer][sel] = grad_l
+                stack[layer][sel] = current - learning_rate * grad_l
+        return batch_losses
+
+    # -- the whole cohort round ---------------------------------------------
+    def train(self, shards: "list[CohortShard]",
+              global_parameters: np.ndarray, *, epochs: int,
+              batch_size: int, learning_rate: float, momentum: float = 0.0,
+              weight_decay: float = 0.0, proximal_mu: float = 0.0,
+              collect_loss_stats: bool = True,
+              loss_sample_cap: int = 256) -> CohortResult:
+        """Run every shard's local epochs as batched matrix ops.
+
+        Semantics match running ``epochs`` of shuffled mini-batch SGD
+        per shard from ``global_parameters``: the ReLU mask uses the
+        same pre-activation convention, short tail batches keep their
+        samples, and ``train_losses`` is each party's mean batch loss
+        over its final epoch.  With ``collect_loss_stats``, per-sample
+        losses of up to ``loss_sample_cap`` examples (the party-RNG
+        subsample above the cap, the full shard below it) feed
+        ``loss_sq_sums``/``loss_counts`` — Oort's utility signal.
+        """
+        if not shards:
+            raise ConfigurationError("cohort must not be empty")
+        if epochs < 1 or batch_size < 1 or learning_rate <= 0:
+            raise ConfigurationError(
+                "epochs, batch_size >= 1 and learning_rate > 0 required")
+        global_parameters = np.asarray(global_parameters, dtype=np.float64)
+        if global_parameters.shape != (self._dim,):
+            raise ConfigurationError(
+                f"global vector has shape {global_parameters.shape}, "
+                f"trainer needs ({self._dim},)")
+        n_parties = len(shards)
+        sizes = np.array([len(shard) for shard in shards], dtype=np.int64)
+        # Party-major draw order: all of a party's epoch permutations
+        # come off its stream before its probe draw, exactly as the
+        # serial loop's lazy generators would make them.  (Cross-party
+        # draw order is free — every party has its own stream.)
+        orders = [[shard.rng.permutation(len(shard)) for _ in range(epochs)]
+                  for shard in shards]
+
+        # Work internally in largest-shard-first order: at any step, the
+        # parties that still hold a full batch are then a *prefix* of the
+        # stacked tensors, so the hot loop selects with plain slices
+        # (views) instead of per-party gathers.  Results are unsorted on
+        # the way out.
+        by_size = np.argsort(-sizes, kind="stable")
+        unsort = np.empty_like(by_size)
+        unsort[by_size] = np.arange(n_parties)
+        sizes = sizes[by_size]
+        shards = [shards[p] for p in by_size]
+        orders = [orders[p] for p in by_size]
+        features = [np.ascontiguousarray(
+            shard.x.reshape(len(shard), -1), dtype=np.float64)
+            for shard in shards]
+        labels = [np.asarray(shard.y, dtype=np.int64) for shard in shards]
+
+        weights, biases = self._stack_global(global_parameters, n_parties)
+        anchors = self._slice_global(global_parameters)
+        velocities = (
+            [np.zeros_like(w) for w in weights] if momentum else [],
+            [np.zeros_like(b) for b in biases] if momentum else [])
+
+        max_size = int(sizes[0])
+        n_features = features[0].shape[1]
+        # Shards padded once into rectangular buffers; each epoch is then
+        # a single padded-permutation gather, and every full-batch step
+        # reads contiguous views of the gathered buffers.  Padding rows
+        # repeat real (finite) samples — only masked/ignored slots ever
+        # read them.
+        features_pad = np.zeros((n_parties, max_size, n_features))
+        labels_pad = np.zeros((n_parties, max_size), dtype=np.int64)
+        perm_pad = np.zeros((n_parties, max_size), dtype=np.int64)
+        for position in range(n_parties):
+            size = int(sizes[position])
+            features_pad[position, :size] = features[position]
+            labels_pad[position, :size] = labels[position]
+        party_rows = np.arange(n_parties)[:, None]
+        cols_full = np.arange(batch_size)[None, :]
+
+        full_steps = max_size // batch_size
+        # Parties with a full batch at step s: sizes >= (s + 1) * B, a
+        # prefix count per step because sizes are sorted descending.
+        prefix = np.searchsorted(
+            -sizes, -(np.arange(1, full_steps + 1) * batch_size),
+            side="right")
+        # Ragged tails (size % B != 0): each is a party's final, shorter
+        # batch of the epoch.  All of them run as ONE masked call — rows
+        # beyond a party's tail are padding the mask zeroes out (the
+        # column clip only keeps reads in-bounds; the values are never
+        # used).
+        tail_len = sizes % batch_size
+        tail_members = np.flatnonzero(tail_len > 0)
+        if len(tail_members):
+            tail_lengths = tail_len[tail_members].astype(np.float64)
+            max_tail = int(tail_len[tail_members].max())
+            starts = (sizes[tail_members] // batch_size) * batch_size
+            tail_cols = np.minimum(
+                starts[:, None] + np.arange(max_tail)[None, :],
+                max_size - 1)
+            tail_mask = (np.arange(max_tail)[None, :]
+                         < tail_len[tail_members][:, None]
+                         ).astype(np.float64)
+            tail_rows = tail_members[:, None]
+            step_rows_tail = np.arange(len(tail_members))[:, None]
+            cols_tail = np.arange(max_tail)[None, :]
+
+        step_kwargs = dict(learning_rate=learning_rate, momentum=momentum,
+                           weight_decay=weight_decay,
+                           proximal_mu=proximal_mu)
+        loss_sums = np.zeros(n_parties)
+        loss_batches = np.zeros(n_parties, dtype=np.int64)
+        for epoch in range(epochs):
+            for position in range(n_parties):
+                perm = orders[position][epoch]
+                perm_pad[position, :len(perm)] = perm
+            x_shuffled = features_pad[party_rows, perm_pad]
+            y_shuffled = labels_pad[party_rows, perm_pad]
+            loss_sums[:] = 0.0  # train_loss reports the *final* epoch
+            loss_batches[:] = 0
+            for step in range(full_steps):
+                k = int(prefix[step])
+                lo = step * batch_size
+                batch_losses = self._train_step(
+                    slice(0, k), x_shuffled[:k, lo:lo + batch_size],
+                    y_shuffled[:k, lo:lo + batch_size],
+                    weights, biases, velocities, anchors,
+                    rows=party_rows[:k], cols=cols_full, **step_kwargs)
+                loss_sums[:k] += batch_losses
+                loss_batches[:k] += 1
+            if len(tail_members):
+                # A party's tail is its last batch, so running all tails
+                # after the full-batch sweep preserves each party's own
+                # batch order (parties are mutually independent).
+                batch_losses = self._train_step(
+                    tail_members, x_shuffled[tail_rows, tail_cols],
+                    y_shuffled[tail_rows, tail_cols],
+                    weights, biases, velocities, anchors,
+                    mask=tail_mask, lengths=tail_lengths,
+                    rows=step_rows_tail, cols=cols_tail, **step_kwargs)
+                loss_sums[tail_members] += batch_losses
+                loss_batches[tail_members] += 1
+
+        train_losses = np.divide(
+            loss_sums, loss_batches,
+            out=np.full(n_parties, np.nan),
+            where=loss_batches > 0)
+
+        loss_sq_sums = np.zeros(n_parties)
+        loss_counts = np.zeros(n_parties, dtype=np.int64)
+        if collect_loss_stats:
+            self._probe(shards, features, weights, biases,
+                        loss_sample_cap, loss_sq_sums, loss_counts)
+
+        return CohortResult(
+            parameters=self._flatten(weights, biases)[unsort],
+            train_losses=train_losses[unsort],
+            loss_sq_sums=loss_sq_sums[unsort],
+            loss_counts=loss_counts[unsort])
+
+    def _probe(self, shards, features, weights, biases, cap,
+               loss_sq_sums, loss_counts) -> None:
+        """Per-sample-loss statistics on each party's final parameters."""
+        picks: "list[tuple[np.ndarray, np.ndarray]]" = []
+        for p, shard in enumerate(shards):
+            if len(shard) > cap:
+                idx = shard.rng.choice(len(shard), cap, replace=False)
+                picks.append((features[p][idx], shard.y[idx]))
+            else:
+                picks.append((features[p], shard.y))
+        counts = np.array([len(y) for _, y in picks])
+        for count in np.unique(counts):
+            group = np.flatnonzero(counts == count)
+            x = np.stack([picks[p][0] for p in group])
+            y = np.stack([picks[p][1] for p in group])
+            logits, _ = self._forward(x, weights, biases, group)
+            log_p = log_softmax(logits)
+            rows = np.arange(len(group))[:, None]
+            cols = np.arange(int(count))[None, :]
+            losses = -log_p[rows, cols, y]
+            loss_sq_sums[group] = np.sum(losses ** 2, axis=1)
+            loss_counts[group] = int(count)
+
+    def __repr__(self) -> str:
+        return f"CohortTrainer(shapes={self._shapes}, dim={self._dim})"

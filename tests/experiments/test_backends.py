@@ -61,6 +61,15 @@ class TestGoldenRegression:
         assert config.backend == "serial"
         assert history_digest(run_experiment(config)) == GOLDEN[name]
 
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_parallel_backend_matches_golden(self, name):
+        """The zero-copy dispatch path (shared-memory broadcast, bound
+        config, packed update arrays) must leave the parallel backend
+        bit-for-bit on the pre-refactor digests."""
+        config = golden_configs()[name].with_overrides(
+            backend="parallel", n_workers=2)
+        assert history_digest(run_experiment(config)) == GOLDEN[name]
+
 
 class TestBackendThreading:
     def test_parallel_matches_serial_through_runner(self, smoke):

@@ -1,20 +1,25 @@
 """Execution backends: round plans, serial/parallel equivalence,
 batched fast path, evaluation policies."""
 
+from multiprocessing import shared_memory
+
 import numpy as np
 import pytest
 
 from repro.common.exceptions import ConfigurationError, ExecutionError
+from repro.common.rng import RngFabric
 from repro.data import build_federation
 from repro.fl import (
     AmortizedEvaluation,
     BatchedExecutor,
     ExactFractionStragglers,
+    ExecutionContext,
     FederatedTrainer,
     FLJobConfig,
     FullEvaluation,
     LocalTrainingConfig,
     ParallelExecutor,
+    Party,
     RoundPlan,
     SerialExecutor,
     make_algorithm,
@@ -321,3 +326,93 @@ class TestExecutionContextFlow:
         trainer.run()
         executor.close()  # run() already closed; must not raise
         assert repr(executor)
+
+
+class TestSharedMemoryLifecycle:
+    """The broadcast segment must live exactly as long as the bind."""
+
+    def bind_executor(self, fed, n_workers=2, seed=11):
+        model = make_model("softmax", fed.parties[0].feature_shape,
+                           fed.num_classes, rng=seed)
+        fabric = RngFabric(seed)
+        parties = [Party(i, fed.party(i),
+                         rng=fabric.generator(f"party-{i}"))
+                   for i in range(fed.n_parties)]
+        local = LocalTrainingConfig(epochs=1, batch_size=16,
+                                    learning_rate=0.1)
+        executor = ParallelExecutor(n_workers=n_workers)
+        executor.bind(ExecutionContext(
+            parties=parties, model=model.clone(), local_config=local,
+            seed=seed, collect_loss_stats=True, compressor=None))
+        if executor._shm is None:  # pragma: no cover - platform
+            executor.close()
+            pytest.skip("platform provides no shared memory")
+        return executor, model, local
+
+    def test_bind_execute_close_twice(self, fed):
+        """Two full lifecycles on one executor object: each bind gets a
+        fresh segment, each close unlinks it from the system."""
+        executor, model, local = self.bind_executor(fed)
+        for _ in range(2):
+            segment = executor._shm.name
+            plan = RoundPlan(round_index=1, cohort=(0, 1, 2),
+                             stragglers=(), local_config=local)
+            updates = executor.execute(plan, model.get_parameters())
+            assert [u.party_id for u in updates] == [0, 1, 2]
+            executor.close()
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=segment)
+            executor, model, local = self.bind_executor(fed)
+        executor.close()
+
+    def test_worker_death_mid_round_cleans_segment(self, fed):
+        """A dead worker surfaces as ExecutionError and close() still
+        releases the broadcast segment."""
+        executor, model, local = self.bind_executor(fed)
+        segment = executor._shm.name
+        victim = executor._procs[0]
+        victim.terminate()
+        victim.join(timeout=5.0)
+        plan = RoundPlan(round_index=1, cohort=(0, 1, 2, 3),
+                         stragglers=(), local_config=local)
+        with pytest.raises(ExecutionError):
+            executor.execute(plan, model.get_parameters())
+        executor.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment)
+
+    def test_single_worker_pool_is_inline(self, fed):
+        """A one-worker pool trains in-process: no subprocess, no
+        segment, same results as the serial loop."""
+        executor, model, local = self.bind_executor(fed)
+        executor.close()
+        inline = ParallelExecutor(n_workers=1)
+        model = make_model("softmax", fed.parties[0].feature_shape,
+                           fed.num_classes, rng=11)
+        fabric = RngFabric(11)
+        parties = [Party(i, fed.party(i),
+                         rng=fabric.generator(f"party-{i}"))
+                   for i in range(fed.n_parties)]
+        inline.bind(ExecutionContext(
+            parties=parties, model=model.clone(), local_config=local,
+            seed=11, collect_loss_stats=True, compressor=None))
+        assert inline._procs == [] and inline._shm is None
+        plan = RoundPlan(round_index=1, cohort=(0, 1, 2), stragglers=(),
+                         local_config=local, latencies={0: 1.0, 1: 1.0,
+                                                        2: 1.0})
+        updates = inline.execute(plan, model.get_parameters())
+        inline.close()
+
+        serial = SerialExecutor()
+        fabric = RngFabric(11)
+        parties = [Party(i, fed.party(i),
+                         rng=fabric.generator(f"party-{i}"))
+                   for i in range(fed.n_parties)]
+        serial.bind(ExecutionContext(
+            parties=parties, model=model.clone(), local_config=local,
+            seed=11, collect_loss_stats=True, compressor=None))
+        reference = serial.execute(plan, model.get_parameters())
+        for a, b in zip(updates, reference):
+            assert a.party_id == b.party_id
+            assert a.parameters.tobytes() == b.parameters.tobytes()
+            assert a.train_loss == b.train_loss

@@ -1,0 +1,133 @@
+"""Phase-timing profiler: accumulation, reattribution, history rollup."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import build_federation
+from repro.fl import (
+    PHASES,
+    FederatedTrainer,
+    FLJobConfig,
+    LocalTrainingConfig,
+    PhaseProfiler,
+    TrainingHistory,
+    make_algorithm,
+    mean_or_nan,
+)
+from repro.fl.history import RoundRecord
+from repro.ml import make_model
+from repro.selection import RandomSelection
+
+
+class TestPhaseProfiler:
+    def test_snapshot_always_has_all_phases(self):
+        profiler = PhaseProfiler()
+        snapshot = profiler.finish_round()
+        assert set(snapshot) == set(PHASES)
+        assert all(seconds == 0.0 for seconds in snapshot.values())
+
+    def test_phase_accumulates_and_resets(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("train"):
+            time.sleep(0.002)
+        with profiler.phase("train"):  # re-entry accumulates
+            time.sleep(0.002)
+        with profiler.phase("evaluate"):
+            pass
+        snapshot = profiler.finish_round()
+        assert snapshot["train"] >= 0.004
+        assert snapshot["evaluate"] >= 0.0
+        assert snapshot["plan"] == 0.0
+        # finish_round resets: the next round starts from zero.
+        assert profiler.finish_round()["train"] == 0.0
+
+    def test_phase_records_time_on_exception(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("plan"):
+                time.sleep(0.002)
+                raise RuntimeError("boom")
+        assert profiler.finish_round()["plan"] >= 0.002
+
+    def test_reattribute_moves_seconds(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("train"):
+            time.sleep(0.005)
+        before = dict(profiler._acc)
+        profiler.reattribute("train", "broadcast", 0.001)
+        snapshot = profiler.finish_round()
+        assert snapshot["broadcast"] == pytest.approx(0.001)
+        assert snapshot["train"] == pytest.approx(
+            before["train"] - 0.001)
+
+    def test_reattribute_clamps_to_available(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("train"):
+            pass
+        profiler.reattribute("train", "broadcast", 10.0)
+        snapshot = profiler.finish_round()
+        assert snapshot["train"] == 0.0
+        assert snapshot["broadcast"] >= 0.0
+        assert snapshot["broadcast"] < 1.0  # moved what existed, no more
+
+    def test_reattribute_ignores_nonpositive(self):
+        profiler = PhaseProfiler()
+        profiler.reattribute("train", "broadcast", 0.0)
+        assert profiler.finish_round()["broadcast"] == 0.0
+
+
+class TestMeanOrNan:
+    def test_mean_of_values(self):
+        assert mean_or_nan([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty_is_nan_without_warning(self):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert np.isnan(mean_or_nan([]))
+
+
+class TestHistoryPhaseSummary:
+    def record(self, index, phase_seconds):
+        return RoundRecord(
+            round_index=index, cohort=(0,), received=(0,),
+            stragglers=(), balanced_accuracy=0.5, plain_accuracy=0.5,
+            per_label_recall=(0.5,), mean_train_loss=1.0,
+            comm_bytes=0, round_duration=1.0,
+            phase_seconds=phase_seconds)
+
+    def test_sums_across_rounds(self):
+        history = TrainingHistory()
+        history.append(self.record(1, {"plan": 0.5, "train": 1.0}))
+        history.append(self.record(2, {"plan": 0.25, "train": 2.0}))
+        summary = history.phase_summary()
+        assert summary["plan"] == pytest.approx(0.75)
+        assert summary["train"] == pytest.approx(3.0)
+
+    def test_empty_without_snapshots(self):
+        history = TrainingHistory()
+        history.append(self.record(1, None))
+        assert history.phase_summary() == {}
+
+
+class TestEngineIntegration:
+    def test_every_round_carries_phase_snapshot(self):
+        fed = build_federation("ecg", 4, alpha=0.5, n_train=200,
+                               n_test=100, seed=5)
+        model = make_model("softmax", fed.parties[0].feature_shape,
+                           fed.num_classes, rng=0)
+        config = FLJobConfig(
+            rounds=2, parties_per_round=2,
+            local=LocalTrainingConfig(epochs=1, batch_size=16,
+                                      learning_rate=0.1),
+            seed=0)
+        history = FederatedTrainer(fed, model, make_algorithm("fedavg"),
+                                   RandomSelection(), config).run()
+        for record in history.records:
+            assert record.phase_seconds is not None
+            assert set(record.phase_seconds) == set(PHASES)
+            assert all(seconds >= 0.0
+                       for seconds in record.phase_seconds.values())
+        assert history.phase_summary()["train"] > 0.0

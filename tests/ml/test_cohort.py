@@ -1,0 +1,158 @@
+"""Vectorized cohort trainer: equivalence with the serial per-party
+loop, eligibility gating, and input validation."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.data.dataset import Dataset
+from repro.fl import LocalTrainingConfig, Party
+from repro.ml import CohortTrainer, make_model
+
+
+N_FEATURES = 12
+N_CLASSES = 4
+
+
+def make_parties(sizes, seed=0):
+    """Deterministic parties; call twice with one seed for twin fleets."""
+    rng = np.random.default_rng(seed)
+    parties = []
+    for pid, size in enumerate(sizes):
+        x = rng.normal(size=(size, N_FEATURES))
+        y = rng.integers(0, N_CLASSES, size=size)
+        dataset = Dataset(x=x, y=y, num_classes=N_CLASSES, name=f"p{pid}")
+        parties.append(Party(pid, dataset, rng=1000 + pid))
+    return parties
+
+
+def run_serial(parties, model_name, config, *, collect=True, seed=7):
+    """The reference path: per-party ``local_train`` runs, jitter-free."""
+    model = make_model(model_name, (N_FEATURES,), N_CLASSES, rng=seed)
+    global_params = model.get_parameters()
+    updates = [party.local_train(model, global_params, config, 1,
+                                 collect_loss_stats=collect, latency=0.0)
+               for party in parties]
+    return global_params, updates
+
+
+def run_cohort(parties, model_name, config, *, collect=True, seed=7):
+    model = make_model(model_name, (N_FEATURES,), N_CLASSES, rng=seed)
+    trainer = CohortTrainer.for_model(model)
+    assert trainer is not None
+    result = trainer.train(
+        [party.cohort_shard() for party in parties],
+        model.get_parameters(),
+        epochs=config.epochs, batch_size=config.batch_size,
+        learning_rate=config.effective_lr(1), momentum=config.momentum,
+        weight_decay=config.weight_decay, proximal_mu=config.proximal_mu,
+        collect_loss_stats=collect)
+    return result
+
+
+def assert_equivalent(sizes, model_name, config, *, collect=True):
+    serial_parties = make_parties(sizes)
+    cohort_parties = make_parties(sizes)
+    _, updates = run_serial(serial_parties, model_name, config,
+                            collect=collect)
+    result = run_cohort(cohort_parties, model_name, config,
+                        collect=collect)
+    for index, update in enumerate(updates):
+        np.testing.assert_allclose(result.parameters[index],
+                                   update.parameters,
+                                   rtol=1e-12, atol=1e-12)
+        cohort_loss = result.train_losses[index]
+        assert (cohort_loss == pytest.approx(update.train_loss, rel=1e-12)
+                or (np.isnan(cohort_loss) and np.isnan(update.train_loss)))
+        assert result.loss_sq_sums[index] == pytest.approx(
+            update.loss_sq_sum, rel=1e-12)
+        assert result.loss_counts[index] == update.loss_count
+    # Both paths must leave every party's private stream in the same
+    # state — serial and vectorized rounds are interchangeable mid-job.
+    for serial_party, cohort_party in zip(serial_parties, cohort_parties):
+        assert (serial_party._rng.bit_generator.state
+                == cohort_party._rng.bit_generator.state)
+
+
+class TestEquivalence:
+    def test_softmax_ragged_shards(self):
+        assert_equivalent([37, 16, 5, 64, 48], "softmax",
+                          LocalTrainingConfig(epochs=2, batch_size=16,
+                                              learning_rate=0.1))
+
+    def test_mlp_with_momentum_decay_proximal(self):
+        assert_equivalent(
+            [23, 40, 9], "mlp",
+            LocalTrainingConfig(epochs=3, batch_size=8, learning_rate=0.05,
+                                momentum=0.9, weight_decay=1e-3,
+                                proximal_mu=0.1))
+
+    def test_probe_subsample_above_cap(self):
+        """A shard above the utility cap takes the RNG-subsample probe."""
+        assert_equivalent([300, 20], "softmax",
+                          LocalTrainingConfig(epochs=1, batch_size=32,
+                                              learning_rate=0.1))
+
+    def test_all_tail_batches(self):
+        """batch_size larger than every shard: full-batch sweep is empty."""
+        assert_equivalent([7, 12, 3], "softmax",
+                          LocalTrainingConfig(epochs=2, batch_size=128,
+                                              learning_rate=0.1))
+
+    def test_uniform_shards_no_tail(self):
+        assert_equivalent([32, 32, 32], "mlp",
+                          LocalTrainingConfig(epochs=2, batch_size=16,
+                                              learning_rate=0.1))
+
+    def test_without_loss_stats(self):
+        assert_equivalent([20, 41], "softmax",
+                          LocalTrainingConfig(epochs=1, batch_size=16,
+                                              learning_rate=0.1),
+                          collect=False)
+
+
+class TestEligibility:
+    def test_softmax_and_mlp_supported(self):
+        for name in ("softmax", "mlp"):
+            model = make_model(name, (N_FEATURES,), N_CLASSES, rng=0)
+            trainer = CohortTrainer.for_model(model)
+            assert trainer is not None
+            assert trainer.dimension == model.dimension
+
+    def test_conv_model_unsupported(self):
+        model = make_model("cnn1d", (32,), N_CLASSES, rng=0)
+        assert CohortTrainer.for_model(model) is None
+
+    def test_dropout_mlp_unsupported(self):
+        model = make_model("mlp", (N_FEATURES,), N_CLASSES, rng=0,
+                           dropout=0.5)
+        assert CohortTrainer.for_model(model) is None
+
+
+class TestValidation:
+    def make_trainer(self):
+        model = make_model("softmax", (N_FEATURES,), N_CLASSES, rng=0)
+        return CohortTrainer.for_model(model), model.get_parameters()
+
+    def test_rejects_empty_cohort(self):
+        trainer, params = self.make_trainer()
+        with pytest.raises(ConfigurationError):
+            trainer.train([], params, epochs=1, batch_size=8,
+                          learning_rate=0.1)
+
+    def test_rejects_bad_hyperparameters(self):
+        trainer, params = self.make_trainer()
+        shards = [p.cohort_shard() for p in make_parties([10])]
+        with pytest.raises(ConfigurationError):
+            trainer.train(shards, params, epochs=0, batch_size=8,
+                          learning_rate=0.1)
+        with pytest.raises(ConfigurationError):
+            trainer.train(shards, params, epochs=1, batch_size=8,
+                          learning_rate=0.0)
+
+    def test_rejects_wrong_global_shape(self):
+        trainer, params = self.make_trainer()
+        shards = [p.cohort_shard() for p in make_parties([10])]
+        with pytest.raises(ConfigurationError):
+            trainer.train(shards, params[:-1], epochs=1, batch_size=8,
+                          learning_rate=0.1)
