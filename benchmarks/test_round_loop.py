@@ -248,3 +248,74 @@ def test_compute_bound_parallel(report):
         assert speedup >= 2.0, (
             f"parallel only {speedup:.2f}x over serial "
             f"with {n_workers} workers")
+
+
+#: Seeded chaos regime for the recovery bench: every fault class fires.
+_CHAOS_KNOBS = {"fault_crash": 0.10, "fault_hang": 0.05,
+                "fault_drop": 0.10, "fault_corrupt": 0.10,
+                "fault_hang_seconds": 0.2, "quarantine": True}
+
+
+def test_robustness_overhead_and_recovery(report):
+    """Fault-free overhead gate + seeded-fault recovery accounting.
+
+    Two claims land in the artifact: (1) the robustness layer costs
+    nothing when armed but idle — server-side validation on a fault-free
+    run must stay within 2 % of the plain loop; (2) under seeded chaos
+    (crash+hang+drop+corrupt ≈ 10 %/round) the parallel backend recovers
+    to the exact serial history, and the plan-derived fault counters are
+    backend-independent.
+    """
+    # Two near-identical ~0.1 s loops need more best-of evidence than
+    # the coarser speedup gates: a single load burst that lands on all
+    # of one side's samples can fake a 10 % "overhead".  Minima only
+    # improve with more pairs, so buy a deep extra-sampling budget.
+    plain_s, guarded_s, ratio, _, guarded_history = _paired_time(
+        _SMALL, _SMALL.with_overrides(quarantine=True), required=0.98,
+        max_extra=24)
+    assert guarded_history.fault_summary()["updates_quarantined"] == 0
+
+    chaos = _SMALL.with_overrides(**_CHAOS_KNOBS)
+    serial = run_experiment(chaos)
+    counters = serial.fault_summary()
+    affinity = _affinity()
+    n_workers = max(1, min(4, affinity))
+    parallel = run_experiment(chaos.with_overrides(
+        backend="parallel", n_workers=n_workers))
+
+    # Recovery must reproduce the serial simulation bit-for-bit while
+    # really killing and respawning workers.
+    assert np.array_equal(serial.accuracy_series(),
+                          parallel.accuracy_series())
+    assert [(r.parties_retried, r.updates_dropped, r.updates_quarantined)
+            for r in serial.records] == \
+        [(r.parties_retried, r.updates_dropped, r.updates_quarantined)
+         for r in parallel.records]
+    assert counters["parties_retried"] > 0
+
+    payload = {
+        "plain_s": plain_s,
+        "guarded_s": guarded_s,
+        "overhead_ratio": ratio,
+        "rounds": _SMALL.rounds,
+        "chaos_counters": dict(counters),
+        "chaos_workers_restarted": parallel.total_workers_restarted(),
+        "n_workers": n_workers,
+    }
+    _merge_json("robustness", payload)
+    report("BENCH round_loop (robustness)", json.dumps(payload, indent=2))
+
+    # Gate: armed-but-idle validation must be ≤2 % overhead (ratio is
+    # plain/guarded best-of-N, so 0.98 = guarded may cost 2 % extra).
+    # The sampling above keeps drawing pairs until 0.98 is met; the
+    # hard floor sits at 0.90 because recovery machinery leaking onto
+    # the hot path (per-round state snapshots, payload scans) measures
+    # >1.10x while shared-runner load bursts can depress even a
+    # best-of-N ratio of two near-identical loops by a few percent.
+    assert ratio >= 0.90, (
+        f"fault-free validation overhead {1 / ratio:.3f}x over plain "
+        "round loop (recovery machinery leaked onto the hot path)")
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        assert ratio >= 0.98, (
+            f"fault-free validation overhead {1 / ratio:.3f}x over "
+            "plain round loop")

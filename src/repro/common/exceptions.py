@@ -40,3 +40,32 @@ class ExecutionError(ReproError, RuntimeError):
     Raised e.g. when a parallel worker process dies mid-round or an
     executor is asked to run before being bound to a job.
     """
+
+
+class WorkerTimeoutError(ExecutionError):
+    """A worker process failed to report within its IPC timeout.
+
+    Subclasses :class:`ExecutionError` so callers that already handle a
+    dead worker handle a hung one too.  Raised by
+    :class:`~repro.fl.execution.ParallelExecutor` when a result read
+    exceeds ``worker_timeout`` seconds and recovery is disabled (or
+    exhausted).
+    """
+
+
+class CorruptUpdateError(ReproError, RuntimeError):
+    """An update carried non-finite values (NaN/Inf) into aggregation.
+
+    Raised by the aggregation paths in :mod:`repro.fl.algorithms` when a
+    poisoned payload would otherwise propagate into the global model.
+    Jobs running an :class:`~repro.fl.updates.UpdateValidator` quarantine
+    such updates before aggregation and never see this error.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A training checkpoint could not be written, read, or applied.
+
+    Raised by :mod:`repro.fl.checkpoint` on version mismatches, torn or
+    missing files, and config/population mismatches at resume.
+    """

@@ -13,6 +13,7 @@ from repro.experiments.config import (
     BACKENDS,
     BENCH_TARGETS,
     COMPRESSION_KINDS,
+    CORRUPT_MODES,
     ExperimentConfig,
     bench_config,
     paper_config,
@@ -31,17 +32,21 @@ from repro.experiments.runner import (
 from repro.experiments.tables import (
     AVAILABILITY_REGIMES,
     COMPRESSION_SETTINGS,
+    FAULT_REGIMES,
     TABLE_INDEX,
     AvailabilityTableResult,
     CommunicationTableResult,
+    RobustnessTableResult,
     TableResult,
     TableSpec,
     availability_table,
     communication_table,
     format_availability_table,
     format_communication_table,
+    format_robustness_table,
     format_table,
     generate_table,
+    robustness_table,
 )
 from repro.experiments.figures import (
     FigureResult,
@@ -59,9 +64,12 @@ __all__ = [
     "BENCH_TARGETS",
     "COMPRESSION_KINDS",
     "COMPRESSION_SETTINGS",
+    "CORRUPT_MODES",
     "CommunicationTableResult",
     "ExperimentConfig",
+    "FAULT_REGIMES",
     "FigureResult",
+    "RobustnessTableResult",
     "TABLE_INDEX",
     "TableResult",
     "TableSpec",
@@ -76,11 +84,13 @@ __all__ = [
     "format_availability_table",
     "format_communication_table",
     "format_figure",
+    "format_robustness_table",
     "format_table",
     "generate_table",
     "mean_accuracy_series",
     "mean_loss_series",
     "paper_config",
+    "robustness_table",
     "run_cached",
     "run_experiment",
     "run_repeated",

@@ -19,12 +19,14 @@ from dataclasses import dataclass, field, replace
 
 from repro.availability.models import AVAILABILITY_KINDS
 from repro.common.exceptions import ConfigurationError
+from repro.fl.faults import CORRUPT_MODES
 
 __all__ = [
     "AVAILABILITY_KINDS",
     "BACKENDS",
     "BENCH_TARGETS",
     "COMPRESSION_KINDS",
+    "CORRUPT_MODES",
     "ExperimentConfig",
     "bench_config",
     "paper_config",
@@ -102,6 +104,23 @@ class ExperimentConfig:
     quantize_bits: int | None = None
     importance_weighting: bool = False
 
+    # fault injection + server-side validation (robustness layer,
+    # fl/faults.py / fl/updates.py); all-zero rates are fully inert
+    fault_crash: float = 0.0
+    fault_hang: float = 0.0
+    fault_drop: float = 0.0
+    fault_corrupt: float = 0.0
+    fault_corrupt_mode: str = "nan"
+    fault_hang_seconds: float = 5.0
+    quarantine: bool = False
+    quarantine_norm_factor: float = 8.0
+
+    # recovery + checkpointing (engine robustness; results-neutral)
+    worker_timeout: float | None = None
+    max_worker_retries: int = 2
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
+
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:
             raise ConfigurationError(
@@ -168,6 +187,33 @@ class ExperimentConfig:
                     not 2 <= self.quantize_bits <= 16:
                 raise ConfigurationError(
                     "quantize_bits must be in [2, 16] or None")
+        rates = (self.fault_crash, self.fault_hang, self.fault_drop,
+                 self.fault_corrupt)
+        if any(not 0.0 <= rate < 1.0 for rate in rates):
+            raise ConfigurationError(
+                "fault rates must each be in [0, 1)")
+        if sum(rates) > 1.0:
+            raise ConfigurationError(
+                "fault rates must sum to at most 1")
+        if self.fault_corrupt_mode not in CORRUPT_MODES:
+            raise ConfigurationError(
+                f"unknown fault_corrupt_mode {self.fault_corrupt_mode!r}; "
+                f"choose from {CORRUPT_MODES}")
+        if self.fault_hang_seconds <= 0.0:
+            raise ConfigurationError("fault_hang_seconds must be > 0")
+        if self.quarantine_norm_factor <= 1.0:
+            raise ConfigurationError(
+                "quarantine_norm_factor must be > 1")
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise ConfigurationError(
+                "worker_timeout must be > 0 or None")
+        if self.max_worker_retries < 0:
+            raise ConfigurationError("max_worker_retries must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ConfigurationError("checkpoint_every must be >= 0")
+        if self.checkpoint_every > 0 and self.checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every > 0 needs a checkpoint_dir")
 
     @property
     def parties_per_round(self) -> int:
@@ -196,7 +242,10 @@ class ExperimentConfig:
                 self.availability, self.availability_rate, self.churn,
                 self.deadline_factor, self.device_tiers,
                 self.compression, self.pruning_fraction,
-                self.quantize_bits, self.importance_weighting)
+                self.quantize_bits, self.importance_weighting,
+                self.fault_crash, self.fault_hang, self.fault_drop,
+                self.fault_corrupt, self.fault_corrupt_mode,
+                self.quarantine, self.quarantine_norm_factor)
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         return replace(self, **kwargs)

@@ -17,19 +17,21 @@ import numpy as np
 from repro.availability.churn import make_churn_process
 from repro.availability.models import make_availability_model
 from repro.availability.profiles import assign_profiles
-from repro.common.exceptions import ConfigurationError
+from repro.common.exceptions import CheckpointError, ConfigurationError
 from repro.common.rng import RngFabric
 from repro.core.flips import FlipsSelector
 from repro.data.federated import FederatedDataset, build_federation
 from repro.experiments.config import ExperimentConfig
+from repro.fl.checkpoint import Checkpointer, load_checkpoint
 from repro.fl.engine import FederatedTrainer, FLJobConfig
 from repro.fl.evaluation import make_evaluation_policy
 from repro.fl.execution import make_executor
+from repro.fl.faults import make_fault_injector
 from repro.fl.history import TrainingHistory
 from repro.fl.party import LocalTrainingConfig
 from repro.fl.algorithms import make_algorithm
 from repro.fl.straggler import make_straggler_model
-from repro.fl.updates import make_compressor
+from repro.fl.updates import UpdateValidator, make_compressor
 from repro.ml.models import make_model
 from repro.selection import (
     GradClusSelection,
@@ -97,7 +99,8 @@ def build_selector(config: ExperimentConfig,
     raise ConfigurationError(f"unknown selector {name!r}")
 
 
-def run_experiment(config: ExperimentConfig) -> TrainingHistory:
+def run_experiment(config: ExperimentConfig,
+                   resume_from: "str | None" = None) -> TrainingHistory:
     """Run one FL job exactly as configured (no caching).
 
     ``config.backend`` picks the client-execution backend ("serial" —
@@ -121,6 +124,16 @@ def run_experiment(config: ExperimentConfig) -> TrainingHistory:
     actual-payload communication metering; ``importance_weighting``
     additionally derives label-entropy aggregation weights from the
     federation's label distributions.
+
+    The robustness knobs: the ``fault_*`` rates inject per-round worker
+    crashes, hangs, dropped and corrupted updates (zero rates — the
+    default — are fully inert and histories stay bit-exact);
+    ``quarantine`` screens arrived updates server-side before
+    aggregation; ``checkpoint_every``/``checkpoint_dir`` persist atomic
+    resume points, and ``resume_from`` (a checkpoint file path)
+    continues an interrupted job bit-identically.  The checkpoint must
+    come from a run of this same config — the runner refuses snapshots
+    whose recorded config key differs.
     """
     federation = build_federation_for(config)
     model = make_model(config.model,
@@ -155,13 +168,36 @@ def run_experiment(config: ExperimentConfig) -> TrainingHistory:
         ),
         seed=config.seed,
     )
+    executor_kwargs = {}
+    if config.backend == "parallel":
+        if config.worker_timeout is not None:
+            executor_kwargs["worker_timeout"] = config.worker_timeout
+        executor_kwargs["max_retries"] = config.max_worker_retries
+    validator = None
+    if config.quarantine:
+        validator = UpdateValidator(
+            norm_factor=config.quarantine_norm_factor)
+    checkpointer = None
+    if config.checkpoint_every > 0:
+        checkpointer = Checkpointer(
+            config.checkpoint_dir, every=config.checkpoint_every,
+            meta={"config_key": repr(config.cache_key())})
+    if resume_from is not None:
+        envelope = load_checkpoint(resume_from)
+        recorded = envelope["meta"].get("config_key")
+        if recorded is not None and recorded != repr(config.cache_key()):
+            raise CheckpointError(
+                f"checkpoint {resume_from} was written by a different "
+                f"experiment configuration; refusing to resume")
+        resume_from = envelope
     trainer = FederatedTrainer(
         federation, model, algorithm, strategy, job,
         compressor=compressor,
         straggler_model=(
             None if config.deadline_factor is not None
             else make_straggler_model(config.straggler_rate)),
-        executor=make_executor(config.backend, n_workers=config.n_workers),
+        executor=make_executor(config.backend, n_workers=config.n_workers,
+                               **executor_kwargs),
         eval_policy=make_evaluation_policy(
             eval_every=config.eval_every,
             subsample=config.eval_subsample),
@@ -173,8 +209,16 @@ def run_experiment(config: ExperimentConfig) -> TrainingHistory:
             assign_profiles(
                 config.n_parties,
                 RngFabric(config.seed).generator("device-profiles"))
-            if config.device_tiers else None))
-    return trainer.run()
+            if config.device_tiers else None),
+        fault_injector=make_fault_injector(
+            crash_rate=config.fault_crash,
+            hang_rate=config.fault_hang,
+            drop_rate=config.fault_drop,
+            corrupt_rate=config.fault_corrupt,
+            corrupt_mode=config.fault_corrupt_mode,
+            hang_seconds=config.fault_hang_seconds),
+        validator=validator)
+    return trainer.run(resume_from=resume_from, checkpointer=checkpointer)
 
 
 _RUN_CACHE: dict[tuple, TrainingHistory] = {}

@@ -37,6 +37,8 @@ __all__ = [
     "AvailabilityTableResult",
     "COMPRESSION_SETTINGS",
     "CommunicationTableResult",
+    "FAULT_REGIMES",
+    "RobustnessTableResult",
     "TABLE_INDEX",
     "TableResult",
     "TableSpec",
@@ -44,8 +46,10 @@ __all__ = [
     "communication_table",
     "format_availability_table",
     "format_communication_table",
+    "format_robustness_table",
     "format_table",
     "generate_table",
+    "robustness_table",
 ]
 
 #: Row settings in paper order: (alpha, participation).
@@ -400,6 +404,116 @@ def format_communication_table(result: CommunicationTableResult) -> str:
                          f"{100 * cell['reduction']:5.1f}%")
         lines.append(f"{regime:>12} | "
                      + " ".join(f"{c:>22}" for c in cells))
+    return "\n".join(lines)
+
+
+# -- robustness under injected faults ---------------------------------------
+#
+# A deployment-focused ablation (not a paper table): how much accuracy
+# does a selector give up when the round loop runs under injected
+# client-side faults — crashes, hangs, dropped and corrupted updates —
+# with the server-side quarantine screening arrivals.  The counters come
+# from the histories' plan-derived fault fields, so every cell is
+# reproducible per seed and identical across execution backends.
+
+#: Named fault regimes: config overrides layered onto a preset.  The
+#: first entry must be the fault-free baseline.
+FAULT_REGIMES: "dict[str, dict]" = {
+    "fault-free": {},
+    "crash10": {"fault_crash": 0.10},
+    "drop10": {"fault_drop": 0.10},
+    "corrupt10+q": {"fault_corrupt": 0.10, "quarantine": True},
+    "chaos": {"fault_crash": 0.05, "fault_hang": 0.05,
+              "fault_drop": 0.05, "fault_corrupt": 0.05,
+              "fault_hang_seconds": 0.2, "quarantine": True},
+}
+
+
+@dataclass
+class RobustnessTableResult:
+    """One regenerated fault-injection ablation.
+
+    ``cells[(regime, selector)]`` maps to a dict with ``peak`` (best
+    balanced accuracy), ``rounds`` (to the preset target; ``None`` =
+    never), ``retried``, ``dropped`` and ``quarantined`` (mean per-job
+    fault counters across seeds).
+    """
+
+    dataset: str
+    target: float
+    rounds_budget: int
+    regimes: "tuple[str, ...]" = ()
+    selectors: "tuple[str, ...]" = ()
+    cells: dict = field(default_factory=dict)
+
+    def cell(self, regime: str, selector: str) -> dict:
+        return self.cells[(regime, selector)]
+
+
+def robustness_table(dataset: str = "ecg", *, preset: str = "bench",
+                     seeds: "tuple[int, ...]" = (0,),
+                     regimes: "dict[str, dict] | None" = None,
+                     selectors: "tuple[str, ...]" = ("random", "flips",
+                                                     "oort"),
+                     **overrides) -> RobustnessTableResult:
+    """Selector × fault-regime ablation.
+
+    Cells share the run cache with every other table, so the
+    ``fault-free`` column costs nothing after a bench session.
+    """
+    if preset not in _PRESETS:
+        raise ConfigurationError(
+            f"unknown preset {preset!r}; choose from {sorted(_PRESETS)}")
+    if regimes is None:
+        regimes = FAULT_REGIMES
+    if not regimes or not selectors:
+        raise ConfigurationError("need at least one regime and selector")
+    base: ExperimentConfig = _PRESETS[preset](dataset, **overrides)
+    result = RobustnessTableResult(
+        dataset=dataset, target=base.target_accuracy,
+        rounds_budget=base.rounds, regimes=tuple(regimes),
+        selectors=tuple(selectors))
+    for regime, knobs in regimes.items():
+        for selector in selectors:
+            config = base.with_overrides(selector=selector, **knobs)
+            histories = run_repeated(config, seeds)
+            series = mean_accuracy_series(histories)
+            result.cells[(regime, selector)] = {
+                "peak": float(series.max()),
+                "rounds": rounds_to_target(series, result.target),
+                "retried": float(np.mean(
+                    [h.total_retries() for h in histories])),
+                "dropped": float(np.mean(
+                    [h.total_dropped() for h in histories])),
+                "quarantined": float(np.mean(
+                    [h.total_quarantined() for h in histories])),
+            }
+    return result
+
+
+def format_robustness_table(result: RobustnessTableResult) -> str:
+    """Render the fault-injection ablation as fixed-width text."""
+    lines = [
+        f"Robustness ablation — {result.dataset} "
+        f"(target {100 * result.target:.0f}%, "
+        f"round budget {result.rounds_budget})"]
+    header = (f"{'regime':>14} {'faults':>14} | " + " ".join(
+        f"{s:>16}" for s in result.selectors)
+        + "   [peak% / rounds-to-target]")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for regime in result.regimes:
+        first = result.cell(regime, result.selectors[0])
+        injected = (f"{first['retried']:.0f}r/{first['dropped']:.0f}d/"
+                    f"{first['quarantined']:.0f}q")
+        cells = []
+        for selector in result.selectors:
+            cell = result.cell(regime, selector)
+            rounds = (f">{result.rounds_budget}" if cell["rounds"] is None
+                      else str(int(cell["rounds"])))
+            cells.append(f"{100 * cell['peak']:7.2f} /{rounds:>6}")
+        lines.append(f"{regime:>14} {injected:>14} | "
+                     + " ".join(f"{c:>16}" for c in cells))
     return "\n".join(lines)
 
 

@@ -22,6 +22,12 @@ from repro.fl.algorithms import (
     make_algorithm,
     weighted_mean_delta,
 )
+from repro.fl.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.fl.comm import CommunicationTracker
 from repro.fl.engine import FederatedTrainer, FLJobConfig
 from repro.fl.evaluation import (
@@ -41,6 +47,15 @@ from repro.fl.execution import (
     SerialExecutor,
     make_executor,
 )
+from repro.fl.faults import (
+    CORRUPT_MODES,
+    NO_FAULTS,
+    FaultInjector,
+    FaultSpec,
+    RoundFaults,
+    corrupt_parameters,
+    make_fault_injector,
+)
 from repro.fl.history import RoundRecord, TrainingHistory, mean_or_nan
 from repro.fl.party import LocalTrainingConfig, Party
 from repro.fl.profiling import PHASES, PhaseProfiler
@@ -56,6 +71,7 @@ from repro.fl.updates import (
     LayerLayout,
     ModelUpdate,
     UpdateCompressor,
+    UpdateValidator,
     label_entropy_weights,
     layer_importance_scores,
     make_compressor,
@@ -68,6 +84,9 @@ __all__ = [
     "AmortizedEvaluation",
     "BatchedExecutor",
     "BernoulliStragglers",
+    "CHECKPOINT_VERSION",
+    "CORRUPT_MODES",
+    "Checkpointer",
     "ClientExecutor",
     "CommunicationTracker",
     "EXECUTOR_REGISTRY",
@@ -77,6 +96,8 @@ __all__ = [
     "ExecutionContext",
     "FLAlgorithm",
     "FLJobConfig",
+    "FaultInjector",
+    "FaultSpec",
     "FullEvaluation",
     "FedAdagradServer",
     "FedAdamServer",
@@ -87,11 +108,13 @@ __all__ = [
     "LayerLayout",
     "LocalTrainingConfig",
     "ModelUpdate",
+    "NO_FAULTS",
     "NoStragglers",
     "PHASES",
     "ParallelExecutor",
     "Party",
     "PhaseProfiler",
+    "RoundFaults",
     "RoundPlan",
     "RoundRecord",
     "SerialExecutor",
@@ -100,17 +123,22 @@ __all__ = [
     "StragglerModel",
     "TrainingHistory",
     "UpdateCompressor",
+    "UpdateValidator",
+    "corrupt_parameters",
     "importance_weighted_aggregation",
     "importance_weights",
     "label_entropy_weights",
     "layer_importance_scores",
+    "load_checkpoint",
     "make_algorithm",
     "make_compressor",
     "make_evaluation_policy",
     "make_executor",
+    "make_fault_injector",
     "make_straggler_model",
     "mean_or_nan",
     "quantize_layer_deltas",
+    "save_checkpoint",
     "selective_layer_pruning",
     "weighted_mean_delta",
 ]

@@ -28,8 +28,28 @@ from typing import Callable
 
 import numpy as np
 
-from repro.common.exceptions import ConfigurationError
+from repro.common.exceptions import ConfigurationError, CorruptUpdateError
 from repro.fl.updates import ModelUpdate
+
+
+def _guard_finite(delta: np.ndarray, where: str) -> np.ndarray:
+    """Refuse to fold NaN/Inf into the global model.
+
+    One poisoned update would otherwise corrupt the global vector
+    *permanently* (NaN propagates through every later round).  The
+    check is a single O(d) scan of the already-reduced delta — cheap
+    next to local training — and raises a typed
+    :class:`~repro.common.exceptions.CorruptUpdateError` naming the
+    aggregation path.  Jobs that enable server-side quarantine
+    (:class:`~repro.fl.updates.UpdateValidator`) reject bad updates
+    before aggregation and never trip this guard.
+    """
+    if not np.all(np.isfinite(delta)):
+        raise CorruptUpdateError(
+            f"{where} produced non-finite values; an update carried "
+            "NaN/Inf into aggregation (enable quarantine to reject "
+            "corrupt updates instead)")
+    return delta
 
 __all__ = [
     "ALGORITHM_REGISTRY",
@@ -90,12 +110,12 @@ def weighted_mean_delta(global_parameters: np.ndarray,
         for update in updates:
             delta += (update.num_samples / total) * update.delta(
                 global_parameters)
-        return delta
+        return _guard_finite(delta, "weighted_mean_delta")
     total = float(weights.sum())
     delta = np.zeros_like(global_parameters)
     for weight, update in zip(weights, updates):
         delta += (weight / total) * update.delta(global_parameters)
-    return delta
+    return _guard_finite(delta, "importance-weighted aggregation")
 
 
 def importance_weighted_aggregation(global_parameters: np.ndarray,
@@ -284,7 +304,8 @@ class FedDynServer(ServerOptimizer):
         if self._h is None:
             self._h = np.zeros_like(global_parameters)
         mean_model = np.mean([u.parameters for u in updates], axis=0)
-        mean_delta = mean_model - global_parameters
+        mean_delta = _guard_finite(mean_model - global_parameters,
+                                   "FedDyn aggregation")
         population = self.n_parties or len(updates)
         self._h = self._h - self.dyn_alpha * (
             len(updates) / population) * mean_delta

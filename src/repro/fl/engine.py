@@ -46,6 +46,8 @@ Design notes
 
 from __future__ import annotations
 
+import pickle
+
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -58,11 +60,12 @@ from repro.availability.deadline import (
 )
 from repro.availability.models import AlwaysOn, AvailabilityModel
 from repro.availability.view import OnlineView
-from repro.common.exceptions import ConfigurationError
+from repro.common.exceptions import CheckpointError, ConfigurationError
 from repro.common.rng import RngFabric
 from repro.ml.serialization import update_nbytes
 from repro.data.federated import FederatedDataset
 from repro.fl.algorithms import FLAlgorithm
+from repro.fl.checkpoint import Checkpointer
 from repro.fl.comm import CommunicationTracker
 from repro.fl.evaluation import EvaluationPolicy, FullEvaluation
 from repro.fl.execution import (
@@ -71,11 +74,12 @@ from repro.fl.execution import (
     RoundPlan,
     SerialExecutor,
 )
+from repro.fl.faults import FaultInjector
 from repro.fl.history import RoundRecord, TrainingHistory, mean_or_nan
 from repro.fl.party import LocalTrainingConfig, Party
 from repro.fl.profiling import PhaseProfiler
 from repro.fl.straggler import NoStragglers, StragglerModel
-from repro.fl.updates import ModelUpdate, UpdateCompressor
+from repro.fl.updates import ModelUpdate, UpdateCompressor, UpdateValidator
 from repro.ml.models import Model
 from repro.selection.base import (
     RoundOutcome,
@@ -84,6 +88,33 @@ from repro.selection.base import (
 )
 
 __all__ = ["FLJobConfig", "FederatedTrainer"]
+
+
+def _layer_rng_states(model: Model) -> list:
+    """Per-layer RNG snapshots (``None`` for stochastic-free layers).
+
+    Dropout layers draw masks from a model-level stream that advances
+    during local training; a bit-identical resume must restore those
+    positions along with every engine stream.
+    """
+    states = []
+    for layer in model.layers:
+        rng = getattr(layer, "_rng", None)
+        states.append(None if rng is None else rng.bit_generator.state)
+    return states
+
+
+def _restore_layer_rngs(model: Model, states: list) -> None:
+    if len(states) != len(model.layers):
+        raise CheckpointError(
+            "checkpoint model layout does not match this model")
+    for layer, state in zip(model.layers, states):
+        rng = getattr(layer, "_rng", None)
+        if (rng is None) != (state is None):
+            raise CheckpointError(
+                "checkpoint model layout does not match this model")
+        if state is not None:
+            rng.bit_generator.state = state
 
 #: Simulated round deadline multiplier: a round lasts as long as its
 #: slowest reporting party, or this multiple of it when stragglers force
@@ -162,6 +193,18 @@ class FederatedTrainer:
         (:func:`~repro.fl.algorithms.weighted_mean_delta`).  ``None``
         (the default) leaves every mechanism inert — histories are
         bit-for-bit the uncompressed ones.
+    fault_injector:
+        Optional :class:`~repro.fl.faults.FaultInjector`.  The engine
+        binds it to the dedicated ``"faults"`` fabric stream and draws
+        each round's fault assignment at planning time, so every
+        execution backend applies identical faults.  ``None`` (or an
+        inactive spec) leaves histories bit-for-bit fault-free.
+    validator:
+        Optional :class:`~repro.fl.updates.UpdateValidator`.  When set,
+        each round's arrived updates are screened server-side before
+        aggregation; quarantined updates are metered (they did consume
+        uplink) but never folded into the global model, and their count
+        lands in the round's record.
     """
 
     def __init__(self, federation: FederatedDataset, model: Model,
@@ -175,7 +218,9 @@ class FederatedTrainer:
                  churn: ChurnProcess | None = None,
                  deadline_factor: float | None = None,
                  device_profiles: "list | None" = None,
-                 compressor: UpdateCompressor | None = None) -> None:
+                 compressor: UpdateCompressor | None = None,
+                 fault_injector: FaultInjector | None = None,
+                 validator: UpdateValidator | None = None) -> None:
         if config.parties_per_round > federation.n_parties:
             raise ConfigurationError(
                 f"parties_per_round={config.parties_per_round} exceeds "
@@ -198,11 +243,17 @@ class FederatedTrainer:
                 f"compressor layout covers {compressor.layout.dimension} "
                 f"scalars, model has {model.dimension}")
         self.compressor = compressor
+        self.validator = validator
+        if fault_injector is not None and not fault_injector.active:
+            fault_injector = None
+        self.fault_injector = fault_injector
 
         fabric = RngFabric(config.seed)
         self._rng_select = fabric.generator("selector")
         self._rng_straggle = fabric.generator("stragglers")
         self._fabric = fabric
+        if self.fault_injector is not None:
+            self.fault_injector.bind(fabric.generator("faults"))
 
         if device_profiles is not None and \
                 len(device_profiles) != federation.n_parties:
@@ -307,14 +358,24 @@ class FederatedTrainer:
                 f"{self.strategy.name} returned an empty cohort")
         arrival = self._arrivals.draw(cohort, round_index,
                                       self._rng_arrival)
+        stragglers = tuple(sorted(arrival.missed))
+        faults = None
+        if self.fault_injector is not None:
+            # Faults are drawn once here — over the parties expected to
+            # report — and ride on the plan, so serial, parallel and
+            # batched executors all see the same assignment.
+            missed = set(stragglers)
+            participants = tuple(p for p in cohort if p not in missed)
+            faults = self.fault_injector.draw(round_index, participants)
         return RoundPlan(
             round_index=round_index,
             cohort=tuple(cohort),
-            stragglers=tuple(sorted(arrival.missed)),
+            stragglers=stragglers,
             local_config=self._local_config,
             online=None if online is None else tuple(sorted(online)),
             deadline=arrival.deadline,
-            latencies=arrival.latencies)
+            latencies=arrival.latencies,
+            faults=faults)
 
     # -- phase 3: aggregation ----------------------------------------------
     def _aggregate(self, updates: "list[ModelUpdate]") -> None:
@@ -368,11 +429,22 @@ class FederatedTrainer:
         round_start_parameters = self.global_parameters
 
         with profiler.phase("train"):
-            updates = self.executor.execute(plan, self.global_parameters)
+            arrived = self.executor.execute(plan, self.global_parameters)
         # The executor timed its own dispatch slice inside our "train"
         # measurement; carve it out so broadcast cost is attributable.
         profiler.reattribute("train", "broadcast",
                              self.executor.last_broadcast_seconds)
+
+        # Server-side screening: quarantined updates consumed uplink
+        # (they arrived) but never touch the global model or the
+        # strategy's feedback.  Without a validator this is a no-op and
+        # ``updates is arrived``.
+        if self.validator is not None:
+            updates, quarantined = self.validator.partition(
+                arrived, round_start_parameters)
+        else:
+            updates, quarantined = arrived, []
+
         with profiler.phase("aggregate"):
             self._aggregate(updates)
 
@@ -380,11 +452,13 @@ class FederatedTrainer:
         # guarantees the cohort only names parties online at dispatch,
         # so dynamic populations never meter phantom transfers.  Under
         # update compression, uploads bill their actual pruned/quantized
-        # payload bytes instead of the full vector.
-        uplink_nbytes = (sum(u.nbytes for u in updates)
+        # payload bytes instead of the full vector.  Uploads are metered
+        # on *arrival* — dropped updates never reach the aggregator and
+        # cost nothing, quarantined ones did consume the link.
+        uplink_nbytes = (sum(u.nbytes for u in arrived)
                          if self.compressor is not None else None)
         comm_bytes = self.comm.record_round(
-            n_downloads=len(plan.cohort), n_uploads=len(updates),
+            n_downloads=len(plan.cohort), n_uploads=len(arrived),
             uplink_nbytes=uplink_nbytes)
 
         # Evaluate the (possibly unchanged) global model.
@@ -392,7 +466,11 @@ class FederatedTrainer:
             evaluation = self.eval_policy.evaluate(round_index,
                                                    self.global_parameters)
 
+        # Round length is physical: the aggregator waited for every
+        # arrival, including updates it then quarantined.
+        arrival_latencies = {u.party_id: u.latency for u in arrived}
         latencies = {u.party_id: u.latency for u in updates}
+        faults = plan.faults
         history.append(RoundRecord(
             round_index=round_index,
             cohort=plan.cohort,
@@ -404,10 +482,14 @@ class FederatedTrainer:
                 evaluation.per_label_recall, nan=0.0)),
             mean_train_loss=mean_or_nan([u.train_loss for u in updates]),
             comm_bytes=comm_bytes,
-            round_duration=self._round_duration(plan, latencies),
+            round_duration=self._round_duration(plan, arrival_latencies),
             n_online=None if plan.online is None else len(plan.online),
             uplink_bytes=self.comm.per_round_uplink[-1],
             phase_seconds=profiler.finish_round(),
+            parties_retried=0 if faults is None else faults.n_retried,
+            updates_dropped=0 if faults is None else len(faults.dropped),
+            updates_quarantined=len(quarantined),
+            workers_restarted=self.executor.last_workers_restarted,
         ))
 
         outcome = RoundOutcome(
@@ -431,13 +513,130 @@ class FederatedTrainer:
         )
         self.strategy.report_round(outcome)
 
+    # -- checkpoint plumbing -------------------------------------------------
+    def capture_state(self, history: TrainingHistory) -> dict:
+        """Everything needed to resume this job bit-identically.
+
+        Called after a completed round; see :mod:`repro.fl.checkpoint`
+        for the inventory.  Party state comes from the executor when it
+        tracks an authoritative store (the parallel backend's workers
+        own the party replicas) and from the engine's own party objects
+        otherwise (in-process backends train them directly).
+        """
+        if not history.records:
+            raise CheckpointError(
+                "cannot checkpoint before any round completed")
+        party_states = self.executor.party_states()
+        if party_states is None:
+            party_states = {p.party_id: p.state_dict()
+                            for p in self.parties}
+        return {
+            "round_index": int(history.records[-1].round_index),
+            "global_parameters": np.array(self.global_parameters,
+                                          copy=True),
+            "history": pickle.dumps(history),
+            "algorithm": pickle.dumps(self.algorithm),
+            "strategy": pickle.dumps(self.strategy),
+            "availability_model": pickle.dumps(self.availability_model),
+            "churn": pickle.dumps(self.churn),
+            "comm": pickle.dumps(self.comm),
+            "rng_select": self._rng_select.bit_generator.state,
+            "rng_arrival": self._rng_arrival.bit_generator.state,
+            "fault_injector": (None if self.fault_injector is None
+                               else self.fault_injector.state_dict()),
+            "model_layer_rngs": _layer_rng_states(self.model),
+            "party_states": party_states,
+            "executor": self.executor.state_dict(),
+            "eval_policy": self.eval_policy.state_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`capture_state` snapshot into this trainer.
+
+        Must run *before* the executor binds (workers spawn with the
+        restored party replicas); the executor's and evaluation
+        policy's own snapshots are applied after binding, by
+        :meth:`run` — bind resets their state.
+        """
+        if (self.fault_injector is None) != \
+                (state.get("fault_injector") is None):
+            raise CheckpointError(
+                "checkpoint and trainer disagree on fault injection; "
+                "resume with the same fault configuration")
+        churn = pickle.loads(state["churn"])
+        if (self.churn is None) != (churn is None):
+            raise CheckpointError(
+                "checkpoint and trainer disagree on churn; resume with "
+                "the same population configuration")
+        self.global_parameters = np.array(state["global_parameters"],
+                                          copy=True)
+        self.algorithm = pickle.loads(state["algorithm"])
+        self.strategy = pickle.loads(state["strategy"])
+        # The engine and the strategy must observe the *same* online
+        # view; adopt the unpickled strategy's copy.
+        self._online_view = self.strategy.context.online_view
+        self.availability_model = pickle.loads(state["availability_model"])
+        self.churn = churn
+        self.comm = pickle.loads(state["comm"])
+        self._rng_select.bit_generator.state = state["rng_select"]
+        self._rng_arrival.bit_generator.state = state["rng_arrival"]
+        if self.fault_injector is not None:
+            self.fault_injector.load_state_dict(state["fault_injector"])
+        _restore_layer_rngs(self.model, state["model_layer_rngs"])
+        for party_id, party_state in state["party_states"].items():
+            if not 0 <= party_id < len(self.parties):
+                raise CheckpointError(
+                    f"checkpoint names party {party_id}, this federation "
+                    f"has {len(self.parties)}")
+            self.parties[party_id].load_state_dict(party_state)
+
+    @staticmethod
+    def _coerce_resume(resume_from) -> dict:
+        """A checkpoint path / envelope / raw state dict → state dict."""
+        if isinstance(resume_from, dict):
+            if "version" in resume_from and "state" in resume_from:
+                return resume_from["state"]
+            return resume_from
+        envelope = load_checkpoint(resume_from)
+        return envelope["state"]
+
     # -- whole job ----------------------------------------------------------
-    def run(self) -> TrainingHistory:
-        """Execute all configured rounds; returns the full history."""
-        history = TrainingHistory(
-            job_name=(f"{self.federation.name}/{self.algorithm.name}"
-                      f"/{self.strategy.name}"),
-            parties_per_round=self.config.parties_per_round)
+    def run(self, resume_from=None,
+            checkpointer: "Checkpointer | None" = None) -> TrainingHistory:
+        """Execute all configured rounds; returns the full history.
+
+        Parameters
+        ----------
+        resume_from:
+            Optional checkpoint to continue from — a file path, a loaded
+            envelope, or a raw :meth:`capture_state` dict.  The job
+            restarts at the next round after the snapshot and the
+            returned history is bit-identical to an uninterrupted run.
+        checkpointer:
+            Optional :class:`~repro.fl.checkpoint.Checkpointer`; every
+            due round is persisted after its record lands.
+        """
+        state = None
+        start_round = 0
+        if resume_from is not None:
+            state = self._coerce_resume(resume_from)
+            start_round = int(state["round_index"])
+            if start_round > self.config.rounds:
+                raise CheckpointError(
+                    f"checkpoint is at round {start_round}, job only "
+                    f"runs {self.config.rounds}")
+            history = pickle.loads(state["history"])
+            self.restore_state(state)
+        else:
+            history = TrainingHistory(
+                job_name=(f"{self.federation.name}/{self.algorithm.name}"
+                          f"/{self.strategy.name}"),
+                parties_per_round=self.config.parties_per_round)
+        # Recovery (crash/hang respawn) and checkpointing both need the
+        # parallel backend to maintain its authoritative party-state
+        # store; fault-free, checkpoint-free jobs skip the piggyback.
+        track = (self.fault_injector is not None
+                 or checkpointer is not None)
         self.executor.bind(ExecutionContext(
             parties=self.parties,
             model=self.model,
@@ -445,14 +644,23 @@ class FederatedTrainer:
             seed=self.config.seed,
             collect_loss_stats=getattr(
                 self.strategy, "wants_loss_statistics", True),
-            compressor=self.compressor))
+            compressor=self.compressor,
+            track_party_state=track))
         self.eval_policy.bind(self.model, self.federation.test,
                               total_rounds=self.config.rounds,
                               seed=self.config.seed)
+        if state is not None:
+            # After bind — binding resets executor/eval-policy state.
+            self.executor.load_state_dict(state["executor"])
+            self.eval_policy.load_state_dict(state["eval_policy"])
         profiler = PhaseProfiler()
         try:
-            for round_index in range(1, self.config.rounds + 1):
+            for round_index in range(start_round + 1,
+                                     self.config.rounds + 1):
                 self._run_round(round_index, history, profiler)
+                if checkpointer is not None and \
+                        checkpointer.due(round_index, self.config.rounds):
+                    checkpointer.save(self.capture_state(history))
         finally:
             self.executor.close()
         return history

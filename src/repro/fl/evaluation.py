@@ -97,6 +97,16 @@ class EvaluationPolicy(ABC):
                  parameters: np.ndarray) -> EvalResult:
         """Score (or carry forward) the global model after aggregation."""
 
+    # -- checkpoint plumbing ---------------------------------------------
+    def state_dict(self) -> dict:
+        """Policy-private state a checkpoint must carry (none by
+        default — stateless policies re-derive everything at bind)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output.  Call *after* ``bind`` —
+        binding resets policy state."""
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -212,6 +222,16 @@ class AmortizedEvaluation(EvaluationPolicy):
                        replace=False)
             for label in labels]
         return np.sort(np.concatenate(picks))
+
+    def state_dict(self) -> dict:
+        """The carried measurement survives a resume; the subsample
+        does not need to — bind redraws it from the same seeded
+        stream, bit-identically."""
+        return {"last": self._last}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the carried measurement (after ``bind``)."""
+        self._last = state.get("last")
 
     def evaluate(self, round_index: int,
                  parameters: np.ndarray) -> EvalResult:

@@ -59,13 +59,18 @@ import os
 import time
 import traceback
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.common.exceptions import ConfigurationError, ExecutionError
+from repro.common.exceptions import (
+    ConfigurationError,
+    ExecutionError,
+    WorkerTimeoutError,
+)
 from repro.common.rng import RngFabric
+from repro.fl.faults import RoundFaults, corrupt_parameters
 from repro.fl.party import (
     _UTILITY_SAMPLE_CAP,
     LATENCY_JITTER_SIGMA,
@@ -104,6 +109,11 @@ class RoundPlan:
     ``online``/``deadline``/``latencies`` default to ``None`` (static
     population, rate-based stragglers): the pre-subsystem plan, and the
     pre-subsystem execution semantics.
+
+    ``faults`` carries the round's injected fault assignment
+    (:class:`~repro.fl.faults.RoundFaults`), drawn once by the engine's
+    :class:`~repro.fl.faults.FaultInjector` so every backend applies
+    identical faults; ``None`` (the default) means a fault-free round.
     """
 
     round_index: int
@@ -113,6 +123,7 @@ class RoundPlan:
     online: "tuple[int, ...] | None" = None
     deadline: "float | None" = None
     latencies: "dict[int, float] | None" = None
+    faults: "RoundFaults | None" = None
 
     def __post_init__(self) -> None:
         if self.round_index < 1:
@@ -123,6 +134,15 @@ class RoundPlan:
         if unknown:
             raise ConfigurationError(
                 f"stragglers {sorted(unknown)} are not cohort members")
+        if self.faults is not None:
+            fault_ids = (set(self.faults.crashed) | set(self.faults.hung)
+                         | set(self.faults.dropped)
+                         | set(self.faults.corrupted))
+            foreign = fault_ids - set(self.cohort)
+            if foreign:
+                raise ConfigurationError(
+                    f"faulted parties {sorted(foreign)} are not cohort "
+                    "members")
         if self.online is not None:
             offline = set(self.cohort) - set(self.online)
             if offline:
@@ -166,6 +186,15 @@ class ExecutionContext:
     worker process, shrinking the bytes crossing the pipe exactly as a
     real network upload would shrink).  The transform is deterministic,
     which keeps compressed payloads byte-identical across backends.
+
+    ``track_party_state`` asks executors to maintain an authoritative
+    per-party state store (:meth:`Party.state_dict` snapshots).  The
+    engine sets it when the job injects faults or writes checkpoints:
+    the parallel backend then piggybacks each worker's post-round party
+    states on its replies, which is what lets the parent respawn a
+    crashed worker without losing RNG/FedDyn state and lets checkpoints
+    capture party state without reaching into worker processes.  Off by
+    default — the piggyback costs IPC bytes.
     """
 
     parties: "list[Party]" = field(repr=False)
@@ -174,6 +203,7 @@ class ExecutionContext:
     seed: int = 0
     collect_loss_stats: bool = True
     compressor: "object | None" = field(default=None, repr=False)
+    track_party_state: bool = False
 
 
 def _compress_updates(compressor, updates: "list[ModelUpdate]",
@@ -184,6 +214,35 @@ def _compress_updates(compressor, updates: "list[ModelUpdate]",
         return updates
     return [compressor.compress(update, global_parameters)
             for update in updates]
+
+
+def _apply_payload_faults(updates: "list[ModelUpdate]",
+                          faults: "RoundFaults | None",
+                          global_parameters: np.ndarray,
+                          ) -> "list[ModelUpdate]":
+    """Apply a plan's transit faults to the round's final update list.
+
+    Dropped updates vanish (the party trained — its RNG advanced — but
+    nothing reaches the aggregator); corrupted updates have their
+    payload damaged by :func:`~repro.fl.faults.corrupt_parameters`.
+    Runs *after* compression on the ordered update list, in the parent
+    process for every backend, so the surviving payloads are identical
+    across serial/parallel/batched execution.
+    """
+    if faults is None or faults.empty:
+        return updates
+    dropped = set(faults.dropped)
+    corrupted = set(faults.corrupted)
+    out = []
+    for update in updates:
+        if update.party_id in dropped:
+            continue
+        if update.party_id in corrupted:
+            update = replace(update, parameters=corrupt_parameters(
+                update.parameters, global_parameters,
+                faults.corrupt_mode, faults.corrupt_scale))
+        out.append(update)
+    return out
 
 
 class ClientExecutor(ABC):
@@ -198,6 +257,12 @@ class ClientExecutor(ABC):
     #: The engine reads this to carve the broadcast slice out of the
     #: round's ``train`` phase timing.
     last_broadcast_seconds: float = 0.0
+
+    #: Worker processes respawned during the most recent :meth:`execute`
+    #: (always 0 for in-process backends).  A real-time recovery
+    #: observation — worker co-ownership makes it backend-dependent, so
+    #: the engine records it outside history equality.
+    last_workers_restarted: int = 0
 
     def __init__(self) -> None:
         self._ctx: ExecutionContext | None = None
@@ -227,6 +292,22 @@ class ClientExecutor(ABC):
     def close(self) -> None:
         """Release executor resources; called by the engine at job end."""
 
+    def party_states(self) -> "dict[int, dict] | None":
+        """The authoritative per-party state store, when this executor
+        maintains one (parallel pools under ``track_party_state``);
+        ``None`` means the bound context's party objects *are* the
+        authority and callers should snapshot those instead."""
+        return None
+
+    def state_dict(self) -> dict:
+        """Executor-private mutable state for checkpoints (e.g. the
+        batched backend's latency stream); ``{}`` when stateless."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output.  Call *after* :meth:`bind`
+        — binding resets the state this re-applies."""
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -241,7 +322,13 @@ class SerialExecutor(ClientExecutor):
 
     def execute(self, plan: RoundPlan,
                 global_parameters: np.ndarray) -> "list[ModelUpdate]":
-        """Train each participant in cohort order on the shared model."""
+        """Train each participant in cohort order on the shared model.
+
+        Injected crash/hang faults have no process to kill here; the
+        party still trains exactly once (the retried dispatch succeeds),
+        which is the same end state the parallel backend recovers to.
+        Drop/corrupt faults apply to the final payload list.
+        """
         ctx = self.context
         updates = [
             ctx.parties[party_id].local_train(
@@ -249,7 +336,10 @@ class SerialExecutor(ClientExecutor):
                 plan.round_index,
                 latency=plan.planned_latency(party_id))
             for party_id in plan.participants]
-        return _compress_updates(ctx.compressor, updates, global_parameters)
+        updates = _compress_updates(ctx.compressor, updates,
+                                    global_parameters)
+        return _apply_payload_faults(updates, plan.faults,
+                                     global_parameters)
 
 
 class BatchedExecutor(ClientExecutor):
@@ -357,7 +447,20 @@ class BatchedExecutor(ClientExecutor):
                     plan.round_index,
                     collect_loss_stats=ctx.collect_loss_stats,
                     latency=latency))
-        return _compress_updates(ctx.compressor, updates, global_parameters)
+        updates = _compress_updates(ctx.compressor, updates,
+                                    global_parameters)
+        return _apply_payload_faults(updates, plan.faults,
+                                     global_parameters)
+
+    def state_dict(self) -> dict:
+        """The jitter stream's position (the one mutable thing this
+        backend owns beyond party objects)."""
+        return {"latency_rng": self._rng_latency.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the jitter stream (after :meth:`bind` reset it)."""
+        if "latency_rng" in state:
+            self._rng_latency.bit_generator.state = state["latency_rng"]
 
 
 # -- parallel backend -------------------------------------------------------
@@ -446,6 +549,16 @@ def _worker_loop(conn, parties: "list[Party]", model: Model,
     not create the block.  The local-training config is fixed at bind
     (``bound_config``); a message carries a config only when a round
     overrides it.
+
+    Fault directives ride on the message: ``crash`` kills the process
+    outright (``os._exit``, *before* any party trains — no party state
+    has advanced, so the parent can respawn from its store and
+    re-dispatch without double-training anyone) and ``hang_seconds``
+    stalls the worker first (a device that went unresponsive; it either
+    wakes and trains normally or the parent's timeout kills it — the
+    round's results are identical either way).  ``want_state`` asks for
+    each trained party's :meth:`~repro.fl.party.Party.state_dict` to be
+    piggybacked on the reply, feeding the parent's authoritative store.
     """
     table = {party.party_id: party for party in parties}
     shm = None
@@ -461,7 +574,12 @@ def _worker_loop(conn, parties: "list[Party]", model: Model,
             if message is None:
                 break
             (round_index, party_ids, config_override, with_stats,
-             latencies, inline_parameters) = message
+             latencies, inline_parameters, crash, hang_seconds,
+             want_state) = message
+            if crash:
+                os._exit(23)
+            if hang_seconds:
+                time.sleep(hang_seconds)
             config = (bound_config if config_override is None
                       else config_override)
             global_parameters = (shared_view if inline_parameters is None
@@ -476,10 +594,14 @@ def _worker_loop(conn, parties: "list[Party]", model: Model,
                     for party_id in party_ids]
                 updates = _compress_updates(compressor, updates,
                                             global_parameters)
-                conn.send(("ok", _pack_updates(updates, compressor)))
+                states = ({party_id: table[party_id].state_dict()
+                           for party_id in party_ids}
+                          if want_state else None)
+                conn.send(("ok", _pack_updates(updates, compressor),
+                           states))
             except Exception as exc:  # ship the failure to the parent
                 conn.send(("error",
-                           f"{exc!r}\n{traceback.format_exc()}"))
+                           f"{exc!r}\n{traceback.format_exc()}", None))
     finally:
         if shm is not None:
             shm.close()
@@ -526,24 +648,64 @@ class ParallelExecutor(ClientExecutor):
 
     The main process's party objects do not advance while this backend
     runs; executors are single-job objects, so nothing reads them.
+
+    Fault tolerance
+    ---------------
+    Every result read is bounded by ``worker_timeout`` seconds — a dead
+    or hung worker raises :class:`~repro.common.exceptions.
+    WorkerTimeoutError` / :class:`~repro.common.exceptions.
+    ExecutionError` instead of blocking the aggregator forever.  When
+    the bound context tracks party state, the executor *recovers*
+    instead of raising: the offending worker is terminated and
+    respawned from the authoritative party-state store (post-round
+    states piggybacked on every reply), its shard is re-dispatched with
+    injected fault directives cleared, and retries back off
+    exponentially up to ``max_retries`` per worker per round.  A worker
+    that exhausts its retries degrades permanently to in-process
+    execution of its shard — the job completes on a crippled pool
+    rather than dying.  Because crash/hang faults fire *before* any
+    party trains, a recovered round trains every party exactly once and
+    histories stay bit-identical to the serial backend's.
     """
 
     name = "parallel"
 
+    #: Default bound on one result read (seconds).  Generous — it only
+    #: exists so a wedged worker cannot block the aggregator forever.
+    DEFAULT_WORKER_TIMEOUT = 300.0
+
     def __init__(self, n_workers: int | None = None,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 worker_timeout: "float | None" = DEFAULT_WORKER_TIMEOUT,
+                 max_retries: int = 2,
+                 retry_backoff: float = 0.05) -> None:
         super().__init__()
         if n_workers is not None and n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
+        if worker_timeout is not None and worker_timeout <= 0:
+            raise ConfigurationError("worker_timeout must be > 0 or None")
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if retry_backoff < 0:
+            raise ConfigurationError("retry_backoff must be >= 0")
         self.n_workers = n_workers
+        self.worker_timeout = worker_timeout
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
         self._start_method = start_method
         self._procs: list = []
         self._conns: list = []
         self._owner: dict[int, int] = {}
+        self._shards: "list[list[int]]" = []
         self._bound_config: LocalTrainingConfig | None = None
         self._inline_mode = False
         self._shm: "shared_memory.SharedMemory | None" = None
         self._shm_view: "np.ndarray | None" = None
+        self._shm_name: "str | None" = None
+        self._mp = None
+        self._track = False
+        self._party_states: "dict[int, dict]" = {}
+        self._degraded: "set[int]" = set()
 
     def _create_broadcast_block(self, dimension: int) -> "str | None":
         """Allocate the round-broadcast segment; ``None`` on platforms
@@ -567,38 +729,169 @@ class ParallelExecutor(ClientExecutor):
                         len(ctx.parties))
         self._bound_config = ctx.local_config
         self._inline_mode = n_workers == 1
+        self._track = ctx.track_party_state
+        self._degraded = set()
+        self._party_states = {}
         if self._inline_mode:
             return
+        if self._track:
+            # Seed the authoritative store with the pre-job states; each
+            # worker reply refreshes its shard's entries.
+            self._party_states = {party.party_id: party.state_dict()
+                                  for party in ctx.parties}
         dimension = ctx.model.dimension
-        shm_name = self._create_broadcast_block(dimension)
+        self._shm_name = self._create_broadcast_block(dimension)
         # Respect the platform's default start method (fork on Linux,
         # spawn on macOS/Windows — forking a thread-initialized BLAS
         # process is unsafe there); everything crossing the Pipe is
         # picklable, so both methods work.
-        mp = multiprocessing.get_context(self._start_method)
+        self._mp = multiprocessing.get_context(self._start_method)
         self._owner = {party.party_id: party.party_id % n_workers
                        for party in ctx.parties}
+        self._shards = [
+            [party.party_id for party in ctx.parties
+             if self._owner[party.party_id] == worker_index]
+            for worker_index in range(n_workers)]
         for worker_index in range(n_workers):
-            owned = [party for party in ctx.parties
-                     if self._owner[party.party_id] == worker_index]
-            parent_conn, child_conn = mp.Pipe()
-            proc = mp.Process(
-                target=_worker_loop,
-                args=(child_conn, owned, ctx.model.clone(),
-                      ctx.compressor, ctx.local_config, shm_name,
-                      dimension),
-                daemon=True,
-                name=f"repro-executor-{worker_index}")
-            proc.start()
-            child_conn.close()
+            proc, conn = self._spawn_worker(worker_index)
             self._procs.append(proc)
-            self._conns.append(parent_conn)
+            self._conns.append(conn)
+
+    def _spawn_worker(self, worker_index: int):
+        """Start one worker process owning its shard's parties.
+
+        At first spawn the parent's party objects are current; a
+        *respawn* first re-applies the authoritative store so the new
+        process resumes each party's RNG/FedDyn state exactly where the
+        last successful round left it.
+        """
+        ctx = self.context
+        owned = [ctx.parties[party_id]
+                 for party_id in self._shards[worker_index]]
+        if self._track:
+            for party in owned:
+                state = self._party_states.get(party.party_id)
+                if state is not None:
+                    party.load_state_dict(state)
+        parent_conn, child_conn = self._mp.Pipe()
+        proc = self._mp.Process(
+            target=_worker_loop,
+            args=(child_conn, owned, ctx.model.clone(),
+                  ctx.compressor, self._bound_config, self._shm_name,
+                  ctx.model.dimension),
+            daemon=True,
+            name=f"repro-executor-{worker_index}")
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
+    def _terminate_worker(self, worker_index: int) -> None:
+        """Kill one worker's process and close its pipe (idempotent)."""
+        proc = self._procs[worker_index]
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+        try:
+            self._conns[worker_index].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _respawn_worker(self, worker_index: int) -> None:
+        """Replace a dead/hung worker with a fresh process resumed from
+        the authoritative party-state store."""
+        self._terminate_worker(worker_index)
+        proc, conn = self._spawn_worker(worker_index)
+        self._procs[worker_index] = proc
+        self._conns[worker_index] = conn
+        self.last_workers_restarted += 1
+
+    def _train_shard_inline(self, plan: RoundPlan, party_ids: "list[int]",
+                            global_parameters: np.ndarray,
+                            ) -> "list[ModelUpdate]":
+        """Degraded path: train one worker's shard in-process.
+
+        The parent's party objects are re-synced from the authoritative
+        store first, trained with the bound (shared) model, and the
+        store is refreshed afterwards — exactly the state evolution the
+        lost worker would have produced.
+        """
+        ctx = self.context
+        updates = []
+        for party_id in party_ids:
+            party = ctx.parties[party_id]
+            state = self._party_states.get(party_id)
+            if state is not None:
+                party.load_state_dict(state)
+            updates.append(party.local_train(
+                ctx.model, global_parameters, plan.local_config,
+                plan.round_index,
+                latency=plan.planned_latency(party_id)))
+            self._party_states[party_id] = party.state_dict()
+        return _compress_updates(ctx.compressor, updates,
+                                 global_parameters)
+
+    def _recv_reply(self, worker_index: int) -> tuple:
+        """One bounded result read; raises instead of blocking forever."""
+        conn = self._conns[worker_index]
+        try:
+            if self.worker_timeout is not None and \
+                    not conn.poll(self.worker_timeout):
+                raise WorkerTimeoutError(
+                    f"executor worker {worker_index} sent nothing for "
+                    f"{self.worker_timeout:.1f}s (dead or hung)")
+            return conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ExecutionError(
+                f"executor worker {worker_index} died mid-round") from exc
+
+    def _collect(self, worker_index: int, plan: RoundPlan,
+                 message: tuple, party_ids: "list[int]",
+                 global_parameters: np.ndarray) -> "list[ModelUpdate]":
+        """Collect one worker's round result, recovering when possible.
+
+        Timeouts and dead pipes trigger kill → respawn-from-store →
+        re-dispatch (fault directives cleared) with exponential backoff;
+        a worker that exhausts ``max_retries`` is degraded to in-process
+        execution for the rest of the job.  Without party-state
+        tracking there is nothing safe to respawn from, so the original
+        error propagates (the pre-recovery contract).
+        """
+        clean = message[:6] + (False, 0.0, message[8])
+        attempts = 0
+        while True:
+            try:
+                reply = self._recv_reply(worker_index)
+            except ExecutionError as exc:
+                if not self._track:
+                    raise
+                if attempts >= self.max_retries:
+                    self._degraded.add(worker_index)
+                    self._terminate_worker(worker_index)
+                    return self._train_shard_inline(plan, party_ids,
+                                                    global_parameters)
+                if self.retry_backoff:
+                    time.sleep(self.retry_backoff * (2 ** attempts))
+                attempts += 1
+                self._respawn_worker(worker_index)
+                try:
+                    self._conns[worker_index].send(clean)
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass  # the next recv attempt handles it
+                continue
+            status, payload, states = reply
+            if status != "ok":
+                raise ExecutionError(
+                    f"executor worker {worker_index} failed: {payload}")
+            if states:
+                self._party_states.update(states)
+            return _unpack_updates(payload, plan.round_index)
 
     def execute(self, plan: RoundPlan,
                 global_parameters: np.ndarray) -> "list[ModelUpdate]":
         """Fan the plan out to the owning workers; reassemble in order."""
         if self._ctx is None or not (self._procs or self._inline_mode):
             raise ExecutionError("ParallelExecutor used before bind()")
+        self.last_workers_restarted = 0
         if self._inline_mode:
             # Degenerate single-worker pool: same draws, same results,
             # without the per-round pipe round-trip.
@@ -610,8 +903,10 @@ class ParallelExecutor(ClientExecutor):
                     plan.round_index,
                     latency=plan.planned_latency(party_id))
                 for party_id in plan.participants]
-            return _compress_updates(ctx.compressor, updates,
-                                     global_parameters)
+            updates = _compress_updates(ctx.compressor, updates,
+                                        global_parameters)
+            return _apply_payload_faults(updates, plan.faults,
+                                         global_parameters)
         assignments: dict[int, list[int]] = {}
         for party_id in plan.participants:
             if party_id not in self._owner:
@@ -628,33 +923,62 @@ class ParallelExecutor(ClientExecutor):
             inline_parameters = global_parameters
         config_override = (None if plan.local_config == self._bound_config
                            else plan.local_config)
-        for worker_index, party_ids in assignments.items():
+        faults = plan.faults
+        crashed = set(faults.crashed) if faults is not None else set()
+        hung = set(faults.hung) if faults is not None else set()
+        messages: dict[int, tuple] = {}
+        live = [w for w in assignments if w not in self._degraded]
+        for worker_index in live:
+            party_ids = assignments[worker_index]
+            # Worker-level fault directives from the plan's party-level
+            # draws: a crashed party kills its whole worker (crash wins
+            # over hang when both land on one shard).
+            crash = any(p in crashed for p in party_ids)
+            hang = (faults.hang_seconds
+                    if not crash and any(p in hung for p in party_ids)
+                    else 0.0)
             # Always collect loss statistics: the probe consumes a party
             # RNG draw for large parties, and skipping it would desync
             # the streams from SerialExecutor's bit-exact histories.
+            message = (plan.round_index, party_ids, config_override, True,
+                       plan.latencies, inline_parameters, crash, hang,
+                       self._track)
+            messages[worker_index] = message
             try:
-                self._conns[worker_index].send(
-                    (plan.round_index, party_ids, config_override, True,
-                     plan.latencies, inline_parameters))
+                self._conns[worker_index].send(message)
             except (BrokenPipeError, OSError) as exc:
-                raise ExecutionError(
-                    f"executor worker {worker_index} died between rounds"
-                ) from exc
+                if not self._track:
+                    raise ExecutionError(
+                        f"executor worker {worker_index} died between "
+                        "rounds") from exc
+                self._respawn_worker(worker_index)
+                clean = message[:6] + (False, 0.0, message[8])
+                messages[worker_index] = clean
+                self._conns[worker_index].send(clean)
         self.last_broadcast_seconds = time.perf_counter() - broadcast_start
         by_party: dict[int, ModelUpdate] = {}
+        # Degraded shards train in-process while live workers compute.
         for worker_index in assignments:
-            try:
-                status, payload = self._conns[worker_index].recv()
-            except (EOFError, OSError) as exc:
-                raise ExecutionError(
-                    f"executor worker {worker_index} died mid-round"
-                ) from exc
-            if status != "ok":
-                raise ExecutionError(
-                    f"executor worker {worker_index} failed: {payload}")
-            for update in _unpack_updates(payload, plan.round_index):
+            if worker_index in self._degraded:
+                shard_updates = self._train_shard_inline(
+                    plan, assignments[worker_index], global_parameters)
+                for update in shard_updates:
+                    by_party[update.party_id] = update
+        for worker_index in live:
+            for update in self._collect(worker_index, plan,
+                                        messages[worker_index],
+                                        assignments[worker_index],
+                                        global_parameters):
                 by_party[update.party_id] = update
-        return [by_party[party_id] for party_id in plan.participants]
+        updates = [by_party[party_id] for party_id in plan.participants]
+        return _apply_payload_faults(updates, faults, global_parameters)
+
+    def party_states(self) -> "dict[int, dict] | None":
+        """The authoritative store (multi-worker pools under tracking);
+        ``None`` otherwise — the parent's party objects are current."""
+        if self._inline_mode or not self._track:
+            return None
+        return dict(self._party_states)
 
     def close(self) -> None:
         """Shut the worker pool down and release the broadcast block
@@ -670,10 +994,17 @@ class ParallelExecutor(ClientExecutor):
                 proc.terminate()
                 proc.join(timeout=1.0)
         for conn in self._conns:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
         self._procs = []
         self._conns = []
+        self._shards = []
         self._inline_mode = False
+        self._degraded = set()
+        self._party_states = {}
+        self._shm_name = None
         if self._shm is not None:
             self._shm_view = None
             try:

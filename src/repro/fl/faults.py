@@ -1,0 +1,283 @@
+"""Deterministic fault injection for the FL round loop.
+
+Real device fleets misbehave in ways benign unavailability modelling
+(:mod:`repro.availability`) does not capture: worker processes crash
+mid-round, devices hang without ever reporting, uploads vanish in
+transit, and payloads arrive corrupted (NaN/Inf from overflowed local
+training, or deltas blown up by faulty hardware).  This module injects
+exactly those faults — *deterministically*, so a faulty run is as
+reproducible as a clean one and every execution backend observes the
+same fault draws.
+
+Design rules
+------------
+* **One draw site.**  The engine draws each round's faults once, in
+  :meth:`FaultInjector.draw`, from the dedicated ``"faults"``
+  :class:`~repro.common.rng.RngFabric` stream, and attaches the result
+  to the :class:`~repro.fl.execution.RoundPlan`.  Executors only ever
+  *apply* a plan's faults; they never draw.  That is what makes
+  serial, parallel and batched histories identical under identical
+  fault draws.
+* **One uniform per participant.**  A round costs a single vectorized
+  ``uniform(n_participants)`` call, partitioned into contiguous bands
+  (crash | hang | drop | corrupt | healthy).  At most one fault per
+  party per round, and the stream advances identically no matter which
+  faults fire.
+* **Inert by default.**  A :class:`FaultSpec` with all rates zero never
+  touches the stream, so golden digests stay bit-exact when the layer
+  is compiled in but switched off.
+
+Fault semantics (who does what with a draw):
+
+crash / hang
+    Process-level faults.  The parallel backend's owning worker really
+    dies (``os._exit`` before training) or stalls; the parent detects
+    it via its IPC timeout, respawns the worker from the authoritative
+    party-state store and re-dispatches with the fault cleared — every
+    party still trains exactly once, so RNG streams evolve exactly as
+    under serial execution.  In-process backends have no worker to
+    kill; they record the retry in the round's counters and train
+    normally, which is the same end state.
+dropped
+    The update is lost in transit: the party trains (its RNG advances)
+    but its update never reaches the aggregator and its upload is not
+    metered.
+corrupted
+    The update arrives, but its payload is damaged —
+    :func:`corrupt_parameters` plants NaN/Inf (``mode="nan"``) or
+    scales the delta by ``corrupt_scale`` (``mode="scale"``).  Server-
+    side validation (:class:`~repro.fl.updates.UpdateValidator`)
+    quarantines it before aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import RngFabric
+
+__all__ = [
+    "CORRUPT_MODES",
+    "FaultInjector",
+    "FaultSpec",
+    "RoundFaults",
+    "corrupt_parameters",
+    "make_fault_injector",
+]
+
+CORRUPT_MODES = ("nan", "scale")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-round, per-participant fault probabilities.
+
+    Each participant draws one uniform per round; the four rates
+    partition ``[0, 1)`` into contiguous bands, so at most one fault
+    fires per party per round and the rates must sum to at most 1.
+
+    ``hang_seconds`` is the *real* wall-clock stall a hung worker
+    sleeps before proceeding — keep it above the executor's
+    ``worker_timeout`` to force the kill/respawn path, below it to
+    exercise the wait-it-out path (histories are identical either
+    way).  ``corrupt_scale`` is the delta blow-up factor of
+    ``corrupt_mode="scale"``.
+    """
+
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    corrupt_mode: str = "nan"
+    corrupt_scale: float = 1e6
+    hang_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        rates = (self.crash_rate, self.hang_rate, self.drop_rate,
+                 self.corrupt_rate)
+        if any(not 0.0 <= r < 1.0 for r in rates):
+            raise ConfigurationError("fault rates must be in [0, 1)")
+        if sum(rates) > 1.0:
+            raise ConfigurationError(
+                "fault rates must sum to at most 1 (they partition one "
+                "uniform draw per participant)")
+        if self.corrupt_mode not in CORRUPT_MODES:
+            raise ConfigurationError(
+                f"corrupt_mode must be one of {CORRUPT_MODES}, "
+                f"got {self.corrupt_mode!r}")
+        if self.corrupt_scale <= 1.0:
+            raise ConfigurationError("corrupt_scale must be > 1")
+        if self.hang_seconds < 0:
+            raise ConfigurationError("hang_seconds must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can ever fire (False = fully inert)."""
+        return (self.crash_rate > 0 or self.hang_rate > 0
+                or self.drop_rate > 0 or self.corrupt_rate > 0)
+
+
+#: The inert spec shared by jobs that never injected anything.
+NO_FAULTS = FaultSpec()
+
+
+@dataclass(frozen=True)
+class RoundFaults:
+    """One round's fault assignment, fixed at planning time.
+
+    Party ids are subsets of the round's expected participants, in
+    participant order.  ``corrupt_mode``/``corrupt_scale``/
+    ``hang_seconds`` are copied off the spec so executors can apply a
+    plan's faults without ever seeing the injector.
+    """
+
+    round_index: int
+    crashed: tuple[int, ...] = ()
+    hung: tuple[int, ...] = ()
+    dropped: tuple[int, ...] = ()
+    corrupted: tuple[int, ...] = ()
+    corrupt_mode: str = "nan"
+    corrupt_scale: float = 1e6
+    hang_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        groups = (self.crashed, self.hung, self.dropped, self.corrupted)
+        flat = [p for group in groups for p in group]
+        if len(flat) != len(set(flat)):
+            raise ConfigurationError(
+                "a party can suffer at most one fault per round")
+
+    @property
+    def empty(self) -> bool:
+        """True when no fault fires this round."""
+        return not (self.crashed or self.hung or self.dropped
+                    or self.corrupted)
+
+    @property
+    def n_retried(self) -> int:
+        """Parties whose first dispatch attempt fails (crash + hang) —
+        the plan-derived retry count, identical across backends."""
+        return len(self.crashed) + len(self.hung)
+
+
+def corrupt_parameters(parameters: np.ndarray,
+                       global_parameters: np.ndarray,
+                       mode: str = "nan",
+                       scale: float = 1e6) -> np.ndarray:
+    """A deterministically damaged copy of an update's parameters.
+
+    ``mode="nan"`` plants an Inf in the first scalar and NaNs through
+    the rest of the vector (every third scalar), exercising both
+    non-finite guards; ``mode="scale"`` multiplies the update's delta
+    against the round's global model by ``scale`` — a finite blow-up
+    only norm-based quarantine can catch.  Pure function, no RNG, so
+    every backend corrupts a payload identically.
+    """
+    if mode not in CORRUPT_MODES:
+        raise ConfigurationError(
+            f"corrupt_mode must be one of {CORRUPT_MODES}, got {mode!r}")
+    out = np.array(parameters, dtype=np.float64, copy=True)
+    if mode == "nan":
+        out[0] = np.inf
+        out[2::3] = np.nan
+        return out
+    return global_parameters + scale * (out - global_parameters)
+
+
+class FaultInjector:
+    """Draws per-round fault assignments from a dedicated RNG stream.
+
+    Bind once per job (the engine passes its ``"faults"`` fabric
+    generator), then :meth:`draw` once per round.  The injector is the
+    *only* component that touches the fault stream, and an inactive
+    spec never draws at all — the stream's state is then identical to a
+    job without the injector.
+    """
+
+    def __init__(self, spec: FaultSpec | None = None) -> None:
+        self.spec = spec or NO_FAULTS
+        self._rng: np.random.Generator | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether this injector can ever fire a fault."""
+        return self.spec.active
+
+    def bind(self, rng: "np.random.Generator | int") -> None:
+        """Attach the job's dedicated fault stream (or a seed)."""
+        if isinstance(rng, np.random.Generator):
+            self._rng = rng
+        else:
+            self._rng = RngFabric(int(rng)).generator("faults")
+
+    def draw(self, round_index: int,
+             participants: "tuple[int, ...]") -> RoundFaults:
+        """Assign this round's faults (one uniform per participant)."""
+        spec = self.spec
+        if not spec.active or not participants:
+            return RoundFaults(round_index=round_index,
+                               corrupt_mode=spec.corrupt_mode,
+                               corrupt_scale=spec.corrupt_scale,
+                               hang_seconds=spec.hang_seconds)
+        if self._rng is None:
+            raise ConfigurationError(
+                "FaultInjector used before bind()")
+        draws = self._rng.uniform(size=len(participants))
+        crash_hi = spec.crash_rate
+        hang_hi = crash_hi + spec.hang_rate
+        drop_hi = hang_hi + spec.drop_rate
+        corrupt_hi = drop_hi + spec.corrupt_rate
+        crashed, hung, dropped, corrupted = [], [], [], []
+        for party_id, value in zip(participants, draws):
+            if value < crash_hi:
+                crashed.append(party_id)
+            elif value < hang_hi:
+                hung.append(party_id)
+            elif value < drop_hi:
+                dropped.append(party_id)
+            elif value < corrupt_hi:
+                corrupted.append(party_id)
+        return RoundFaults(
+            round_index=round_index,
+            crashed=tuple(crashed),
+            hung=tuple(hung),
+            dropped=tuple(dropped),
+            corrupted=tuple(corrupted),
+            corrupt_mode=spec.corrupt_mode,
+            corrupt_scale=spec.corrupt_scale,
+            hang_seconds=spec.hang_seconds)
+
+    def state_dict(self) -> dict:
+        """Stream state for checkpointing (``None`` when unbound)."""
+        return {"rng": (None if self._rng is None
+                        else self._rng.bit_generator.state)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the fault stream mid-job (checkpoint resume)."""
+        if state.get("rng") is not None:
+            if self._rng is None:
+                raise ConfigurationError(
+                    "cannot restore an unbound FaultInjector")
+            self._rng.bit_generator.state = state["rng"]
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(spec={self.spec!r})"
+
+
+def make_fault_injector(*, crash_rate: float = 0.0, hang_rate: float = 0.0,
+                        drop_rate: float = 0.0, corrupt_rate: float = 0.0,
+                        corrupt_mode: str = "nan",
+                        corrupt_scale: float = 1e6,
+                        hang_seconds: float = 5.0,
+                        ) -> "FaultInjector | None":
+    """Build an injector from config scalars; ``None`` when every rate
+    is zero (so callers can keep the fault layer entirely absent)."""
+    spec = FaultSpec(crash_rate=crash_rate, hang_rate=hang_rate,
+                     drop_rate=drop_rate, corrupt_rate=corrupt_rate,
+                     corrupt_mode=corrupt_mode,
+                     corrupt_scale=corrupt_scale,
+                     hang_seconds=hang_seconds)
+    return FaultInjector(spec) if spec.active else None

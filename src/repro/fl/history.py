@@ -52,6 +52,17 @@ class RoundRecord:
     from golden history digests and from record equality (two runs of
     the same job must compare equal even though their wall clocks
     differ).
+
+    The robustness counters (all zero on fault-free jobs):
+    ``parties_retried`` counts injected crash/hang faults whose
+    dispatch had to be retried, ``updates_dropped`` counts updates lost
+    in transit, and ``updates_quarantined`` counts updates the
+    server-side :class:`~repro.fl.updates.UpdateValidator` rejected
+    before aggregation — all three derive from the round's plan and
+    payloads, so they are identical across execution backends.
+    ``workers_restarted`` counts actual worker-process respawns: a
+    real-time recovery observation (worker co-ownership makes it
+    backend-dependent), excluded from equality like ``phase_seconds``.
     """
 
     round_index: int
@@ -68,6 +79,10 @@ class RoundRecord:
     uplink_bytes: "int | None" = None
     phase_seconds: "dict[str, float] | None" = field(
         default=None, compare=False)
+    parties_retried: int = 0
+    updates_dropped: int = 0
+    updates_quarantined: int = 0
+    workers_restarted: int = field(default=0, compare=False)
 
     @property
     def n_overprovisioned(self) -> int:
@@ -183,6 +198,34 @@ class TrainingHistory:
         """Total straggler slots across all rounds."""
         return int(sum(len(r.stragglers) for r in self.records))
 
+    # -- robustness --------------------------------------------------------
+    def total_retries(self) -> int:
+        """Injected crash/hang faults retried across the job."""
+        return int(sum(r.parties_retried for r in self.records))
+
+    def total_dropped(self) -> int:
+        """Updates lost in transit across the job."""
+        return int(sum(r.updates_dropped for r in self.records))
+
+    def total_quarantined(self) -> int:
+        """Updates rejected by server-side validation across the job."""
+        return int(sum(r.updates_quarantined for r in self.records))
+
+    def total_workers_restarted(self) -> int:
+        """Actual worker-process respawns across the job (parallel
+        backend only; 0 for in-process backends)."""
+        return int(sum(r.workers_restarted for r in self.records))
+
+    def fault_summary(self) -> "dict[str, int]":
+        """The job's robustness counters in one dict — what the chaos
+        bench writes into the perf artifact."""
+        return {
+            "parties_retried": self.total_retries(),
+            "updates_dropped": self.total_dropped(),
+            "updates_quarantined": self.total_quarantined(),
+            "workers_restarted": self.total_workers_restarted(),
+        }
+
     def phase_summary(self) -> "dict[str, float]":
         """Total wall-clock seconds per round phase across the job.
 
@@ -209,6 +252,9 @@ class TrainingHistory:
             "total_duration": self.total_duration(),
             "stragglers": self.straggler_count(),
         }
+        faults = self.fault_summary()
+        if any(faults.values()):
+            out["faults"] = faults
         if target is not None:
             out["rounds_to_target"] = self.rounds_to_target(target)
             out["comm_bytes_to_target"] = self.comm_bytes_to_target(target)

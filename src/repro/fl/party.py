@@ -250,6 +250,35 @@ class Party:
             round_index=round_index,
         )
 
+    def state_dict(self) -> dict:
+        """The party's mutable round-to-round state, as plain data.
+
+        Everything that changes as rounds pass — the private RNG
+        stream's position, FedDyn's drift vector, the participation
+        counter — and nothing that is reconstructible from the config
+        (dataset, speed, profile).  Small enough to piggyback on a
+        parallel worker's round reply and to embed in job checkpoints.
+        """
+        return {
+            "party_id": self.party_id,
+            "rng": self._rng.bit_generator.state,
+            "dyn_state": (None if self._dyn_state is None
+                          else np.array(self._dyn_state, copy=True)),
+            "rounds_participated": self.rounds_participated,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (checkpoint resume, or a
+        respawned parallel worker taking over this party)."""
+        if state.get("party_id") != self.party_id:
+            raise ConfigurationError(
+                f"state for party {state.get('party_id')} applied to "
+                f"party {self.party_id}")
+        self._rng.bit_generator.state = state["rng"]
+        dyn = state.get("dyn_state")
+        self._dyn_state = None if dyn is None else np.array(dyn, copy=True)
+        self.rounds_participated = int(state["rounds_participated"])
+
     def cohort_shard(self) -> CohortShard:
         """This party's view for the vectorized cohort fast path.
 

@@ -33,6 +33,7 @@ __all__ = [
     "LayerLayout",
     "ModelUpdate",
     "UpdateCompressor",
+    "UpdateValidator",
     "label_entropy_weights",
     "layer_importance_scores",
     "make_compressor",
@@ -407,6 +408,75 @@ class UpdateCompressor:
             importance_weight=weight,
             quantize_bits=self.quantize_bits,
             payload_nbytes=self.payload_nbytes(kept))
+
+
+# ---------------------------------------------------------------------------
+# Server-side update validation (robustness layer)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class UpdateValidator:
+    """Server-side quarantine of anomalous updates before aggregation.
+
+    Two deterministic, RNG-free checks per round:
+
+    * **Finiteness** — any NaN/Inf in an update's parameter vector
+      rejects it outright (one poisoned payload would otherwise turn
+      the global model permanently NaN).
+    * **Norm outliers** — an update whose delta L2 norm exceeds
+      ``norm_factor`` × the round's *median* delta norm is quarantined
+      (the median is robust: even several blown-up updates cannot drag
+      it far).  An optional absolute cap ``max_delta_norm`` rejects
+      regardless of the round's context.  Relative screening needs
+      company — rounds with fewer than ``min_updates_for_norm`` updates
+      skip it (a lone update defines its own median).
+
+    Both checks read only the round's updates and the global vector, so
+    every execution backend quarantines identically — counters land in
+    :class:`~repro.fl.history.RoundRecord` unchanged across backends.
+    """
+
+    norm_factor: "float | None" = 8.0
+    max_delta_norm: "float | None" = None
+    min_updates_for_norm: int = 3
+
+    def __post_init__(self) -> None:
+        if self.norm_factor is not None and self.norm_factor <= 1.0:
+            raise ConfigurationError("norm_factor must be > 1 or None")
+        if self.max_delta_norm is not None and self.max_delta_norm <= 0:
+            raise ConfigurationError("max_delta_norm must be > 0 or None")
+        if self.min_updates_for_norm < 2:
+            raise ConfigurationError("min_updates_for_norm must be >= 2")
+
+    def partition(self, updates: "list[ModelUpdate]",
+                  global_parameters: np.ndarray,
+                  ) -> "tuple[list[ModelUpdate], list[ModelUpdate]]":
+        """Split a round's updates into (accepted, quarantined).
+
+        Order-preserving on both sides — aggregation folds updates in a
+        floating-point-sensitive order, so validation may not reorder
+        the survivors.
+        """
+        if not updates:
+            return [], []
+        finite = np.array([bool(np.all(np.isfinite(u.parameters)))
+                           for u in updates])
+        norms = np.array([
+            (float(np.linalg.norm(u.delta(global_parameters)))
+             if ok else np.inf)
+            for u, ok in zip(updates, finite)])
+        rejected = ~finite
+        if self.max_delta_norm is not None:
+            rejected |= norms > self.max_delta_norm
+        if self.norm_factor is not None and \
+                len(updates) >= self.min_updates_for_norm:
+            median = float(np.median(norms[np.isfinite(norms)])) \
+                if np.any(np.isfinite(norms)) else 0.0
+            if median > 0.0:
+                rejected |= norms > self.norm_factor * median
+        accepted = [u for u, bad in zip(updates, rejected) if not bad]
+        quarantined = [u for u, bad in zip(updates, rejected) if bad]
+        return accepted, quarantined
 
 
 def make_compressor(model, *, pruning_fraction: float = 0.0,

@@ -1,0 +1,147 @@
+"""Checkpoint format, atomicity and bit-identical mid-job resume.
+
+The load-bearing guarantee: a job interrupted after round k and resumed
+from its checkpoint produces the exact same history as the job that was
+never interrupted — per execution backend, with and without faults.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.common.exceptions import CheckpointError, ConfigurationError
+from repro.fl.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.experiments import run_experiment, smoke_config
+
+from tests.fl.test_faults import CHAOS, history_digest
+
+
+class TestEnvelope:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "round_000003.ckpt"
+        save_checkpoint(path, {"round_index": 3, "payload": [1, 2]},
+                        meta={"config_key": "k"})
+        envelope = load_checkpoint(path)
+        assert envelope["version"] == CHECKPOINT_VERSION
+        assert envelope["round_index"] == 3
+        assert envelope["meta"] == {"config_key": "k"}
+        assert envelope["state"]["payload"] == [1, 2]
+
+    def test_state_must_name_round(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            save_checkpoint(tmp_path / "x.ckpt", {"payload": 1})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_torn_file_rejected(self, tmp_path):
+        path = tmp_path / "torn.ckpt"
+        path.write_bytes(b"\x80\x05 definitely not a checkpoint")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        path = tmp_path / "foreign.ckpt"
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "old.ckpt"
+        path.write_bytes(pickle.dumps(
+            {"version": CHECKPOINT_VERSION + 1, "meta": {},
+             "round_index": 1, "state": {"round_index": 1}}))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_no_tmp_residue_after_save(self, tmp_path):
+        save_checkpoint(tmp_path / "round_000001.ckpt",
+                        {"round_index": 1})
+        assert [p.name for p in tmp_path.iterdir()] == \
+            ["round_000001.ckpt"]
+
+
+class TestCheckpointer:
+    def test_cadence_and_final_round(self):
+        ckpt = Checkpointer("unused", every=3)
+        assert [r for r in range(1, 11) if ckpt.due(r, 10)] == \
+            [3, 6, 9, 10]
+
+    def test_pruning_keeps_newest(self, tmp_path):
+        ckpt = Checkpointer(tmp_path, every=1, keep=2)
+        for r in range(1, 6):
+            ckpt.save({"round_index": r})
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["round_000004.ckpt", "round_000005.ckpt"]
+        assert ckpt.latest() == tmp_path / "round_000005.ckpt"
+
+    def test_latest_empty(self, tmp_path):
+        assert Checkpointer(tmp_path / "nope").latest() is None
+
+    @pytest.mark.parametrize("kwargs", [{"every": 0}, {"keep": 0}])
+    def test_validation(self, tmp_path, kwargs):
+        with pytest.raises(ConfigurationError):
+            Checkpointer(tmp_path, **kwargs)
+
+
+class TestResume:
+    @pytest.mark.parametrize("backend_knobs", [
+        {},
+        {"backend": "parallel", "n_workers": 2},
+        {"backend": "batched"},
+    ])
+    def test_resume_bit_identical_per_backend(self, tmp_path,
+                                              backend_knobs):
+        """Interrupt-at-round-3 equivalence: a fresh process resuming
+        from the round-3 checkpoint reproduces the uninterrupted
+        history exactly, for every execution backend."""
+        config = smoke_config().with_overrides(
+            checkpoint_every=3, checkpoint_dir=str(tmp_path),
+            **backend_knobs)
+        full = run_experiment(config)
+        resumed = run_experiment(
+            config, resume_from=str(tmp_path / "round_000003.ckpt"))
+        assert len(resumed) == len(full)
+        assert history_digest(resumed) == history_digest(full)
+
+    def test_resume_under_faults(self, tmp_path):
+        """Fault draws live on their own stream; a resumed chaotic job
+        replays the remaining faults identically."""
+        config = smoke_config().with_overrides(
+            checkpoint_every=2, checkpoint_dir=str(tmp_path), **CHAOS)
+        full = run_experiment(config)
+        assert full.total_retries() > 0
+        resumed = run_experiment(
+            config, resume_from=str(tmp_path / "round_000002.ckpt"))
+        assert history_digest(resumed) == history_digest(full)
+        assert resumed.fault_summary()["parties_retried"] == \
+            full.total_retries()
+
+    def test_resume_from_final_checkpoint_is_complete(self, tmp_path):
+        config = smoke_config().with_overrides(
+            checkpoint_every=2, checkpoint_dir=str(tmp_path))
+        full = run_experiment(config)
+        final = tmp_path / f"round_{config.rounds:06d}.ckpt"
+        resumed = run_experiment(config, resume_from=str(final))
+        assert history_digest(resumed) == history_digest(full)
+
+    def test_runner_refuses_foreign_config(self, tmp_path):
+        config = smoke_config().with_overrides(
+            checkpoint_every=3, checkpoint_dir=str(tmp_path))
+        run_experiment(config)
+        other = config.with_overrides(seed=1)
+        with pytest.raises(CheckpointError):
+            run_experiment(
+                other, resume_from=str(tmp_path / "round_000003.ckpt"))
+
+    def test_config_requires_dir_for_cadence(self):
+        with pytest.raises(ConfigurationError):
+            smoke_config().with_overrides(checkpoint_every=2)

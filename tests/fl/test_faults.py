@@ -1,0 +1,274 @@
+"""Fault injection, server-side quarantine and recovery semantics.
+
+The contract under test: fault draws happen exactly once per round (in
+the engine, on the dedicated ``"faults"`` stream), every execution
+backend applies them identically, the parallel backend *really* kills
+and respawns workers without deadlocking, and an all-zero spec is
+bit-exactly inert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import (
+    ConfigurationError,
+    CorruptUpdateError,
+)
+from repro.fl.algorithms import make_algorithm, weighted_mean_delta
+from repro.fl.faults import (
+    NO_FAULTS,
+    FaultInjector,
+    FaultSpec,
+    RoundFaults,
+    corrupt_parameters,
+    make_fault_injector,
+)
+from repro.fl.updates import ModelUpdate, UpdateValidator
+from repro.experiments import run_experiment, smoke_config
+
+
+def history_digest(history) -> str:
+    """Every result-bearing record field, NaN-canonicalized."""
+    h = hashlib.sha256()
+    for r in history.records:
+        h.update(repr((
+            r.round_index, r.cohort, r.received, r.stragglers,
+            round(r.balanced_accuracy, 12),
+            round(r.plain_accuracy, 12),
+            "nan" if np.isnan(r.mean_train_loss)
+            else round(r.mean_train_loss, 12),
+            r.comm_bytes,
+            round(r.round_duration, 12),
+            r.parties_retried, r.updates_dropped,
+            r.updates_quarantined)).encode())
+    return h.hexdigest()
+
+
+def _update(party_id: int, parameters, num_samples: int = 10,
+            round_index: int = 1) -> ModelUpdate:
+    return ModelUpdate(
+        party_id=party_id,
+        parameters=np.asarray(parameters, dtype=np.float64),
+        num_samples=num_samples, train_loss=0.5,
+        loss_sq_sum=0.25 * num_samples, loss_count=num_samples,
+        latency=1.0, round_index=round_index)
+
+
+class TestFaultSpec:
+    def test_defaults_inert(self):
+        assert not NO_FAULTS.active
+        assert not FaultSpec().active
+
+    def test_any_rate_activates(self):
+        assert FaultSpec(drop_rate=0.1).active
+
+    @pytest.mark.parametrize("kwargs", [
+        {"crash_rate": -0.1}, {"hang_rate": 1.0},
+        {"crash_rate": 0.6, "drop_rate": 0.6},
+        {"corrupt_mode": "flip"}, {"corrupt_scale": 1.0},
+        {"hang_seconds": -1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(**kwargs)
+
+    def test_one_fault_per_party(self):
+        with pytest.raises(ConfigurationError):
+            RoundFaults(round_index=1, crashed=(3,), dropped=(3,))
+
+
+class TestFaultInjector:
+    def test_deterministic_per_seed(self):
+        spec = FaultSpec(crash_rate=0.2, drop_rate=0.2)
+        a, b = FaultInjector(spec), FaultInjector(spec)
+        a.bind(7)
+        b.bind(7)
+        for r in range(1, 20):
+            assert a.draw(r, tuple(range(5))) == b.draw(r, tuple(range(5)))
+
+    def test_inert_spec_never_touches_stream(self):
+        injector = FaultInjector(NO_FAULTS)
+        # No bind needed: an inactive spec must not draw at all.
+        faults = injector.draw(3, (1, 2, 3))
+        assert faults.empty and faults.n_retried == 0
+
+    def test_unbound_active_injector_raises(self):
+        injector = FaultInjector(FaultSpec(crash_rate=0.5))
+        with pytest.raises(ConfigurationError):
+            injector.draw(1, (0, 1))
+
+    def test_bands_partition_participants(self):
+        spec = FaultSpec(crash_rate=0.25, hang_rate=0.25,
+                         drop_rate=0.25, corrupt_rate=0.25)
+        injector = FaultInjector(spec)
+        injector.bind(0)
+        participants = tuple(range(40))
+        faults = injector.draw(1, participants)
+        assigned = (faults.crashed + faults.hung + faults.dropped
+                    + faults.corrupted)
+        assert len(assigned) == len(set(assigned)) == 40
+        assert set(assigned) == set(participants)
+
+    def test_state_roundtrip_resumes_stream(self):
+        spec = FaultSpec(drop_rate=0.3)
+        injector = FaultInjector(spec)
+        injector.bind(11)
+        injector.draw(1, tuple(range(6)))
+        snapshot = injector.state_dict()
+        expected = injector.draw(2, tuple(range(6)))
+        other = FaultInjector(spec)
+        other.bind(999)  # wrong stream until restored
+        other.load_state_dict(snapshot)
+        assert other.draw(2, tuple(range(6))) == expected
+
+    def test_factory_returns_none_when_inert(self):
+        assert make_fault_injector() is None
+        assert make_fault_injector(crash_rate=0.1) is not None
+
+
+class TestCorruptParameters:
+    def test_nan_mode_plants_nonfinite(self):
+        params = np.ones(10)
+        out = corrupt_parameters(params, np.zeros(10), mode="nan")
+        assert np.isinf(out[0])
+        assert np.isnan(out[2::3]).all()
+        assert np.all(params == 1.0)  # pure function
+
+    def test_scale_mode_blows_up_delta(self):
+        global_p = np.zeros(4)
+        params = np.full(4, 0.5)
+        out = corrupt_parameters(params, global_p, mode="scale",
+                                 scale=100.0)
+        np.testing.assert_allclose(out, 50.0)
+        assert np.all(np.isfinite(out))
+
+
+class TestUpdateValidator:
+    def test_nonfinite_updates_quarantined(self):
+        validator = UpdateValidator()
+        good = _update(0, np.ones(6))
+        bad = _update(1, [1.0, np.nan, 1, 1, 1, 1])
+        accepted, quarantined = validator.partition(
+            [good, bad], np.zeros(6))
+        assert [u.party_id for u in accepted] == [0]
+        assert [u.party_id for u in quarantined] == [1]
+
+    def test_norm_outlier_quarantined_preserving_order(self):
+        validator = UpdateValidator(norm_factor=4.0)
+        updates = [_update(0, np.ones(6)),
+                   _update(1, np.full(6, 1000.0)),
+                   _update(2, np.full(6, 1.1)),
+                   _update(3, np.full(6, 0.9))]
+        accepted, quarantined = validator.partition(updates, np.zeros(6))
+        assert [u.party_id for u in accepted] == [0, 2, 3]
+        assert [u.party_id for u in quarantined] == [1]
+
+    def test_lone_update_defines_its_own_median(self):
+        validator = UpdateValidator(norm_factor=2.0)
+        lone = _update(0, np.full(6, 1e9))
+        accepted, quarantined = validator.partition([lone], np.zeros(6))
+        assert accepted == [lone] and quarantined == []
+
+    def test_absolute_cap(self):
+        validator = UpdateValidator(norm_factor=None, max_delta_norm=1.0)
+        accepted, quarantined = validator.partition(
+            [_update(0, np.full(6, 5.0))], np.zeros(6))
+        assert accepted == [] and len(quarantined) == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"norm_factor": 1.0}, {"max_delta_norm": 0.0},
+        {"min_updates_for_norm": 1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            UpdateValidator(**kwargs)
+
+
+class TestAggregationGuards:
+    def test_weighted_mean_delta_raises_on_nan(self):
+        updates = [_update(0, [np.nan, 1.0, 1.0])]
+        with pytest.raises(CorruptUpdateError):
+            weighted_mean_delta(np.zeros(3), updates)
+
+    def test_server_optimizers_guarded(self):
+        algorithm = make_algorithm("fedavg")
+        updates = [_update(0, [np.inf, 0.0, 0.0])]
+        with pytest.raises(CorruptUpdateError):
+            algorithm.server.step(np.zeros(3), updates)
+
+
+CHAOS = {"fault_crash": 0.10, "fault_hang": 0.05, "fault_drop": 0.10,
+         "fault_corrupt": 0.10, "fault_hang_seconds": 0.2,
+         "quarantine": True}
+
+
+class TestEngineFaults:
+    def test_zero_rates_bit_exact_with_no_fault_layer(self, smoke):
+        baseline = run_experiment(smoke)
+        wired = run_experiment(smoke.with_overrides(
+            fault_crash=0.0, fault_hang=0.0, fault_drop=0.0,
+            fault_corrupt=0.0))
+        assert history_digest(baseline) == history_digest(wired)
+        assert baseline.fault_summary() == {
+            "parties_retried": 0, "updates_dropped": 0,
+            "updates_quarantined": 0, "workers_restarted": 0}
+
+    def test_faults_metered_in_history(self, smoke):
+        history = run_experiment(smoke.with_overrides(
+            fault_drop=0.3, fault_corrupt=0.3, quarantine=True))
+        summary = history.fault_summary()
+        assert summary["updates_dropped"] > 0
+        assert summary["updates_quarantined"] > 0
+        assert "faults" in history.summary()
+
+    def test_dropped_updates_not_metered_as_uplink(self, smoke):
+        clean = run_experiment(smoke)
+        dropped = run_experiment(smoke.with_overrides(fault_drop=0.4))
+        assert dropped.total_comm_bytes() < clean.total_comm_bytes()
+
+    def test_corrupt_without_quarantine_raises_typed_error(self, smoke):
+        with pytest.raises(CorruptUpdateError):
+            run_experiment(smoke.with_overrides(fault_corrupt=0.6))
+
+    def test_serial_and_batched_counters_identical(self, smoke):
+        config = smoke.with_overrides(**CHAOS)
+        serial = run_experiment(config)
+        batched = run_experiment(config.with_overrides(backend="batched"))
+        extract = lambda h: [(r.parties_retried, r.updates_dropped,
+                              r.updates_quarantined) for r in h.records]
+        assert extract(serial) == extract(batched)
+        assert serial.fault_summary()["parties_retried"] > 0
+
+
+class TestParallelRecovery:
+    def test_parallel_chaos_matches_serial_bit_for_bit(self, smoke):
+        """Crash + hang + drop + corrupt at ~10 %/round: the parallel
+        backend must survive real worker deaths (no deadlock) and
+        reproduce the serial history exactly."""
+        config = smoke.with_overrides(**CHAOS)
+        serial = run_experiment(config)
+        parallel = run_experiment(config.with_overrides(
+            backend="parallel", n_workers=2))
+        assert history_digest(serial) == history_digest(parallel)
+        # Crashes really killed worker processes.
+        assert parallel.total_workers_restarted() > 0
+        # ... but restarts are a real-time observation, never part of
+        # the simulated result.
+        assert serial.total_workers_restarted() == 0
+
+    def test_hang_timeout_forces_respawn_and_recovers(self, smoke):
+        """A hang longer than the worker timeout goes through the
+        kill/respawn path instead of the wait-it-out path; the history
+        must be identical either way."""
+        config = smoke.with_overrides(
+            fault_hang=0.15, fault_hang_seconds=0.6)
+        serial = run_experiment(config)
+        assert serial.total_retries() > 0
+        parallel = run_experiment(config.with_overrides(
+            backend="parallel", n_workers=2, worker_timeout=0.15))
+        assert history_digest(serial) == history_digest(parallel)
+        assert parallel.total_workers_restarted() > 0
