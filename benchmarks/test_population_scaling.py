@@ -1,0 +1,177 @@
+"""Population-scaling bench: planning cost on huge synthetic federations.
+
+The struct-of-arrays planning path (:class:`~repro.fl.PartyStore` +
+:class:`~repro.fl.RoundPlanner`) exists so the *decision* side of a
+round — availability and churn masks, selector top-k, deadline arrivals
+— costs vectorized array passes rather than per-party Python objects.
+This bench builds synthetic stores at 10k/100k/1M parties, wires the
+planner exactly as the engine does (Bernoulli availability, real churn,
+deadline arrivals, random selection), and times ``plan_round`` alone:
+no data, no model, no training.
+
+Gates:
+
+* a **1M-party round plans in under 100 ms** (best-of-N; the slow-marked
+  test, run by CI's bench job via ``-m "slow or not slow"``);
+* store memory stays bounded: ≤ 48 bytes of metadata per party, i.e.
+  a million-party store fits in ~42 MB;
+* cohorts never contain offline parties at any scale (spot-checked at
+  100k inside the tier-1-speed test).
+
+Numbers land in ``BENCH_round_loop.json`` under
+``workloads["population_scaling"]`` so CI keeps a perf trajectory.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.availability.churn import ChurnProcess
+from repro.availability.deadline import DeadlineArrivals
+from repro.availability.models import BernoulliAvailability
+from repro.availability.view import OnlineView
+from repro.common.rng import RngFabric
+from repro.fl.party import LocalTrainingConfig
+from repro.fl.party_store import PartyStore
+from repro.fl.planning import RoundPlanner
+from repro.selection.base import SelectionContext
+from repro.selection.random_selection import RandomSelection
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_JSON_PATH = _REPO_ROOT / "BENCH_round_loop.json"
+
+#: Hard ceiling on store metadata per party (bytes): three float64
+#: columns, two int64, two bools, plus slack for future columns.
+_MAX_BYTES_PER_PARTY = 48
+
+#: Round budget the planner is exercised over (churn trajectories are
+#: drawn against it; timing uses the later rounds, past warm-up).
+_ROUNDS = 12
+
+
+def _build_planner(n_parties: int, seed: int = 0,
+                   cohort_size: int = 100) -> RoundPlanner:
+    """The engine's planning wiring, minus everything non-planning.
+
+    Mirrors :class:`~repro.fl.FederatedTrainer.__init__` stream for
+    stream (selector / availability / churn / deadline fabric streams)
+    but binds the arrival model to the store alone — there are no
+    ``Party`` objects anywhere in this bench, which is the point.
+    """
+    store = PartyStore.synthetic(n_parties, rng=seed)
+    fabric = RngFabric(seed)
+    availability = BernoulliAvailability(rate=0.75)
+    availability.bind(n_parties, fabric.generator("availability"))
+    churn = ChurnProcess(late_join_fraction=0.1, departure_hazard=0.02)
+    churn.bind(n_parties, _ROUNDS, fabric.generator("churn"))
+    arrivals = DeadlineArrivals(deadline_factor=1.5)
+    local_config = LocalTrainingConfig(epochs=2)
+    arrivals.bind(None, local_config, store=store)
+    view = OnlineView()
+    strategy = RandomSelection()
+    strategy.initialize(SelectionContext(
+        n_parties=n_parties,
+        parties_per_round=cohort_size,
+        total_rounds=_ROUNDS,
+        party_sizes=store.num_samples,
+        num_classes=4,
+        seed=seed,
+        online_view=view,
+    ))
+    return RoundPlanner(
+        store=store, strategy=strategy, availability_model=availability,
+        churn=churn, arrivals=arrivals, fault_injector=None,
+        rng_select=fabric.generator("selector"),
+        rng_arrival=fabric.generator("deadline"),
+        view=view, parties_per_round=cohort_size,
+        local_config=local_config)
+
+
+def _time_plans(planner: RoundPlanner) -> tuple[float, list]:
+    """Best-of per-round planning seconds over the round budget.
+
+    Round 1 is treated as warm-up (allocator and import effects land
+    there); the best of the remaining rounds is the stable estimate of
+    steady-state planning cost, per the ``timeit`` convention.
+    """
+    samples, plans = [], []
+    for round_index in range(1, _ROUNDS + 1):
+        start = time.perf_counter()
+        plan = planner.plan_round(round_index)
+        samples.append(time.perf_counter() - start)
+        plans.append(plan)
+    return min(samples[1:]), plans
+
+
+def _check_plans(planner: RoundPlanner, plans: list) -> None:
+    """Every cohort is non-empty, duplicate-free and fully online."""
+    for plan in plans:
+        assert len(plan.cohort) > 0
+        assert len(set(plan.cohort)) == len(plan.cohort)
+        if plan.online is not None:
+            online = np.zeros(planner.store.n_parties, dtype=bool)
+            online[plan.online] = True
+            assert online[list(plan.cohort)].all()
+
+
+def _merge_json(payload: dict) -> None:
+    data = {}
+    if _JSON_PATH.exists():
+        data = json.loads(_JSON_PATH.read_text())
+    data["cpu_count"] = os.cpu_count() or 1
+    payload = dict(payload, cpu_count=os.cpu_count() or 1)
+    data.setdefault("workloads", {})["population_scaling"] = payload
+    _JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_store_memory_is_bounded():
+    """Metadata per party stays under the 48-byte ceiling at any scale."""
+    for n_parties in (10_000, 100_000):
+        store = PartyStore.synthetic(n_parties, rng=1)
+        per_party = store.nbytes / n_parties
+        assert per_party <= _MAX_BYTES_PER_PARTY, (
+            f"{per_party:.1f} B/party at n={n_parties} "
+            f"(ceiling {_MAX_BYTES_PER_PARTY})")
+
+
+def test_plan_round_100k_under_heavy_churn():
+    """Tier-1-speed check: 100k-party planning is milliseconds and the
+    cohorts it emits respect the online population."""
+    planner = _build_planner(100_000)
+    best_s, plans = _time_plans(planner)
+    _check_plans(planner, plans)
+    # Loose tier-1 gate (shared runners): 100k must plan well inside the
+    # budget the 1M gate allows.
+    assert best_s < 0.1, f"100k-party plan took {best_s * 1e3:.1f} ms"
+    # The store mirrored the rounds: selected parties were counted.
+    assert int(planner.store.times_selected.sum()) == \
+        sum(len(p.cohort) for p in plans)
+
+
+@pytest.mark.slow
+def test_plan_round_one_million_parties(report):
+    """The headline gate: a 1M-party round plans in under 100 ms."""
+    sizes = {}
+    for n_parties in (10_000, 100_000, 1_000_000):
+        planner = _build_planner(n_parties)
+        best_s, plans = _time_plans(planner)
+        _check_plans(planner, plans)
+        sizes[str(n_parties)] = {
+            "plan_ms_best": round(best_s * 1e3, 3),
+            "store_mb": round(planner.store.nbytes / 2**20, 2),
+            "cohort": len(plans[-1].cohort),
+        }
+    payload = {"rounds": _ROUNDS, "sizes": sizes}
+    _merge_json(payload)
+    report("BENCH population_scaling", json.dumps(payload, indent=2))
+
+    best_1m_ms = sizes["1000000"]["plan_ms_best"]
+    assert best_1m_ms < 100.0, (
+        f"1M-party plan took {best_1m_ms:.1f} ms (gate: 100 ms) — "
+        "planning has fallen off the vectorized path")
+    assert sizes["1000000"]["store_mb"] <= \
+        _MAX_BYTES_PER_PARTY * 1_000_000 / 2**20

@@ -92,15 +92,38 @@ class ChurnProcess:
         if self._join_round is None or self._depart_round is None:
             raise ConfigurationError("ChurnProcess used before bind()")
 
-    def active(self, round_index: int) -> "set[int]":
-        """Parties enrolled (joined, not yet departed) in a round."""
+    def active_mask(self, round_index: int) -> np.ndarray:
+        """Boolean enrolled mask for a round (vectorized primitive).
+
+        Pure lookup over the bound trajectory — no draw — so the mask
+        and the :meth:`active` id-set views are freely interchangeable.
+        """
         self._require_bound()
         if round_index < 1:
             raise ConfigurationError("round_index must be >= 1")
         assert self._join_round is not None
         assert self._depart_round is not None
-        mask = (self._join_round <= round_index) & \
+        return (self._join_round <= round_index) & \
             (round_index < self._depart_round)
+
+    def departed_mask(self, round_index: int) -> np.ndarray:
+        """Parties permanently gone by a round (``depart <= round``).
+
+        Departures never reverse, so selectors may *prune* these parties
+        from their data structures (FLIPS drops them from its heaps on
+        pop) — unlike merely-offline parties, which will wake up again.
+        Late joiners are NOT in this mask: a party that has not joined
+        yet is absent but must not be pruned.
+        """
+        self._require_bound()
+        if round_index < 1:
+            raise ConfigurationError("round_index must be >= 1")
+        assert self._depart_round is not None
+        return self._depart_round <= round_index
+
+    def active(self, round_index: int) -> "set[int]":
+        """Parties enrolled (joined, not yet departed) in a round."""
+        mask = self.active_mask(round_index)
         return {int(p) for p in np.flatnonzero(mask)}
 
     def join_round(self, party: int) -> int:

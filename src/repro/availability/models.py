@@ -19,10 +19,19 @@ the charger and the radio.  These models simulate that environment:
 
 Lifecycle: the engine ``bind``\\ s a model once per job against the
 population size and a dedicated RNG stream, then calls
-:meth:`AvailabilityModel.online` exactly once per round, in round
+:meth:`AvailabilityModel.online_mask` exactly once per round, in round
 order.  All randomness flows through the bound stream, so availability
 draws are reproducible per seed and independent of every other stream
 (selector, stragglers, jitter) in the job.
+
+Scaling note: the *drawing primitive* of every shipped model is the
+vectorized :meth:`~AvailabilityModel.online_mask` — one boolean array
+per round, no per-party Python objects — so million-party populations
+cost one ``rng.random(N)`` pass.  :meth:`~AvailabilityModel.online`
+derives the legacy id-set from the same mask (identical draws, so
+set-consuming callers and golden digests are unaffected); third-party
+subclasses that only implement ``online`` still work through the base
+class's mask fallback.
 """
 
 from __future__ import annotations
@@ -90,6 +99,25 @@ class AvailabilityModel(ABC):
     def online(self, round_index: int) -> "set[int]":
         """Party ids online when round ``round_index`` (1-based) starts."""
 
+    def online_mask(self, round_index: int) -> np.ndarray:
+        """Boolean online mask for a round (the vectorized primitive).
+
+        The base implementation adapts subclasses that only implement
+        :meth:`online`; every shipped model overrides this with a direct
+        array draw and derives ``online`` from it, so either entry point
+        consumes the same stream state per round — call exactly one of
+        the two per round.
+        """
+        mask = np.zeros(self.n_parties, dtype=bool)
+        ids = list(self.online(round_index))
+        if ids:
+            mask[ids] = True
+        return mask
+
+    def _ids_from_mask(self, mask: np.ndarray) -> "set[int]":
+        """The id-set view of a mask (legacy ``online`` return shape)."""
+        return {int(p) for p in np.flatnonzero(mask)}
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -102,6 +130,9 @@ class AlwaysOn(AvailabilityModel):
     def online(self, round_index: int) -> "set[int]":
         return set(range(self.n_parties))
 
+    def online_mask(self, round_index: int) -> np.ndarray:
+        return np.ones(self.n_parties, dtype=bool)
+
 
 class BernoulliAvailability(AvailabilityModel):
     """Each party is online independently with probability ``rate``."""
@@ -113,9 +144,11 @@ class BernoulliAvailability(AvailabilityModel):
             raise ConfigurationError("availability rate must be > 0")
         self.rate = float(rate)
 
+    def online_mask(self, round_index: int) -> np.ndarray:
+        return self.rng.random(self.n_parties) < self.rate
+
     def online(self, round_index: int) -> "set[int]":
-        mask = self.rng.random(self.n_parties) < self.rate
-        return {int(p) for p in np.flatnonzero(mask)}
+        return self._ids_from_mask(self.online_mask(round_index))
 
     def __repr__(self) -> str:
         return f"BernoulliAvailability(rate={self.rate})"
@@ -167,9 +200,11 @@ class DiurnalAvailability(AvailabilityModel):
         return np.clip(self.mean_rate + self.amplitude * np.sin(angle),
                        _MIN_RATE, _MAX_RATE)
 
+    def online_mask(self, round_index: int) -> np.ndarray:
+        return self.rng.random(self.n_parties) < self.rates(round_index)
+
     def online(self, round_index: int) -> "set[int]":
-        mask = self.rng.random(self.n_parties) < self.rates(round_index)
-        return {int(p) for p in np.flatnonzero(mask)}
+        return self._ids_from_mask(self.online_mask(round_index))
 
     def __repr__(self) -> str:
         return (f"DiurnalAvailability(mean_rate={self.mean_rate}, "
@@ -205,13 +240,16 @@ class MarkovOnOff(AvailabilityModel):
         super().bind(n_parties, rng)
         self._state = rng.random(n_parties) < self.stationary_rate
 
-    def online(self, round_index: int) -> "set[int]":
+    def online_mask(self, round_index: int) -> np.ndarray:
         assert self._state is not None
         draws = self.rng.random(self.n_parties)
         self._state = np.where(self._state,
                                draws >= self.p_drop,
                                draws < self.p_return)
-        return {int(p) for p in np.flatnonzero(self._state)}
+        return np.array(self._state, copy=True)
+
+    def online(self, round_index: int) -> "set[int]":
+        return self._ids_from_mask(self.online_mask(round_index))
 
     def __repr__(self) -> str:
         return (f"MarkovOnOff(p_drop={self.p_drop}, "

@@ -13,9 +13,20 @@ The *unrestricted* state (``online=None``) means "everyone is online"
 and is the default: jobs without an availability model, and every
 pre-subsystem test and golden digest, run through exactly the code
 paths they always did.
+
+The view has two interchangeable backings.  :meth:`OnlineView.update`
+takes the legacy id-set; :meth:`OnlineView.update_mask` takes a boolean
+array — the struct-of-arrays planning path's native currency, O(N) to
+produce and O(1) per membership probe, with no per-id Python objects.
+Every read API (:meth:`is_online`, :meth:`ids`, :meth:`ids_array`,
+:meth:`mask`, :meth:`count`) answers identically for either backing
+over the same population, which is exactly what the property tests in
+``tests/fl/test_party_store.py`` assert.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.common.exceptions import ConfigurationError
 
@@ -26,19 +37,35 @@ class OnlineView:
     """Mutable view of which parties are currently online.
 
     ``None`` (the default) means *unrestricted*: every party is online
-    and selectors follow their legacy, bit-exact code paths.  A set
-    restricts selection to its members; the engine normalises a
-    full-population set back to unrestricted so "everyone happened to be
-    awake this round" costs nothing.
+    and selectors follow their legacy, bit-exact code paths.  A set (or
+    boolean mask) restricts selection to its members; the engine
+    normalises a full-population update back to unrestricted so
+    "everyone happened to be awake this round" costs nothing.
+
+    ``vanished`` (mask-backed rounds only) marks parties that are gone
+    *permanently* — churned away, never coming back — as opposed to
+    merely asleep.  Selectors with long-lived per-party structures
+    (FLIPS's heaps) may prune vanished parties outright instead of
+    skipping them round after round.
     """
 
-    __slots__ = ("_online", "_sorted")
+    __slots__ = ("_online", "_sorted", "_mask", "_ids_array", "_count",
+                 "_vanished")
 
     def __init__(self, online: "set[int] | frozenset[int] | None" = None,
                  ) -> None:
         self._online: frozenset | None = None
         self._sorted: "list[int] | None" = None
+        self._mask: "np.ndarray | None" = None
+        self._ids_array: "np.ndarray | None" = None
+        self._count: "int | None" = None
+        self._vanished: "np.ndarray | None" = None
         self.update(online)
+
+    def _reset_caches(self) -> None:
+        self._sorted = None
+        self._ids_array = None
+        self._count = None
 
     def update(self, online: "set[int] | frozenset[int] | None") -> None:
         """Replace the view for the coming round (engine-only)."""
@@ -51,34 +78,123 @@ class OnlineView:
                     "an online view cannot be empty — the engine must "
                     "fall back to the active population instead")
             self._online = frozen
-        self._sorted = None
+        self._mask = None
+        self._vanished = None
+        self._reset_caches()
+
+    def update_mask(self, mask: "np.ndarray | None",
+                    vanished: "np.ndarray | None" = None) -> None:
+        """Replace the view with a boolean online mask (engine-only).
+
+        ``mask=None`` is unrestricted.  ``vanished`` optionally marks
+        permanently-departed parties (see class docstring); it may only
+        accompany a mask and must never overlap it.
+        """
+        if mask is None:
+            if vanished is not None:
+                raise ConfigurationError(
+                    "vanished parties require a restricted mask")
+            self._mask = None
+            self._online = None
+            self._vanished = None
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if not mask.any():
+                raise ConfigurationError(
+                    "an online view cannot be empty — the engine must "
+                    "fall back to the active population instead")
+            self._mask = mask
+            self._online = None
+            self._vanished = (None if vanished is None
+                              else np.asarray(vanished, dtype=bool))
+        self._reset_caches()
 
     @property
     def restricted(self) -> bool:
         """True when some parties are offline this round."""
-        return self._online is not None
+        return self._online is not None or self._mask is not None
 
     @property
     def online(self) -> "frozenset[int] | None":
-        """The online party ids, or ``None`` when unrestricted."""
+        """The online party ids, or ``None`` when unrestricted.
+
+        Mask-backed views materialize the frozenset on demand — an O(N)
+        convenience for tests and small populations; large-scale code
+        should read :meth:`mask` or :meth:`ids_array` instead.
+        """
+        if self._online is None and self._mask is not None:
+            self._online = frozenset(
+                int(p) for p in np.flatnonzero(self._mask))
         return self._online
 
     def is_online(self, party: int) -> bool:
+        """Whether one party is online (O(1) for either backing)."""
+        if self._mask is not None:
+            return bool(self._mask[party])
         return self._online is None or party in self._online
+
+    def is_vanished(self, party: int) -> bool:
+        """Whether one party is gone permanently (never without a mask)."""
+        return self._vanished is not None and bool(self._vanished[party])
 
     def ids(self, n_parties: int) -> "list[int]":
         """Sorted online ids (``range(n_parties)`` when unrestricted)."""
-        if self._online is None:
-            return list(range(n_parties))
         if self._sorted is None:
-            self._sorted = sorted(self._online)
+            if self._mask is not None:
+                self._sorted = [int(p) for p in np.flatnonzero(self._mask)]
+            elif self._online is None:
+                return list(range(n_parties))
+            else:
+                self._sorted = sorted(self._online)
         return self._sorted
+
+    def ids_array(self, n_parties: int) -> np.ndarray:
+        """Sorted online ids as an int64 array (selectors' fast path).
+
+        ``np.flatnonzero`` yields ascending order, identical to the
+        sorted-set order of :meth:`ids` — so array-consuming selectors
+        see the same pool, in the same order, as the legacy list path.
+        """
+        if self._ids_array is None:
+            if self._mask is not None:
+                self._ids_array = np.flatnonzero(self._mask)
+            elif self._online is None:
+                self._ids_array = np.arange(n_parties, dtype=np.int64)
+            else:
+                self._ids_array = np.fromiter(sorted(self._online),
+                                              dtype=np.int64,
+                                              count=len(self._online))
+        return self._ids_array
+
+    def mask(self, n_parties: int) -> np.ndarray:
+        """Boolean online mask (all-ones when unrestricted).
+
+        Set-backed views build the mask on demand; the result is cached
+        until the next update, so per-round cost is O(N) once.
+        """
+        if self._mask is not None:
+            return self._mask
+        if self._online is None:
+            return np.ones(n_parties, dtype=bool)
+        mask = np.zeros(n_parties, dtype=bool)
+        mask[sorted(self._online)] = True
+        self._mask = mask
+        return mask
 
     def count(self, n_parties: int) -> int:
         """How many parties are online out of ``n_parties``."""
-        return n_parties if self._online is None else len(self._online)
+        if self._count is None:
+            if self._mask is not None:
+                self._count = int(self._mask.sum())
+            elif self._online is None:
+                return n_parties
+            else:
+                self._count = len(self._online)
+        return self._count
 
     def __repr__(self) -> str:
-        if self._online is None:
+        if not self.restricted:
             return "OnlineView(unrestricted)"
+        if self._mask is not None:
+            return f"OnlineView(n_online={int(self._mask.sum())})"
         return f"OnlineView(n_online={len(self._online)})"

@@ -43,6 +43,46 @@ from repro.selection.base import RoundOutcome, SelectionContext, \
 __all__ = ["FlipsSelector"]
 
 
+class _OfflineExclusion:
+    """Set-like exclusion backed by the live online view.
+
+    ``party in exclusion`` holds when the party is already chosen (or
+    otherwise barred via ``extra``) or offline per the view — answered
+    in O(1) per probe, so restricted rounds never materialize the
+    offline id-set (which is O(N) and dwarfs the cohort at scale).
+    ``add`` mirrors the legacy ``set.add`` the over-provision loop uses.
+    """
+
+    __slots__ = ("_view", "_extra")
+
+    def __init__(self, view, extra: "set[int]") -> None:
+        self._view = view
+        self._extra = extra
+
+    def __contains__(self, party: int) -> bool:
+        return party in self._extra or not self._view.is_online(party)
+
+    def add(self, party: int) -> None:
+        self._extra.add(party)
+
+
+class _VanishedDrop:
+    """Set-like drop predicate: parties permanently departed per the view.
+
+    Handed to :meth:`PickCountMinHeap.extract_min` as ``drop`` so churned
+    parties are pruned from the heaps the first time they surface,
+    instead of being skipped and re-pushed forever.
+    """
+
+    __slots__ = ("_view",)
+
+    def __init__(self, view) -> None:
+        self._view = view
+
+    def __contains__(self, party: int) -> bool:
+        return self._view.is_vanished(party)
+
+
 class FlipsSelector(SelectionStrategy):
     """Cluster-equitable, fairness-tracking participant selection.
 
@@ -150,13 +190,15 @@ class FlipsSelector(SelectionStrategy):
         self._strg_estimate = 0.0
 
     # -- selection (Algorithm 1, lines 20-31) ------------------------------
-    def _pick_from_cluster(self, cluster: int,
-                           exclude: "set[int]") -> int | None:
+    def _pick_from_cluster(self, cluster: int, exclude,
+                           drop=None) -> int | None:
         """Least-picked party of ``cluster`` outside ``exclude``;
-        increments pick counts for both levels."""
+        increments pick counts for both levels.  ``drop`` (a
+        ``__contains__`` container) names permanently-vanished parties
+        the heap may prune on pop."""
         heap = self._party_heaps[cluster]
         try:
-            party = heap.extract_min(exclude=exclude)
+            party = heap.extract_min(exclude=exclude, drop=drop)
         except ConfigurationError:
             return None
         heap.increment_and_insert(party)
@@ -172,15 +214,16 @@ class FlipsSelector(SelectionStrategy):
         n_online = view.count(n_parties)
         n_base = min(n_select, n_parties, n_online)
 
-        # Offline (sleeping or churned-away) parties stay in the heaps —
-        # their fairness memory must survive their nap — but are excluded
-        # from every extraction, so the heaps tolerate parties that
-        # vanish mid-job.  Unrestricted rounds start from an empty
-        # exclusion set: the legacy behaviour, draw for draw.
+        # Merely-offline parties stay in the heaps — their fairness
+        # memory must survive their nap — and are excluded per-probe
+        # through the live view (no O(N) offline-set build).  Parties
+        # the view marks *vanished* (permanent churn departures) are
+        # pruned from the heaps as they surface.  Unrestricted rounds
+        # see an always-empty exclusion: the legacy behaviour, draw for
+        # draw.
         chosen: set[int] = set()
-        excluded: set[int] = (
-            {p for p in range(n_parties) if not view.is_online(p)}
-            if view.restricted else set())
+        exclude = _OfflineExclusion(view, chosen)
+        drop = _VanishedDrop(view) if view.restricted else None
 
         cohort: list[int] = []
         attempts = 0
@@ -188,8 +231,8 @@ class FlipsSelector(SelectionStrategy):
         while len(cohort) < n_base and attempts < max_attempts:
             attempts += 1
             cluster = self._cluster_heap.extract_min()
-            party = self._pick_from_cluster(int(cluster),
-                                            exclude=chosen | excluded)
+            party = self._pick_from_cluster(int(cluster), exclude=exclude,
+                                            drop=drop)
             self._cluster_heap.increment_and_insert(cluster)
             if party is None:
                 continue
@@ -199,30 +242,33 @@ class FlipsSelector(SelectionStrategy):
         if self.overprovision and self._stragglers_active:
             n_extra = int(self._strg_estimate * n_select)
             n_extra = min(n_extra, n_online - len(cohort))
-            exclude = chosen | excluded | self._straggler_parties
+            op_exclude = _OfflineExclusion(
+                view, set(chosen) | self._straggler_parties)
             for _ in range(max(n_extra, 0)):
-                party = self._pick_replacement(exclude)
+                party = self._pick_replacement(op_exclude, drop)
                 if party is None:
                     break
                 chosen.add(party)
-                exclude.add(party)
+                op_exclude.add(party)
                 cohort.append(party)
         return cohort
 
-    def _pick_replacement(self, exclude: "set[int]") -> int | None:
+    def _pick_replacement(self, exclude, drop=None) -> int | None:
         """One over-provisioned party from the worst straggler cluster
         (lines 28-31), falling back to the global round-robin when the
         straggler clusters have no eligible party left."""
         assert self._cluster_heap is not None
         if self._straggler_clusters:
             cluster = int(self._straggler_clusters.extract_max())
-            party = self._pick_from_cluster(cluster, exclude=exclude)
+            party = self._pick_from_cluster(cluster, exclude=exclude,
+                                            drop=drop)
             if party is not None:
                 return party
         # Fallback: equitable pick from any cluster.
         for _ in range(self.cluster_model.k if self.cluster_model else 1):
             cluster = self._cluster_heap.extract_min()
-            party = self._pick_from_cluster(int(cluster), exclude=exclude)
+            party = self._pick_from_cluster(int(cluster), exclude=exclude,
+                                            drop=drop)
             self._cluster_heap.increment_and_insert(cluster)
             if party is not None:
                 return party

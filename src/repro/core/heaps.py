@@ -64,11 +64,22 @@ class PickCountMinHeap:
         self._seq += 1
 
     def extract_min(self, exclude: "set[Hashable] | None" = None,
-                    ) -> Hashable:
+                    drop: "set[Hashable] | None" = None) -> Hashable:
         """Remove and return the least-picked item (FIFO on ties).
 
         ``exclude`` skips items (without removing them) — Algorithm 1
-        line 30 picks "a non-straggler party in c".  Raises
+        line 30 picks "a non-straggler party in c".  Skipped entries are
+        re-pushed, so they are rescanned on *every* subsequent
+        extraction; that is the right cost for parties that will come
+        back (asleep devices keep their place in line) but an O(n)
+        tax forever for parties that never will.
+
+        ``drop`` names items that have vanished permanently (churned
+        away): any such entry surfacing during this extraction is pruned
+        from the heap on the spot — removed, not re-pushed — so each
+        vanished party is paid for at most once instead of on every
+        later call.  Both parameters only need ``in`` (any container
+        with ``__contains__`` works).  Raises
         :class:`ConfigurationError` when no eligible item exists.
         """
         skipped: list[list] = []
@@ -76,6 +87,9 @@ class PickCountMinHeap:
         while self._heap:
             entry = heapq.heappop(self._heap)
             item = entry[2]
+            if drop is not None and item in drop:
+                self._present.discard(item)
+                continue
             if exclude is not None and item in exclude:
                 skipped.append(entry)
                 continue

@@ -121,7 +121,23 @@ class ExperimentConfig:
     checkpoint_every: int = 0
     checkpoint_dir: str | None = None
 
+    # population scaling: multiply n_parties (and n_train, so per-party
+    # data volume stays constant) by this factor.  A convenience knob
+    # for the scaling benches — ``population_scale=100`` turns the bench
+    # preset's 80 parties into 8 000 without recomputing sizes by hand.
+    # The multiplication happens once at construction and the field then
+    # normalizes back to 1, so ``cache_key``/``with_overrides`` see the
+    # effective sizes and round-trip cleanly.
+    population_scale: int = 1
+
     def __post_init__(self) -> None:
+        if self.population_scale < 1:
+            raise ConfigurationError("population_scale must be >= 1")
+        if self.population_scale > 1:
+            scale = self.population_scale
+            object.__setattr__(self, "n_parties", self.n_parties * scale)
+            object.__setattr__(self, "n_train", self.n_train * scale)
+            object.__setattr__(self, "population_scale", 1)
         if self.dataset not in DATASETS:
             raise ConfigurationError(
                 f"unknown dataset {self.dataset!r}; choose from {DATASETS}")

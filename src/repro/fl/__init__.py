@@ -58,6 +58,8 @@ from repro.fl.faults import (
 )
 from repro.fl.history import RoundRecord, TrainingHistory, mean_or_nan
 from repro.fl.party import LocalTrainingConfig, Party
+from repro.fl.party_store import LazyPartyList, PartyStore
+from repro.fl.planning import RoundPlanner
 from repro.fl.profiling import PHASES, PhaseProfiler
 from repro.fl.straggler import (
     BernoulliStragglers,
@@ -106,6 +108,7 @@ __all__ = [
     "FedYogiServer",
     "FederatedTrainer",
     "LayerLayout",
+    "LazyPartyList",
     "LocalTrainingConfig",
     "ModelUpdate",
     "NO_FAULTS",
@@ -113,9 +116,11 @@ __all__ = [
     "PHASES",
     "ParallelExecutor",
     "Party",
+    "PartyStore",
     "PhaseProfiler",
     "RoundFaults",
     "RoundPlan",
+    "RoundPlanner",
     "RoundRecord",
     "SerialExecutor",
     "ServerOptimizer",

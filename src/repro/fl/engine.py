@@ -65,7 +65,7 @@ from repro.common.rng import RngFabric
 from repro.ml.serialization import update_nbytes
 from repro.data.federated import FederatedDataset
 from repro.fl.algorithms import FLAlgorithm
-from repro.fl.checkpoint import Checkpointer
+from repro.fl.checkpoint import Checkpointer, load_checkpoint
 from repro.fl.comm import CommunicationTracker
 from repro.fl.evaluation import EvaluationPolicy, FullEvaluation
 from repro.fl.execution import (
@@ -77,6 +77,8 @@ from repro.fl.execution import (
 from repro.fl.faults import FaultInjector
 from repro.fl.history import RoundRecord, TrainingHistory, mean_or_nan
 from repro.fl.party import LocalTrainingConfig, Party
+from repro.fl.party_store import LazyPartyList, PartyStore
+from repro.fl.planning import RoundPlanner
 from repro.fl.profiling import PhaseProfiler
 from repro.fl.straggler import NoStragglers, StragglerModel
 from repro.fl.updates import ModelUpdate, UpdateCompressor, UpdateValidator
@@ -274,15 +276,29 @@ class FederatedTrainer:
 
         # One model download + one update upload per round.
         payload_nbytes = 2 * update_nbytes(model.dimension)
-        self.parties = [
-            Party(i, federation.party(i),
-                  compute_speed=float(compute_speeds[i]),
-                  rng=fabric.generator(f"party-{i}"),
-                  profile=(None if device_profiles is None
-                           else device_profiles[i]),
-                  payload_nbytes=(0 if device_profiles is None
-                                  else payload_nbytes))
-            for i in range(federation.n_parties)]
+        speeds = np.asarray(compute_speeds, dtype=np.float64)
+
+        def _make_party(i: int) -> Party:
+            """Materialize one party on first access (cached by the
+            lazy list).  Each party's RNG is an independent named fabric
+            stream, so creation order cannot perturb any draw."""
+            return Party(i, federation.party(i),
+                         compute_speed=float(speeds[i]),
+                         rng=fabric.generator(f"party-{i}"),
+                         profile=(None if device_profiles is None
+                                  else device_profiles[i]),
+                         payload_nbytes=(0 if device_profiles is None
+                                         else payload_nbytes))
+
+        # Parties are lazy views over the metadata store: planning never
+        # touches them, so only selected cohort members (plus whatever a
+        # backend walks at bind time) ever exist as Python objects.
+        self.parties = LazyPartyList(federation.n_parties, _make_party)
+        self.store = PartyStore.from_federation(
+            federation, speeds,
+            device_profiles=device_profiles,
+            payload_nbytes=(0 if device_profiles is None
+                            else payload_nbytes))
 
         self._local_config = algorithm.apply_client_overrides(config.local)
         self.comm = CommunicationTracker(model.dimension)
@@ -305,7 +321,8 @@ class FederatedTrainer:
         else:
             self._arrivals = StragglerArrivals(self.straggler_model)
             self._rng_arrival = self._rng_straggle
-        self._arrivals.bind(self.parties, self._local_config)
+        self._arrivals.bind(self.parties, self._local_config,
+                            store=self.store)
         self._online_view = OnlineView()
 
         strategy.initialize(SelectionContext(
@@ -318,64 +335,28 @@ class FederatedTrainer:
             online_view=self._online_view,
         ))
 
-    # -- phase 1: planning -------------------------------------------------
-    def _online_parties(self, round_index: int) -> "set[int] | None":
-        """The round's online population (availability ∩ churn-active),
-        or ``None`` when everyone is online — including the fallback
-        case where a sparse availability draw left nobody awake and the
-        aggregator waits for the active population instead."""
-        n_parties = self.federation.n_parties
-        active = (self.churn.active(round_index)
-                  if self.churn is not None else None)
-        drawn = (None if self.availability_model.trivial
-                 else self.availability_model.online(round_index))
-        if drawn is None and active is None:
-            return None
-        online = (set(drawn) if drawn is not None
-                  else set(range(n_parties)))
-        if active is not None:
-            online &= active
-        if not online:
-            # Nobody awake this round: the aggregator stalls until the
-            # enrolled population responds — model that by admitting the
-            # whole active set rather than crashing the job.
-            online = active if active else set(range(n_parties))
-        if len(online) == n_parties:
-            return None
-        return online
+        # All planning runs on the metadata store — availability and
+        # churn masks, selector top-k paths, arrival latency gathers —
+        # so no Party object is materialized before it is selected.
+        self.planner = RoundPlanner(
+            store=self.store,
+            strategy=strategy,
+            availability_model=self.availability_model,
+            churn=self.churn,
+            arrivals=self._arrivals,
+            fault_injector=self.fault_injector,
+            rng_select=self._rng_select,
+            rng_arrival=self._rng_arrival,
+            view=self._online_view,
+            parties_per_round=config.parties_per_round,
+            local_config=self._local_config)
 
+    # -- phase 1: planning -------------------------------------------------
     def plan_round(self, round_index: int) -> RoundPlan:
         """Availability + selection + arrival draw: everything decided
-        before any client computes."""
-        online = self._online_parties(round_index)
-        self._online_view.update(online)
-        n_select = (self.config.parties_per_round if online is None
-                    else min(self.config.parties_per_round, len(online)))
-        cohort = self.strategy.validated_select(
-            round_index, n_select, self._rng_select)
-        if not cohort:
-            raise ConfigurationError(
-                f"{self.strategy.name} returned an empty cohort")
-        arrival = self._arrivals.draw(cohort, round_index,
-                                      self._rng_arrival)
-        stragglers = tuple(sorted(arrival.missed))
-        faults = None
-        if self.fault_injector is not None:
-            # Faults are drawn once here — over the parties expected to
-            # report — and ride on the plan, so serial, parallel and
-            # batched executors all see the same assignment.
-            missed = set(stragglers)
-            participants = tuple(p for p in cohort if p not in missed)
-            faults = self.fault_injector.draw(round_index, participants)
-        return RoundPlan(
-            round_index=round_index,
-            cohort=tuple(cohort),
-            stragglers=stragglers,
-            local_config=self._local_config,
-            online=None if online is None else tuple(sorted(online)),
-            deadline=arrival.deadline,
-            latencies=arrival.latencies,
-            faults=faults)
+        before any client computes.  Delegates to the vectorized
+        :class:`~repro.fl.planning.RoundPlanner`."""
+        return self.planner.plan_round(round_index)
 
     # -- phase 3: aggregation ----------------------------------------------
     def _aggregate(self, updates: "list[ModelUpdate]") -> None:
@@ -417,9 +398,9 @@ class FederatedTrainer:
             if plan.stragglers:
                 duration *= _DEADLINE_FACTOR
             return duration
-        return _DEADLINE_FACTOR * max(
-            self.parties[p].expected_latency(plan.local_config)
-            for p in plan.cohort)
+        return _DEADLINE_FACTOR * float(self.store.expected_latency(
+            plan.local_config,
+            np.asarray(plan.cohort, dtype=np.int64)).max())
 
     # -- one round ---------------------------------------------------------
     def _run_round(self, round_index: int, history: TrainingHistory,
@@ -528,9 +509,15 @@ class FederatedTrainer:
                 "cannot checkpoint before any round completed")
         party_states = self.executor.party_states()
         if party_states is None:
-            party_states = {p.party_id: p.state_dict()
-                            for p in self.parties}
+            # Only materialized parties carry mutable state; a party
+            # never touched is still in its deterministic initial state
+            # and will be recreated bit-identically by the lazy factory
+            # on resume, so snapshotting it would be pure dead weight.
+            party_states = {
+                pid: self.parties[pid].state_dict()
+                for pid in self.parties.materialized_ids()}
         return {
+            "party_store": self.store.state_dict(),
             "round_index": int(history.records[-1].round_index),
             "global_parameters": np.array(self.global_parameters,
                                           copy=True),
@@ -577,6 +564,16 @@ class FederatedTrainer:
         self._online_view = self.strategy.context.online_view
         self.availability_model = pickle.loads(state["availability_model"])
         self.churn = churn
+        # The planner holds references to the objects just replaced by
+        # their unpickled snapshots — re-wire it or it would keep
+        # planning against the pre-restore strategy/view/population.
+        self.planner.strategy = self.strategy
+        self.planner.view = self._online_view
+        self.planner.availability_model = self.availability_model
+        self.planner.churn = self.churn
+        store_state = state.get("party_store")
+        if store_state is not None:
+            self.store.load_state_dict(store_state)
         self.comm = pickle.loads(state["comm"])
         self._rng_select.bit_generator.state = state["rng_select"]
         self._rng_arrival.bit_generator.state = state["rng_arrival"]

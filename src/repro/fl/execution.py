@@ -120,7 +120,7 @@ class RoundPlan:
     cohort: tuple[int, ...]
     stragglers: tuple[int, ...]
     local_config: LocalTrainingConfig
-    online: "tuple[int, ...] | None" = None
+    online: "np.ndarray | tuple[int, ...] | None" = None
     deadline: "float | None" = None
     latencies: "dict[int, float] | None" = None
     faults: "RoundFaults | None" = None
@@ -144,7 +144,19 @@ class RoundPlan:
                     f"faulted parties {sorted(foreign)} are not cohort "
                     "members")
         if self.online is not None:
-            offline = set(self.cohort) - set(self.online)
+            if isinstance(self.online, np.ndarray):
+                # Sorted-id array from the vectorized planner: membership
+                # via searchsorted, no Python set over the population.
+                cohort = np.asarray(self.cohort, dtype=np.int64)
+                if len(self.online) == 0:
+                    offline = set(int(p) for p in cohort)
+                else:
+                    slots = np.searchsorted(self.online, cohort)
+                    slots = np.minimum(slots, len(self.online) - 1)
+                    offline = set(
+                        int(p) for p in cohort[self.online[slots] != cohort])
+            else:
+                offline = set(self.cohort) - set(self.online)
             if offline:
                 raise ConfigurationError(
                     f"cohort members {sorted(offline)} are not online")

@@ -1,0 +1,311 @@
+"""Struct-of-arrays party metadata for million-party round planning.
+
+Everything the *planning* side of the round loop needs to know about a
+party — training-set size, device speed, model-transfer time, device
+tier, label distribution, liveness flags, selection statistics — lives
+here as one numpy array per field instead of one Python ``Party`` object
+per device.  Planning a round over N parties then costs a handful of
+vectorized array passes rather than N attribute lookups, which is what
+lets the engine compose availability ∩ churn ∩ deadline draws for a
+million-party federation in well under 100 ms
+(``benchmarks/test_population_scaling.py`` gates it).
+
+``Party`` objects do not disappear: training still runs through them,
+unchanged.  :class:`LazyPartyList` keeps the engine's ``parties``
+sequence API while materializing a ``Party`` only when someone actually
+indexes it — i.e. only for the selected cohort.  Because every party's
+RNG stream comes from an order-independent
+:class:`~repro.common.rng.RngFabric` name (``"party-<i>"``), a party
+materialized lazily in round 40 is bit-identical to one built eagerly at
+job start, so all three execution backends keep their golden digests.
+
+Bit-exactness contract: :meth:`PartyStore.expected_latency` replays
+``Party.expected_latency`` operation for operation —
+``(epochs · n_i) · 1e-3 / speed_i + transfer_i`` with the same float64
+intermediates — so vectorized deadline draws equal the per-object ones
+bit-for-bit (``tests/fl/test_party_store.py`` proves it property-style).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.fl.party import _BASE_SECONDS_PER_SAMPLE, Party
+
+__all__ = ["LazyPartyList", "PartyStore"]
+
+
+class PartyStore:
+    """Numpy-backed party metadata (one array per field, never objects).
+
+    Parameters
+    ----------
+    num_samples:
+        Per-party training-set sizes (``n_i``), int64.
+    compute_speed:
+        Relative device speeds, float64 (latency scales with the
+        inverse).
+    transfer_seconds:
+        Per-party model-transfer seconds added on top of compute time
+        (0.0 for parties without a device profile).
+    tier:
+        Device-tier index per party (−1 = untiered).
+    label_distributions:
+        Optional ``(N, num_classes)`` label-count matrix (what FLIPS
+        clusters); ``None`` when the job never needs it.
+
+    The mutable planning state — ``online``/``alive`` flags and the
+    ``times_selected`` counter — starts all-online/alive/zero and is
+    refreshed by the planner each round.  It is exactly the state a
+    checkpoint must carry (:meth:`state_dict`).
+    """
+
+    def __init__(self, num_samples: np.ndarray,
+                 compute_speed: np.ndarray, *,
+                 transfer_seconds: "np.ndarray | None" = None,
+                 tier: "np.ndarray | None" = None,
+                 label_distributions: "np.ndarray | None" = None) -> None:
+        self.num_samples = np.ascontiguousarray(num_samples,
+                                                dtype=np.int64)
+        if self.num_samples.ndim != 1 or len(self.num_samples) == 0:
+            raise ConfigurationError(
+                "num_samples must be a non-empty 1-D array")
+        n = len(self.num_samples)
+        self.compute_speed = np.ascontiguousarray(compute_speed,
+                                                  dtype=np.float64)
+        if self.compute_speed.shape != (n,):
+            raise ConfigurationError(
+                "compute_speed must cover every party")
+        if np.any(self.compute_speed <= 0):
+            raise ConfigurationError("compute speeds must be positive")
+        if transfer_seconds is None:
+            transfer_seconds = np.zeros(n)
+        self.transfer_seconds = np.ascontiguousarray(transfer_seconds,
+                                                     dtype=np.float64)
+        if self.transfer_seconds.shape != (n,):
+            raise ConfigurationError(
+                "transfer_seconds must cover every party")
+        if tier is None:
+            tier = np.full(n, -1, dtype=np.int64)
+        self.tier = np.ascontiguousarray(tier, dtype=np.int64)
+        if self.tier.shape != (n,):
+            raise ConfigurationError("tier must cover every party")
+        if label_distributions is not None:
+            label_distributions = np.ascontiguousarray(
+                label_distributions, dtype=np.float64)
+            if label_distributions.ndim != 2 or \
+                    label_distributions.shape[0] != n:
+                raise ConfigurationError(
+                    "label_distributions must be (n_parties, num_classes)")
+        self.label_distributions = label_distributions
+
+        # Mutable planning state, refreshed per round by the planner.
+        self.online = np.ones(n, dtype=bool)
+        self.alive = np.ones(n, dtype=bool)
+        self.times_selected = np.zeros(n, dtype=np.int64)
+
+    # -- shape & size --------------------------------------------------
+    @property
+    def n_parties(self) -> int:
+        """Population size N."""
+        return len(self.num_samples)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the store's arrays (memory gate)."""
+        total = (self.num_samples.nbytes + self.compute_speed.nbytes
+                 + self.transfer_seconds.nbytes + self.tier.nbytes
+                 + self.online.nbytes + self.alive.nbytes
+                 + self.times_selected.nbytes)
+        if self.label_distributions is not None:
+            total += self.label_distributions.nbytes
+        return total
+
+    # -- vectorized latency --------------------------------------------
+    def expected_latency(self, config,
+                         ids: "np.ndarray | None" = None) -> np.ndarray:
+        """Jitter-free seconds per party for one local-training call.
+
+        Bit-identical to ``Party.expected_latency`` evaluated per party:
+        the integer product ``epochs · n_i`` is exact, the ``· 1e-3``
+        and ``/ speed_i`` hit the same float64 values in the same order,
+        and parties without a profile add a literal ``0.0`` (which is a
+        no-op for the positive latencies involved).
+
+        ``ids`` restricts the computation to those parties (the cohort),
+        keeping a round's deadline draw O(cohort) instead of O(N).
+        """
+        if ids is None:
+            samples, speed = self.num_samples, self.compute_speed
+            transfer = self.transfer_seconds
+        else:
+            samples = self.num_samples[ids]
+            speed = self.compute_speed[ids]
+            transfer = self.transfer_seconds[ids]
+        work = (config.epochs * samples) * _BASE_SECONDS_PER_SAMPLE
+        return work / speed + transfer
+
+    # -- planning-state updates ----------------------------------------
+    def note_selected(self, cohort) -> None:
+        """Record one selection per cohort member (selector statistics)."""
+        self.times_selected[np.asarray(cohort, dtype=np.int64)] += 1
+
+    def set_population(self, online_mask: "np.ndarray | None",
+                       alive_mask: "np.ndarray | None") -> None:
+        """Refresh the online/alive flags for the round being planned.
+
+        ``None`` means unrestricted (everyone online / nobody departed),
+        matching the engine's lazy-mask convention.
+        """
+        if online_mask is None:
+            self.online.fill(True)
+        else:
+            np.copyto(self.online, online_mask)
+        if alive_mask is None:
+            self.alive.fill(True)
+        else:
+            np.copyto(self.alive, alive_mask)
+
+    # -- construction helpers ------------------------------------------
+    @classmethod
+    def from_federation(cls, federation, compute_speeds: np.ndarray, *,
+                        device_profiles=None, payload_nbytes: int = 0,
+                        with_label_distributions: bool = False,
+                        ) -> "PartyStore":
+        """Build the store from the engine's job inputs.
+
+        Mirrors exactly what ``FederatedTrainer`` feeds each ``Party``:
+        sizes from the federation, the speed vector, and — when device
+        profiles are assigned — the per-tier transfer time for the
+        job's payload.
+        """
+        n = federation.n_parties
+        transfer = None
+        tier = None
+        if device_profiles is not None:
+            if len(device_profiles) != n:
+                raise ConfigurationError(
+                    "device_profiles must cover every party")
+            transfer = np.array([
+                profile.transfer_seconds(payload_nbytes)
+                for profile in device_profiles])
+            names = sorted({profile.name for profile in device_profiles})
+            index = {name: i for i, name in enumerate(names)}
+            tier = np.array([index[profile.name]
+                             for profile in device_profiles],
+                            dtype=np.int64)
+        return cls(
+            num_samples=np.asarray(federation.party_sizes(),
+                                   dtype=np.int64),
+            compute_speed=compute_speeds,
+            transfer_seconds=transfer,
+            tier=tier,
+            label_distributions=(federation.label_distributions()
+                                 if with_label_distributions else None))
+
+    @classmethod
+    def synthetic(cls, n_parties: int,
+                  rng: "np.random.Generator | int" = 0, *,
+                  num_classes: int = 0,
+                  mean_samples: int = 64) -> "PartyStore":
+        """A synthetic population for benches and stress tests.
+
+        Draws a log-normal speed spread (the engine's own default), a
+        geometric size spread around ``mean_samples``, three device
+        tiers, and — when ``num_classes`` > 0 — random label counts.
+        No federation, no datasets, no ``Party`` objects: exactly what
+        the 1M-party planning bench needs to exist without 1M shards.
+        """
+        if n_parties < 1:
+            raise ConfigurationError("n_parties must be >= 1")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        num_samples = 1 + rng.geometric(1.0 / max(mean_samples, 1),
+                                        size=n_parties)
+        compute_speed = rng.lognormal(mean=0.0, sigma=0.3,
+                                      size=n_parties)
+        tier = rng.integers(0, 3, size=n_parties)
+        transfer = np.choose(tier, [0.004, 0.0008, 0.00016])
+        labels = None
+        if num_classes > 0:
+            labels = rng.integers(
+                0, 50, size=(n_parties, num_classes)).astype(np.float64)
+        return cls(num_samples=num_samples, compute_speed=compute_speed,
+                   transfer_seconds=transfer, tier=tier,
+                   label_distributions=labels)
+
+    # -- checkpoint plumbing -------------------------------------------
+    def state_dict(self) -> dict:
+        """The store's mutable planning state (flags + counters)."""
+        return {
+            "online": np.array(self.online, copy=True),
+            "alive": np.array(self.alive, copy=True),
+            "times_selected": np.array(self.times_selected, copy=True),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (bit-identical resume)."""
+        for name in ("online", "alive", "times_selected"):
+            array = np.asarray(state[name])
+            if array.shape != (self.n_parties,):
+                raise ConfigurationError(
+                    f"store state {name!r} covers {array.shape[0]} "
+                    f"parties, store has {self.n_parties}")
+            np.copyto(getattr(self, name), array)
+
+    def __repr__(self) -> str:
+        return (f"PartyStore(n_parties={self.n_parties}, "
+                f"nbytes={self.nbytes})")
+
+
+class LazyPartyList:
+    """Sequence of ``Party`` objects materialized on first access.
+
+    Planning never touches this list — it runs on the
+    :class:`PartyStore` arrays — so with the serial and batched backends
+    only the parties that actually train are ever constructed.  The
+    parallel backend iterates the whole list at bind (workers own party
+    replicas), which materializes everything: correct, just eager.
+
+    The factory must be deterministic and order-independent (the
+    engine's is: each party's RNG stream is keyed by name on the job's
+    :class:`~repro.common.rng.RngFabric`), so a party materialized in
+    round 40 is bit-identical to one built at job start.
+    """
+
+    def __init__(self, n_parties: int,
+                 factory: "Callable[[int], Party]") -> None:
+        if n_parties < 1:
+            raise ConfigurationError("n_parties must be >= 1")
+        self._n = int(n_parties)
+        self._factory = factory
+        self._cache: "dict[int, Party]" = {}
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index: int) -> Party:
+        index = int(index)
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(f"party index {index} out of range")
+        party = self._cache.get(index)
+        if party is None:
+            party = self._factory(index)
+            self._cache[index] = party
+        return party
+
+    def __iter__(self) -> "Iterator[Party]":
+        return (self[i] for i in range(self._n))
+
+    def materialized_ids(self) -> "list[int]":
+        """Ids of parties constructed so far (checkpoint inventory)."""
+        return sorted(self._cache)
+
+    def __repr__(self) -> str:
+        return (f"LazyPartyList(n_parties={self._n}, "
+                f"materialized={len(self._cache)})")

@@ -1,0 +1,142 @@
+"""Vectorized round planning over a :class:`~repro.fl.party_store.PartyStore`.
+
+Planning — who is online, who is selected, who makes the deadline — is
+pure metadata arithmetic: it needs latencies, liveness and selector
+statistics, never a party's dataset or RNG.  The
+:class:`RoundPlanner` therefore runs entirely on the struct-of-arrays
+:class:`~repro.fl.party_store.PartyStore` and the availability layer's
+mask primitives:
+
+* the availability model contributes a boolean ``online_mask`` draw;
+* the churn process contributes ``active_mask`` (enrolled) and
+  ``departed_mask`` (gone for good);
+* their composition — with the legacy empty-draw fallback — refreshes
+  the strategy's :class:`~repro.availability.view.OnlineView` as a mask,
+  so selectors run their top-k array paths;
+* the arrival model reads expected latencies straight from the store.
+
+No ``Party`` object is touched anywhere in this pipeline, which is what
+lets :class:`~repro.fl.engine.FederatedTrainer` keep parties as lazy
+views and a million-party round plan finish in milliseconds (see
+``benchmarks/test_population_scaling.py``).
+
+Semantics are the engine's original set-based planning, case for case:
+the same availability/churn streams are consumed in the same order, the
+same fallbacks apply when a sparse draw leaves nobody awake, and a
+full-population round is normalized back to the unrestricted fast path —
+so default jobs reproduce the golden digests bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.fl.execution import RoundPlan
+
+__all__ = ["RoundPlanner"]
+
+
+class RoundPlanner:
+    """Plans rounds (availability ∩ churn ∩ selection ∩ arrivals) on
+    array state.
+
+    Owns no randomness and no policy of its own: the engine hands it the
+    already-bound availability model, churn process, strategy, arrival
+    model, optional fault injector and the two dedicated RNG streams,
+    and the planner composes them.  It is deliberately constructible
+    without an engine (store + strategy + streams suffice), which is how
+    the population-scaling bench times planning in isolation.
+    """
+
+    def __init__(self, *, store, strategy, availability_model, churn,
+                 arrivals, fault_injector, rng_select, rng_arrival,
+                 view, parties_per_round, local_config) -> None:
+        if parties_per_round < 1:
+            raise ConfigurationError("parties_per_round must be >= 1")
+        self.store = store
+        self.strategy = strategy
+        self.availability_model = availability_model
+        self.churn = churn
+        self.arrivals = arrivals
+        self.fault_injector = fault_injector
+        self.rng_select = rng_select
+        self.rng_arrival = rng_arrival
+        self.view = view
+        self.parties_per_round = int(parties_per_round)
+        self.local_config = local_config
+
+    def online_mask(self, round_index: int) -> "np.ndarray | None":
+        """The round's online population as a mask, ``None`` = everyone.
+
+        Composes the availability draw with churn enrollment exactly as
+        the legacy set pipeline did: a trivial model skips its draw; an
+        empty intersection falls back to the active population (the
+        aggregator stalls until enrolled devices respond) or, failing
+        that, to everyone; a full-population mask normalizes to ``None``
+        so unrestricted rounds keep the legacy fast path.
+        """
+        drawn = (None if self.availability_model.trivial
+                 else self.availability_model.online_mask(round_index))
+        active = (self.churn.active_mask(round_index)
+                  if self.churn is not None else None)
+        if drawn is None and active is None:
+            return None
+        if drawn is None:
+            mask = active
+        elif active is None:
+            mask = drawn
+        else:
+            mask = drawn & active
+        assert mask is not None
+        if not mask.any():
+            if active is not None and active.any():
+                mask = active
+            else:
+                mask = np.ones(self.store.n_parties, dtype=bool)
+        if mask.all():
+            return None
+        return mask
+
+    def plan_round(self, round_index: int) -> RoundPlan:
+        """Availability + selection + arrival + fault draw: everything
+        decided before any client computes, in array form."""
+        mask = self.online_mask(round_index)
+        vanished = (self.churn.departed_mask(round_index)
+                    if self.churn is not None else None)
+        if mask is None:
+            self.view.update_mask(None)
+            n_online = self.store.n_parties
+        else:
+            self.view.update_mask(mask, vanished=vanished)
+            n_online = self.view.count(self.store.n_parties)
+        n_select = min(self.parties_per_round, n_online)
+        cohort = self.strategy.validated_select(
+            round_index, n_select, self.rng_select)
+        if not cohort:
+            raise ConfigurationError(
+                f"{self.strategy.name} returned an empty cohort")
+        arrival = self.arrivals.draw(cohort, round_index, self.rng_arrival)
+        stragglers = tuple(sorted(arrival.missed))
+        faults = None
+        if self.fault_injector is not None:
+            # Faults are drawn once here — over the parties expected to
+            # report — and ride on the plan, so serial, parallel and
+            # batched executors all see the same assignment.
+            missed = set(stragglers)
+            participants = tuple(p for p in cohort if p not in missed)
+            faults = self.fault_injector.draw(round_index, participants)
+        # Mirror the round into the store's population/selection arrays
+        # — checkpointable state the bench and the scaling tests audit.
+        self.store.note_selected(cohort)
+        self.store.set_population(
+            mask, None if vanished is None else ~vanished)
+        return RoundPlan(
+            round_index=round_index,
+            cohort=tuple(cohort),
+            stragglers=stragglers,
+            local_config=self.local_config,
+            online=None if mask is None else np.flatnonzero(mask),
+            deadline=arrival.deadline,
+            latencies=arrival.latencies,
+            faults=faults)

@@ -33,6 +33,13 @@ __all__ = ["GradClusSelection"]
 #: models without changing cosine geometry much (Johnson-Lindenstrauss).
 _SKETCH_DIM = 64
 
+#: Clustering is O(pool²) in memory and worse in time; pools beyond this
+#: size are first subsampled uniformly to this many candidates.  The cap
+#: is far above every paper-scale configuration (tens to hundreds of
+#: parties), so existing jobs never hit it and stay bit-identical; it
+#: only engages on the synthetic large-population benches.
+_MAX_CLUSTER_POOL = 512
+
 
 class GradClusSelection(SelectionStrategy):
     """One representative per gradient-similarity cluster.
@@ -93,8 +100,13 @@ class GradClusSelection(SelectionStrategy):
         # representative per cluster.  With everyone online the pool is
         # arange(n_parties), so indexing is the identity and the RNG
         # draws are bit-identical to the pre-availability selector.
-        pool = np.asarray(
-            self.context.online_view.ids(self.context.n_parties))
+        pool = self.context.online_view.ids_array(self.context.n_parties)
+        if len(pool) > _MAX_CLUSTER_POOL:
+            # Huge population: cluster a uniform candidate subsample
+            # (sorted, to keep ascending-id pool order downstream).
+            picks = rng.choice(len(pool), size=_MAX_CLUSTER_POOL,
+                               replace=False)
+            pool = pool[np.sort(picks)]
         n_clusters = min(n_select, len(pool))
         dist = pairwise_distances(self._sketches[pool], self.metric)
         labels = AgglomerativeClustering(

@@ -84,9 +84,14 @@ class OortSelection(SelectionStrategy):
 
         self._size_cap = float("inf")
         self._epsilon = self.exploration_factor
-        self._stat_utility: dict[int, float] = {}
-        self._latency: dict[int, float] = {}
-        self._last_round: dict[int, int] = {}
+        # Struct-of-arrays per-party state (allocated at initialize):
+        # utilities/latencies/last-seen live in flat float64/int64
+        # arrays indexed by party id, so scoring a 100k-party pool is a
+        # handful of vectorized passes instead of 100k dict lookups.
+        self._stat_utility: np.ndarray = np.zeros(0)
+        self._explored: np.ndarray = np.zeros(0, dtype=bool)
+        self._latency: np.ndarray = np.zeros(0)
+        self._last_round: np.ndarray = np.zeros(0, dtype=np.int64)
         self._observed_latencies: list[float] = []
         self._round = 0
 
@@ -98,29 +103,49 @@ class OortSelection(SelectionStrategy):
                                    self.duration_percentile))
 
     def _total_utility(self, party: int, round_index: int) -> float:
-        stat = self._stat_utility.get(party, 0.0)
-        utility = stat
+        """Scalar view of :meth:`_utilities` (tests / diagnostics)."""
+        return float(self._utilities(
+            np.asarray([party], dtype=np.int64), round_index)[0])
+
+    def _utilities(self, parties: np.ndarray,
+                   round_index: int) -> np.ndarray:
+        """Total (statistical × systemic + staleness) utility per party.
+
+        One vectorized pass over the given ids; the arithmetic mirrors
+        the original per-party loop operation for operation, so scores —
+        and therefore every downstream draw — are bit-identical to it.
+        """
+        stat = self._stat_utility[parties]
+        utility = stat.copy()
         preferred = self._preferred_duration()
-        latency = self._latency.get(party)
-        if latency is not None and np.isfinite(preferred) \
-                and latency > preferred > 0:
-            utility *= (preferred / latency) ** self.systemic_alpha
+        latency = self._latency[parties]
+        if np.isfinite(preferred) and preferred > 0:
+            slow = ~np.isnan(latency) & (latency > preferred)
+            if slow.any():
+                utility[slow] = stat[slow] * (
+                    preferred / latency[slow]) ** self.systemic_alpha
         # Confidence/staleness bonus: long-unseen parties get re-examined.
-        last = self._last_round.get(party)
-        if last is not None and round_index > 1:
-            staleness = np.sqrt(
-                self.staleness_weight * np.log(round_index) / max(last, 1))
-            utility += staleness * max(stat, 1e-12)
-        return float(utility)
+        if round_index > 1:
+            last = self._last_round[parties]
+            seen = last > 0
+            if seen.any():
+                staleness = np.sqrt(
+                    self.staleness_weight * np.log(round_index)
+                    / np.maximum(last[seen], 1))
+                utility[seen] = utility[seen] + \
+                    staleness * np.maximum(stat[seen], 1e-12)
+        return utility
 
     # -- strategy interface ---------------------------------------------
     def initialize(self, context: SelectionContext) -> None:
         """Reset the utility state and derive the size cap."""
         super().initialize(context)
         self._epsilon = self.exploration_factor
-        self._stat_utility.clear()
-        self._latency.clear()
-        self._last_round.clear()
+        n = context.n_parties
+        self._stat_utility = np.zeros(n)
+        self._explored = np.zeros(n, dtype=bool)
+        self._latency = np.full(n, np.nan)
+        self._last_round = np.zeros(n, dtype=np.int64)
         self._observed_latencies.clear()
         # Oort's reference implementation caps the |B_i| factor so huge
         # clients cannot monopolise selection purely on data volume.
@@ -131,13 +156,17 @@ class OortSelection(SelectionStrategy):
                rng: np.random.Generator) -> "list[int]":
         """ε-greedy split between utility exploitation and exploration."""
         # Only currently-online parties are candidates; the pool is all
-        # of range(n_parties) in the static setting, keeping every draw
-        # bit-identical to the pre-availability selector.
-        pool = self.context.online_view.ids(self.context.n_parties)
+        # of arange(n_parties) in the static setting, keeping every draw
+        # bit-identical to the pre-availability selector.  The pool and
+        # the explored/unexplored split are array slices in ascending id
+        # order — the same elements, in the same order, the original
+        # list comprehensions produced.
+        pool = self.context.online_view.ids_array(self.context.n_parties)
         n_total = min(int(np.ceil(n_select * self.overprovision)), len(pool))
 
-        explored = [p for p in pool if p in self._stat_utility]
-        unexplored = [p for p in pool if p not in self._stat_utility]
+        explored_mask = self._explored[pool]
+        explored = pool[explored_mask]
+        unexplored = pool[~explored_mask]
 
         n_explore = min(int(round(self._epsilon * n_total)), len(unexplored))
         n_exploit = min(n_total - n_explore, len(explored))
@@ -146,15 +175,14 @@ class OortSelection(SelectionStrategy):
 
         cohort: list[int] = []
         if n_exploit > 0:
-            scores = np.array([self._total_utility(p, round_index)
-                               for p in explored])
+            scores = self._utilities(explored, round_index)
             order = np.argsort(-scores, kind="stable")
             # Oort's cutoff sampling: admit every party whose utility is
             # within 95 % of the k-th ranked one, then sample k of them
             # weighted by utility — exploitation with diversity.
             kth_utility = scores[order[n_exploit - 1]]
             cutoff = 0.95 * kth_utility
-            cutoff_pool = [i for i in order if scores[i] >= cutoff]
+            cutoff_pool = order[scores[order] >= cutoff]
             weights = scores[cutoff_pool]
             if weights.sum() <= 0:
                 probabilities = np.full(len(cutoff_pool),
@@ -170,7 +198,7 @@ class OortSelection(SelectionStrategy):
 
         # Degenerate early rounds: top up uniformly from the remainder.
         if len(cohort) < n_total:
-            rest = [p for p in pool if p not in set(cohort)]
+            rest = pool[~np.isin(pool, np.asarray(cohort, dtype=np.int64))]
             extra = rng.choice(len(rest), size=n_total - len(cohort),
                                replace=False)
             cohort.extend(int(rest[i]) for i in extra)
@@ -190,18 +218,18 @@ class OortSelection(SelectionStrategy):
             if count > 0:
                 self._stat_utility[party] = size * float(
                     np.sqrt(sq_sum / count))
-            else:
-                self._stat_utility.setdefault(party, 0.0)
+            self._explored[party] = True
             latency = outcome.latencies.get(party)
             if latency is not None:
                 self._latency[party] = latency
                 self._observed_latencies.append(latency)
             self._last_round[party] = outcome.round_index
         for party in outcome.stragglers:
-            if party in self._stat_utility:
+            if self._explored[party]:
                 self._stat_utility[party] *= self.straggler_penalty
             else:
                 # A party that straggled before ever reporting: mark it
                 # explored with zero utility so exploration moves on.
                 self._stat_utility[party] = 0.0
+                self._explored[party] = True
             self._last_round[party] = outcome.round_index

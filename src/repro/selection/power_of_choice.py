@@ -45,9 +45,10 @@ class PowerOfChoiceSelection(SelectionStrategy):
         """Sample ``d`` candidates, keep the ``Nr`` highest-loss ones."""
         # Candidates come from the online pool; with everyone online the
         # index draw over the pool is bit-identical to the legacy draw
-        # over party ids (the pool is arange(n_parties)).
-        pool = np.asarray(
-            self.context.online_view.ids(self.context.n_parties))
+        # over party ids (the pool is arange(n_parties)).  Loss lookups
+        # stay a dict keyed by party id — only ``d`` candidates are ever
+        # probed, so the dict never sees the full population.
+        pool = self.context.online_view.ids_array(self.context.n_parties)
         d = min(int(np.ceil(self.d_factor * n_select)), len(pool))
         candidates = pool[rng.choice(len(pool), size=d, replace=False)]
         losses = np.array([self._last_loss.get(int(p), np.inf)

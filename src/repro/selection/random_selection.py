@@ -37,11 +37,12 @@ class RandomSelection(SelectionStrategy):
     def select(self, round_index: int, n_select: int,
                rng: np.random.Generator) -> "list[int]":
         """Uniform draw (without replacement) from the online pool."""
-        # The online pool is all of range(n_parties) in the static
+        # The online pool is all of arange(n_parties) in the static
         # setting, so the draw below is bit-identical to sampling party
-        # ids directly (rng.choice(n) samples from arange(n)).
-        pool = np.asarray(
-            self.context.online_view.ids(self.context.n_parties))
+        # ids directly (rng.choice(n) samples from arange(n)).  The
+        # array view keeps restricted rounds allocation-light: one
+        # flatnonzero of the online mask, no per-id Python ints.
+        pool = self.context.online_view.ids_array(self.context.n_parties)
         n_total = min(int(np.ceil(n_select * self.overprovision)),
                       len(pool))
         chosen = rng.choice(len(pool), size=n_total, replace=False)

@@ -16,8 +16,6 @@ paper, and exhausted tiers drop out of the draw.
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 import numpy as np
 
 from repro.common.exceptions import ConfigurationError
@@ -58,8 +56,10 @@ class TiflSelection(SelectionStrategy):
         self._tier_of: np.ndarray | None = None
         self._credits: np.ndarray | None = None
         self._tier_accuracy: np.ndarray | None = None
-        self._latency_sum: defaultdict = defaultdict(float)
-        self._latency_count: defaultdict = defaultdict(int)
+        # Flat per-party profiling arrays (allocated at initialize) —
+        # re-tiering a big population is then pure array arithmetic.
+        self._latency_sum: np.ndarray = np.zeros(0)
+        self._latency_count: np.ndarray = np.zeros(0, dtype=np.int64)
         self._last_selected_tier: int | None = None
 
     def initialize(self, context: SelectionContext) -> None:
@@ -74,20 +74,21 @@ class TiflSelection(SelectionStrategy):
         self._credits = np.full(n_tiers, credits, dtype=np.int64)
         # Optimistic accuracy estimate so every tier gets tried early.
         self._tier_accuracy = np.zeros(n_tiers)
-        self._latency_sum.clear()
-        self._latency_count.clear()
+        self._latency_sum = np.zeros(context.n_parties)
+        self._latency_count = np.zeros(context.n_parties, dtype=np.int64)
 
     # -- tiering ---------------------------------------------------------
     def _observed_latency(self, party: int) -> float | None:
-        count = self._latency_count[party]
-        return self._latency_sum[party] / count if count else None
+        count = int(self._latency_count[party])
+        return float(self._latency_sum[party]) / count if count else None
 
     def _retier(self) -> None:
         assert self._tier_of is not None
         n = self.context.n_parties
-        observed = np.array([
-            lat if (lat := self._observed_latency(p)) is not None else np.nan
-            for p in range(n)])
+        observed = np.where(
+            self._latency_count > 0,
+            self._latency_sum / np.maximum(self._latency_count, 1),
+            np.nan)
         if np.all(np.isnan(observed)):
             return
         fill = float(np.nanmedian(observed))
@@ -109,13 +110,15 @@ class TiflSelection(SelectionStrategy):
 
         # Tiers are drawn over the online population; with everyone
         # online (every tier is non-empty by construction) this is the
-        # legacy behaviour, draw for draw.
+        # legacy behaviour, draw for draw.  One bincount of the online
+        # members' tiers replaces a per-tier O(N) scan.
         n_parties = self.context.n_parties
-        online = np.zeros(n_parties, dtype=bool)
-        online[self.context.online_view.ids(n_parties)] = True
+        online = self.context.online_view.mask(n_parties)
 
+        online_per_tier = np.bincount(self._tier_of[online],
+                                      minlength=self.n_tiers)
         drawable = [t for t in range(self.n_tiers)
-                    if np.any(online[self._tier_of == t])]
+                    if online_per_tier[t] > 0]
         eligible = [t for t in drawable if self._credits[t] > 0]
         if not eligible:
             # Every drawable budget spent: TiFL refills rather than
@@ -142,12 +145,15 @@ class TiflSelection(SelectionStrategy):
             cohort = [int(members[i]) for i in picks]
         else:
             # Small tier: take everyone, top up from the nearest online
-            # tiers so the round still fields Nr parties.
+            # tiers so the round still fields Nr parties.  The stable
+            # argsort walks parties by tier distance (ids ascending
+            # within a distance), exactly the order the original Python
+            # filter loop visited them in.
             cohort = [int(p) for p in members]
-            others = [int(p) for p in np.argsort(
-                np.abs(self._tier_of - tier), kind="stable")
-                if online[p] and int(p) not in set(cohort)]
-            cohort.extend(others[:n_select - len(cohort)])
+            order = np.argsort(np.abs(self._tier_of - tier), kind="stable")
+            keep = online[order] & ~np.isin(order, members)
+            others = order[keep]
+            cohort.extend(int(p) for p in others[:n_select - len(cohort)])
         return cohort
 
     def report_round(self, outcome: RoundOutcome) -> None:

@@ -54,6 +54,49 @@ class TestPickCountMinHeap:
         with pytest.raises(ConfigurationError):
             PickCountMinHeap().extract_min()
 
+    def test_drop_prunes_permanently(self):
+        heap = PickCountMinHeap(["a", "b", "c"])
+        assert heap.extract_min(drop={"a"}) == "b"
+        # "a" was pruned on pop, not skipped-and-re-pushed.
+        assert "a" not in heap
+        assert len(heap) == 1
+        assert heap.extract_min() == "c"
+
+    def test_drop_is_not_rescanned_regression(self):
+        """Regression for the O(n) rescan: a dropped entry must leave
+        the underlying heap entirely, so later extractions — with or
+        without ``drop`` — never surface it again."""
+        heap = PickCountMinHeap(range(10))
+        assert heap.extract_min(drop=set(range(5))) == 5
+        assert all(entry[2] >= 6 for entry in heap._heap)
+        assert [heap.extract_min() for _ in range(4)] == [6, 7, 8, 9]
+
+    def test_drop_keeps_recorded_picks(self):
+        """Pruning removes presence, not history: fairness memory
+        survives, exactly like an extract would leave it."""
+        heap = PickCountMinHeap()
+        heap.insert("gone", 4)
+        heap.insert("stays", 5)
+        assert heap.extract_min(drop={"gone"}) == "stays"
+        assert heap.picks("gone") == 4
+        heap.insert("gone")  # a re-enrollment keeps its place in line
+        assert heap.picks("gone") == 4
+
+    def test_drop_combined_with_exclude(self):
+        """Excluded entries are re-pushed (they will come back);
+        dropped entries are not."""
+        heap = PickCountMinHeap(["a", "b", "c", "d"])
+        assert heap.extract_min(exclude={"b"}, drop={"a"}) == "c"
+        assert "a" not in heap
+        assert "b" in heap and "d" in heap
+        assert heap.extract_min() == "b"
+
+    def test_drop_everything_raises(self):
+        heap = PickCountMinHeap(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            heap.extract_min(drop={"a", "b"})
+        assert len(heap) == 0
+
     def test_double_insert_rejected(self):
         heap = PickCountMinHeap(["a"])
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,359 @@
+"""PartyStore + vectorized planning: equivalence with the legacy path.
+
+Three layers of guarantees, matching the struct-of-arrays refactor's
+bit-exactness contract:
+
+* :class:`~repro.fl.PartyStore` replays ``Party.expected_latency``
+  operation for operation (bit-equal floats, property-tested);
+* the dual-backed :class:`~repro.availability.view.OnlineView` answers
+  identically whether it was fed an id-set or a boolean mask;
+* :class:`~repro.fl.RoundPlanner` — mask composition, fallbacks,
+  selection, deadline arrivals — reproduces the engine's original
+  set-based planning pipeline draw for draw over random populations
+  (identical cohorts, stragglers, latencies and deadlines).
+
+Golden digests for full training jobs live in
+``tests/experiments/test_backends.py``; here we pin planning alone.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.availability.churn import ChurnProcess
+from repro.availability.deadline import DeadlineArrivals
+from repro.availability.models import BernoulliAvailability
+from repro.availability.view import OnlineView
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import RngFabric
+from repro.data.dataset import Dataset
+from repro.fl import LazyPartyList, PartyStore, RoundPlanner
+from repro.fl.party import LocalTrainingConfig, Party
+from repro.selection.base import SelectionContext
+from repro.selection.random_selection import RandomSelection
+
+
+def _make_party(i: int, n_samples: int, speed: float) -> Party:
+    data = Dataset(x=np.zeros((n_samples, 2)),
+                   y=np.zeros(n_samples, dtype=np.int64), num_classes=2)
+    return Party(i, data, compute_speed=speed, rng=i)
+
+
+class TestPartyStoreConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartyStore(np.zeros(0, dtype=np.int64), np.ones(0))
+        with pytest.raises(ConfigurationError):
+            PartyStore(np.ones(3, dtype=np.int64), np.ones(2))
+        with pytest.raises(ConfigurationError):
+            PartyStore(np.ones(3, dtype=np.int64),
+                       np.array([1.0, 0.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            PartyStore(np.ones(3, dtype=np.int64), np.ones(3),
+                       transfer_seconds=np.zeros(2))
+        with pytest.raises(ConfigurationError):
+            PartyStore(np.ones(3, dtype=np.int64), np.ones(3),
+                       tier=np.zeros(4, dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            PartyStore(np.ones(3, dtype=np.int64), np.ones(3),
+                       label_distributions=np.zeros((2, 4)))
+
+    def test_defaults_all_online_alive_unselected(self):
+        store = PartyStore(np.ones(5, dtype=np.int64), np.ones(5))
+        assert store.n_parties == 5
+        assert store.online.all() and store.alive.all()
+        assert store.times_selected.sum() == 0
+        assert store.transfer_seconds.sum() == 0.0
+        assert (store.tier == -1).all()
+        assert store.label_distributions is None
+
+    def test_nbytes_counts_every_array(self):
+        store = PartyStore.synthetic(100, rng=0, num_classes=4)
+        with_labels = store.nbytes
+        assert with_labels > 0
+        store.label_distributions = None
+        assert store.nbytes == with_labels - 100 * 4 * 8
+
+    def test_synthetic_is_deterministic(self):
+        a = PartyStore.synthetic(64, rng=7, num_classes=3)
+        b = PartyStore.synthetic(64, rng=7, num_classes=3)
+        assert np.array_equal(a.num_samples, b.num_samples)
+        assert np.array_equal(a.compute_speed, b.compute_speed)
+        assert np.array_equal(a.label_distributions,
+                              b.label_distributions)
+        with pytest.raises(ConfigurationError):
+            PartyStore.synthetic(0)
+
+
+class TestExpectedLatency:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=5000),
+                              st.floats(min_value=0.05, max_value=20.0)),
+                    min_size=1, max_size=12),
+           st.integers(min_value=1, max_value=8))
+    def test_bit_equal_to_party_objects(self, specs, epochs):
+        """Vectorized latency == per-object ``Party.expected_latency``,
+        bit for bit, for arbitrary sizes / speeds / epoch counts."""
+        config = LocalTrainingConfig(epochs=epochs)
+        sizes = np.array([n for n, _ in specs], dtype=np.int64)
+        speeds = np.array([s for _, s in specs])
+        store = PartyStore(sizes, speeds)
+        vectorized = store.expected_latency(config)
+        for i, (n, speed) in enumerate(specs):
+            party = _make_party(i, n, speed)
+            assert vectorized[i] == party.expected_latency(config)
+
+    def test_ids_gather_matches_full_pass(self):
+        store = PartyStore.synthetic(50, rng=3)
+        config = LocalTrainingConfig(epochs=2)
+        ids = np.array([4, 7, 31], dtype=np.int64)
+        assert np.array_equal(store.expected_latency(config, ids),
+                              store.expected_latency(config)[ids])
+
+
+class TestMutableState:
+    def test_note_selected_counts(self):
+        store = PartyStore(np.ones(6, dtype=np.int64), np.ones(6))
+        store.note_selected([1, 3])
+        store.note_selected((3, 5))
+        assert store.times_selected.tolist() == [0, 1, 0, 2, 0, 1]
+
+    def test_set_population_none_means_everyone(self):
+        store = PartyStore(np.ones(4, dtype=np.int64), np.ones(4))
+        mask = np.array([True, False, True, False])
+        store.set_population(mask, ~mask)
+        assert np.array_equal(store.online, mask)
+        assert np.array_equal(store.alive, ~mask)
+        store.set_population(None, None)
+        assert store.online.all() and store.alive.all()
+
+    def test_state_dict_round_trip(self):
+        store = PartyStore.synthetic(10, rng=0)
+        store.note_selected([2, 2, 9])
+        store.set_population(np.arange(10) % 2 == 0, None)
+        state = store.state_dict()
+        fresh = PartyStore.synthetic(10, rng=0)
+        fresh.load_state_dict(state)
+        for name in ("online", "alive", "times_selected"):
+            assert np.array_equal(getattr(fresh, name),
+                                  getattr(store, name))
+        # The snapshot is a copy, not a view into the live arrays.
+        store.note_selected([0])
+        assert state["times_selected"][0] == 0
+
+    def test_load_rejects_wrong_population(self):
+        store = PartyStore.synthetic(10, rng=0)
+        with pytest.raises(ConfigurationError):
+            store.load_state_dict(PartyStore.synthetic(11).state_dict())
+
+
+class TestLazyPartyList:
+    def test_factory_called_once_per_index(self):
+        calls = []
+
+        def factory(i):
+            calls.append(i)
+            return _make_party(i, 4, 1.0)
+
+        parties = LazyPartyList(5, factory)
+        assert len(parties) == 5
+        assert parties.materialized_ids() == []
+        first = parties[3]
+        assert parties[3] is first
+        assert calls == [3]
+        assert parties.materialized_ids() == [3]
+
+    def test_negative_and_out_of_range(self):
+        parties = LazyPartyList(4, lambda i: _make_party(i, 4, 1.0))
+        assert parties[-1].party_id == 3
+        with pytest.raises(IndexError):
+            parties[4]
+        with pytest.raises(IndexError):
+            parties[-5]
+
+    def test_iteration_materializes_all(self):
+        parties = LazyPartyList(3, lambda i: _make_party(i, 4, 1.0))
+        assert [p.party_id for p in parties] == [0, 1, 2]
+        assert parties.materialized_ids() == [0, 1, 2]
+
+    def test_requires_parties(self):
+        with pytest.raises(ConfigurationError):
+            LazyPartyList(0, lambda i: None)
+
+
+class TestOnlineViewBackings:
+    """The view's promise: set and mask backings answer identically."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=10_000))
+    def test_set_and_mask_views_agree(self, n_parties, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.random(n_parties) < 0.6
+        if not mask.any():
+            mask[int(rng.integers(n_parties))] = True
+        by_set, by_mask = OnlineView(), OnlineView()
+        by_set.update({int(p) for p in np.flatnonzero(mask)})
+        by_mask.update_mask(mask)
+        assert by_set.ids(n_parties) == by_mask.ids(n_parties)
+        assert np.array_equal(by_set.ids_array(n_parties),
+                              by_mask.ids_array(n_parties))
+        assert np.array_equal(by_set.mask(n_parties),
+                              by_mask.mask(n_parties))
+        assert by_set.count(n_parties) == by_mask.count(n_parties)
+        assert by_set.online == by_mask.online
+        for p in range(n_parties):
+            assert by_set.is_online(p) == by_mask.is_online(p)
+            assert not by_mask.is_vanished(p)
+
+    def test_vanished_requires_mask(self):
+        view = OnlineView()
+        with pytest.raises(ConfigurationError):
+            view.update_mask(None, vanished=np.array([True]))
+
+
+# -- planner vs. the legacy set-based pipeline -------------------------
+
+_N_PARTIES = 30
+_ROUNDS = 6
+_COHORT = 8
+
+
+def _build_stack(seed, rate, late_join, hazard):
+    """One planning stack (store, availability, churn, arrivals, view,
+    strategy, streams) wired exactly like the engine."""
+    store = PartyStore.synthetic(_N_PARTIES, rng=seed)
+    fabric = RngFabric(seed)
+    availability = BernoulliAvailability(rate=rate)
+    availability.bind(_N_PARTIES, fabric.generator("availability"))
+    churn = None
+    if late_join or hazard:
+        churn = ChurnProcess(late_join_fraction=late_join,
+                             departure_hazard=hazard)
+        churn.bind(_N_PARTIES, _ROUNDS, fabric.generator("churn"))
+    local_config = LocalTrainingConfig(epochs=2)
+    arrivals = DeadlineArrivals(deadline_factor=1.5)
+    arrivals.bind(None, local_config, store=store)
+    view = OnlineView()
+    strategy = RandomSelection()
+    strategy.initialize(SelectionContext(
+        n_parties=_N_PARTIES, parties_per_round=_COHORT,
+        total_rounds=_ROUNDS, party_sizes=store.num_samples,
+        num_classes=4, seed=seed, online_view=view))
+    return dict(store=store, availability=availability, churn=churn,
+                arrivals=arrivals, view=view, strategy=strategy,
+                rng_select=fabric.generator("selector"),
+                rng_arrival=fabric.generator("deadline"),
+                local_config=local_config)
+
+
+def _legacy_plan(stack, round_index):
+    """The engine's original set-based planning, verbatim (the code that
+    lived in ``FederatedTrainer._online_parties`` + ``plan_round``
+    before the struct-of-arrays refactor)."""
+    churn = stack["churn"]
+    active = churn.active(round_index) if churn is not None else None
+    availability = stack["availability"]
+    drawn = (None if availability.trivial
+             else availability.online(round_index))
+    if drawn is None and active is None:
+        online = None
+    else:
+        online = (set(drawn) if drawn is not None
+                  else set(range(_N_PARTIES)))
+        if active is not None:
+            online &= active
+        if not online:
+            online = active if active else set(range(_N_PARTIES))
+        if len(online) == _N_PARTIES:
+            online = None
+    stack["view"].update(online)
+    n_select = (_COHORT if online is None
+                else min(_COHORT, len(online)))
+    cohort = stack["strategy"].validated_select(
+        round_index, n_select, stack["rng_select"])
+    arrival = stack["arrivals"].draw(cohort, round_index,
+                                     stack["rng_arrival"])
+    return dict(online=online, cohort=tuple(cohort),
+                stragglers=tuple(sorted(arrival.missed)),
+                latencies=arrival.latencies, deadline=arrival.deadline)
+
+
+class TestPlannerEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.sampled_from([0.05, 0.3, 0.6, 0.9, 1.0]),
+           st.sampled_from([0.0, 0.2, 0.5]),
+           st.sampled_from([0.0, 0.05, 0.3]))
+    def test_planner_matches_legacy_pipeline(self, seed, rate,
+                                             late_join, hazard):
+        """Identical streams in → identical plans out: cohorts,
+        stragglers, latencies, deadlines and the online population all
+        match the set-based reference, round for round."""
+        legacy = _build_stack(seed, rate, late_join, hazard)
+        modern = _build_stack(seed, rate, late_join, hazard)
+        planner = RoundPlanner(
+            store=modern["store"], strategy=modern["strategy"],
+            availability_model=modern["availability"],
+            churn=modern["churn"], arrivals=modern["arrivals"],
+            fault_injector=None, rng_select=modern["rng_select"],
+            rng_arrival=modern["rng_arrival"], view=modern["view"],
+            parties_per_round=_COHORT,
+            local_config=modern["local_config"])
+        for round_index in range(1, _ROUNDS + 1):
+            expected = _legacy_plan(legacy, round_index)
+            plan = planner.plan_round(round_index)
+            assert plan.cohort == expected["cohort"]
+            assert plan.stragglers == expected["stragglers"]
+            assert plan.deadline == expected["deadline"]
+            assert plan.latencies == expected["latencies"]
+            if expected["online"] is None:
+                assert plan.online is None
+            else:
+                assert plan.online is not None
+                assert list(plan.online) == sorted(expected["online"])
+
+    def test_store_mirrors_the_rounds(self):
+        stack = _build_stack(3, 0.6, 0.2, 0.05)
+        planner = RoundPlanner(
+            store=stack["store"], strategy=stack["strategy"],
+            availability_model=stack["availability"],
+            churn=stack["churn"], arrivals=stack["arrivals"],
+            fault_injector=None, rng_select=stack["rng_select"],
+            rng_arrival=stack["rng_arrival"], view=stack["view"],
+            parties_per_round=_COHORT,
+            local_config=stack["local_config"])
+        total = 0
+        for round_index in range(1, _ROUNDS + 1):
+            plan = planner.plan_round(round_index)
+            total += len(plan.cohort)
+            store = stack["store"]
+            # The store's population flags reflect this round.
+            if plan.online is None:
+                assert store.online.all()
+            else:
+                assert np.array_equal(np.flatnonzero(store.online),
+                                      plan.online)
+            departed = stack["churn"].departed_mask(round_index)
+            assert np.array_equal(store.alive, ~departed)
+        assert int(stack["store"].times_selected.sum()) == total
+
+    def test_empty_cohort_is_an_error(self):
+        stack = _build_stack(0, 0.9, 0.0, 0.0)
+
+        class _Empty(RandomSelection):
+            def select(self, round_index, n_select, rng):
+                return []
+
+        strategy = _Empty()
+        strategy.initialize(stack["strategy"].context)
+        planner = RoundPlanner(
+            store=stack["store"], strategy=strategy,
+            availability_model=stack["availability"], churn=None,
+            arrivals=stack["arrivals"], fault_injector=None,
+            rng_select=stack["rng_select"],
+            rng_arrival=stack["rng_arrival"], view=stack["view"],
+            parties_per_round=_COHORT,
+            local_config=stack["local_config"])
+        with pytest.raises(ConfigurationError):
+            planner.plan_round(1)

@@ -1,0 +1,184 @@
+"""Top-k selection paths at scale: 100k parties, heavy churn.
+
+Every selector must run its array fast path over a large restricted
+population without ever touching an offline party: the cohort comes out
+of the online pool only, vanished (permanently departed) parties are
+never resurrected, ties break deterministically, and FLIPS's heap
+bookkeeping stays consistent while vanished parties are pruned.
+
+The population is deliberately hostile: 30 % online, 15 % permanently
+departed, the rest asleep.  ``validated_select`` is used throughout, so
+an offline pick raises instead of passing silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering_stage import ClusterModel
+from repro.core.flips import FlipsSelector
+from repro.fl.party_store import PartyStore
+from repro.availability.view import OnlineView
+from repro.selection.base import RoundOutcome, SelectionContext
+from repro.selection.gradclus import GradClusSelection
+from repro.selection.oort import OortSelection
+from repro.selection.power_of_choice import PowerOfChoiceSelection
+from repro.selection.random_selection import RandomSelection
+from repro.selection.tifl import TiflSelection
+
+_N = 100_000
+_COHORT = 64
+_K_CLUSTERS = 32
+
+
+@pytest.fixture(scope="module")
+def store():
+    return PartyStore.synthetic(_N, rng=0)
+
+
+@pytest.fixture(scope="module")
+def population():
+    """(online, vanished) masks: 30 % awake, 15 % gone for good."""
+    rng = np.random.default_rng(1)
+    draws = rng.random(_N)
+    online = draws < 0.30
+    vanished = draws > 0.85  # disjoint from online by construction
+    return online, vanished
+
+
+def _synthetic_cluster_model(rng_seed: int = 5) -> ClusterModel:
+    """A pre-computed cluster model so FLIPS skips the k-means stage —
+    clustering 100k label vectors is not what this test times."""
+    rng = np.random.default_rng(rng_seed)
+    assignments = rng.integers(0, _K_CLUSTERS, size=_N)
+    return ClusterModel(assignments=assignments, k=_K_CLUSTERS,
+                        centroids=np.zeros((_K_CLUSTERS, 4)))
+
+
+def _selector_factories():
+    return {
+        "random": lambda: RandomSelection(),
+        "power_of_choice": lambda: PowerOfChoiceSelection(),
+        "oort": lambda: OortSelection(),
+        "tifl": lambda: TiflSelection(),
+        "grad_cls": lambda: GradClusSelection(),
+        "flips": lambda: FlipsSelector(
+            cluster_model=_synthetic_cluster_model()),
+    }
+
+
+def _initialized(name, store, online, vanished):
+    view = OnlineView()
+    view.update_mask(online, vanished=vanished)
+    strategy = _selector_factories()[name]()
+    strategy.initialize(SelectionContext(
+        n_parties=_N, parties_per_round=_COHORT, total_rounds=10,
+        party_sizes=store.num_samples, num_classes=4, seed=0,
+        online_view=view))
+    return strategy
+
+
+def _feedback(strategy, cohort, round_index):
+    """A plausible round outcome so stateful selectors (Oort utilities,
+    TiFL latency profile) exercise their scoring paths in round 2."""
+    rng = np.random.default_rng(100 + round_index)
+    received = tuple(cohort[: len(cohort) * 3 // 4])
+    stragglers = tuple(cohort[len(cohort) * 3 // 4:])
+    strategy.report_round(RoundOutcome(
+        round_index=round_index, cohort=tuple(cohort),
+        received=received, stragglers=stragglers,
+        train_losses={p: float(rng.random()) for p in received},
+        loss_sq_sums={p: float(rng.random()) for p in received},
+        loss_counts={p: 8 for p in received},
+        latencies={p: float(rng.random() + 0.1) for p in received},
+        global_accuracy=0.5))
+
+
+@pytest.mark.parametrize("name", sorted(_selector_factories()))
+class TestTopKUnderChurn:
+    def test_cohort_is_online_and_duplicate_free(self, name, store,
+                                                 population):
+        online, vanished = population
+        strategy = _initialized(name, store, online, vanished)
+        rng = np.random.default_rng(42)
+        for round_index in (1, 2, 3):
+            cohort = strategy.validated_select(round_index, _COHORT, rng)
+            assert len(cohort) >= _COHORT  # over-provisioners may exceed
+            assert len(set(cohort)) == len(cohort)
+            members = np.asarray(cohort, dtype=np.int64)
+            assert online[members].all()
+            assert not vanished[members].any()
+            _feedback(strategy, cohort, round_index)
+
+    def test_deterministic_ties(self, name, store, population):
+        """Two identically-seeded instances agree draw for draw — tie
+        breaking is deterministic, never id-hash or dict-order."""
+        online, vanished = population
+        cohorts = []
+        for _ in range(2):
+            strategy = _initialized(name, store, online, vanished)
+            rng = np.random.default_rng(7)
+            run = []
+            for round_index in (1, 2):
+                cohort = strategy.validated_select(round_index, _COHORT,
+                                                   rng)
+                run.append(tuple(cohort))
+                _feedback(strategy, cohort, round_index)
+            cohorts.append(run)
+        assert cohorts[0] == cohorts[1]
+
+
+class TestFlipsHeapInvariants:
+    def test_heaps_stay_consistent_and_prune_vanished(self, store,
+                                                      population):
+        online, vanished = population
+        strategy = _initialized("flips", store, online, vanished)
+        rng = np.random.default_rng(9)
+        selected = []
+        for round_index in (1, 2, 3):
+            cohort = strategy.validated_select(round_index, _COHORT, rng)
+            selected.extend(cohort)
+            _feedback(strategy, cohort, round_index)
+
+        model = strategy.cluster_model
+        vanished_pruned = 0
+        for cluster, heap in strategy._party_heaps.items():
+            for party in model.members(cluster):
+                party = int(party)
+                if party in heap:
+                    # Live entries carry the correct pick counts.
+                    assert heap.picks(party) == selected.count(party)
+                else:
+                    # The only parties ever *removed* are vanished ones
+                    # pruned on pop (selected parties are re-inserted).
+                    assert vanished[party]
+                    vanished_pruned += 1
+        assert vanished_pruned > 0  # churn actually exercised pruning
+        # Selected parties were re-inserted after their increment.
+        for party in selected:
+            cluster = int(model.assignments[party])
+            assert party in strategy._party_heaps[cluster]
+        # Total bookkeeping: party-level picks == selections made.
+        picks = strategy.party_pick_counts()
+        assert sum(picks.values()) == len(selected)
+
+    def test_vanished_parties_never_return(self, store, population):
+        """Once pruned, a vanished party stays out even if a later
+        round's mask no longer lists it as vanished (departures are
+        permanent; the selector must not need reminding)."""
+        online, vanished = population
+        strategy = _initialized("flips", store, online, vanished)
+        rng = np.random.default_rng(11)
+        strategy.validated_select(1, _COHORT, rng)
+        pruned = [
+            int(p) for cluster, heap in strategy._party_heaps.items()
+            for p in strategy.cluster_model.members(cluster)
+            if int(p) not in heap]
+        assert pruned
+        # Next round: same online mask, vanished no longer flagged.
+        view = strategy.context.online_view
+        view.update_mask(online)
+        cohort = strategy.validated_select(2, _COHORT, rng)
+        assert not set(cohort) & set(pruned)
+        for party in pruned:
+            cluster = int(strategy.cluster_model.assignments[party])
+            assert party not in strategy._party_heaps[cluster]
