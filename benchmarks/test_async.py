@@ -1,0 +1,199 @@
+"""Async aggregation bench: scheduler overhead + simulated time-to-target.
+
+Two claims land in ``BENCH_round_loop.json`` under ``async``:
+
+* **armed-but-idle overhead** — running the synchronous policy on the
+  event-timeline scheduler (``aggregation_mode="timeline"``) must cost
+  within 2 % of the plain round loop it replays, while producing the
+  identical history record for record.  The timeline's bookkeeping
+  (heap, dispatch ledger, in-flight mask) is O(cohort) per round; if it
+  leaks anything heavier onto the hot path, this gate catches it.
+* **buffered time-to-target** — under a diurnal, straggler-heavy regime
+  (deadline arrivals over tiered devices), FedBuff-style buffered
+  aggregation must reach the target accuracy in at most 0.8× the
+  *simulated* wall-clock the lock-step loop needs.  Simulated time is
+  deterministic — the draw streams are seeded — so this gate measures
+  the subsystem's reason to exist, not machine noise.
+
+Runs in seconds — safe for the tier-1 sweep; the overhead gate uses the
+interleaved best-of-N discipline of ``test_round_loop.py``.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.experiments import (
+    ExperimentConfig,
+    build_federation_for,
+    run_experiment,
+)
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_JSON_PATH = _REPO_ROOT / "BENCH_round_loop.json"
+
+#: The round-loop bench's shape: 64 parties, 16-per-round cohort, static
+#: population — the regime where the timeline has nothing async to do.
+_IDLE = ExperimentConfig(
+    dataset="ecg", selector="random", algorithm="fedavg",
+    n_parties=64, participation=0.25, rounds=20,
+    n_train=3200, n_test=8000, model="softmax",
+    local_epochs=2, batch_size=16)
+
+#: Diurnal + tiered-device + deadline regime: every round of the
+#: lock-step loop stretches to its slowest survivor, which is exactly
+#: the tax buffered folds dodge.
+_DIURNAL = ExperimentConfig(
+    dataset="ecg", selector="random", algorithm="fedavg",
+    n_parties=64, participation=0.25, rounds=24,
+    n_train=3200, n_test=2000, model="softmax",
+    local_epochs=2, batch_size=16,
+    availability="diurnal", availability_rate=0.6,
+    deadline_factor=1.25, device_tiers=True)
+
+#: Full-cohort folds (16 arrivals) from a two-cohort in-flight pool:
+#: every aggregation event carries as many updates as a synchronous
+#: round, so time-to-target compares like for like.
+_BUFFERED_KNOBS = {"aggregation_mode": "buffered", "buffer_size": 16,
+                   "max_concurrency": 32}
+_OVERLAPPED_KNOBS = {"aggregation_mode": "overlapped",
+                     "max_concurrency": 32}
+
+#: Simulated time-to-target gate: buffered must need at most this
+#: fraction of the synchronous clock.
+_TARGET_RATIO = 0.8
+
+
+def _affinity() -> int:
+    """Cores this process may actually run on (≤ ``os.cpu_count()``)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _paired_time(base: ExperimentConfig, other: ExperimentConfig,
+                 repeats: int = 5, required: "float | None" = None,
+                 max_extra: int = 24):
+    """Best-of-N interleaved timing (see ``test_round_loop.py``).
+
+    Alternating runs see the same load regimes, minima form the stable
+    lower envelope, and a ``required`` lower-bound gate keeps sampling
+    (up to ``max_extra`` extra pairs) until the bound proves achievable
+    or the budget is spent.
+    """
+    build_federation_for(base)
+    build_federation_for(other)
+    base_samples, other_samples = [], []
+
+    def sample_pair():
+        start = time.perf_counter()
+        run_experiment(base)
+        base_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        run_experiment(other)
+        other_samples.append(time.perf_counter() - start)
+
+    for _ in range(repeats):
+        sample_pair()
+    extra = 0
+    while (required is not None and extra < max_extra
+           and min(base_samples) / min(other_samples) < required):
+        sample_pair()
+        extra += 1
+    base_best, other_best = min(base_samples), min(other_samples)
+    return base_best, other_best, base_best / other_best
+
+
+def _merge_json(section: str, payload: dict) -> None:
+    data = {}
+    if _JSON_PATH.exists():
+        data = json.loads(_JSON_PATH.read_text())
+    data["cpu_count"] = os.cpu_count() or 1
+    payload = dict(payload,
+                   cpu_count=os.cpu_count() or 1, affinity=_affinity())
+    data.setdefault("workloads", {})[section] = payload
+    _JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_async_overhead_and_time_to_target(report):
+    """Armed-but-idle gate + deterministic time-to-target gate."""
+    # (1) Bit-exact replay first — overhead numbers for a scheduler
+    # that computes something else would be meaningless.
+    sync_history = run_experiment(_IDLE)
+    timeline_history = run_experiment(
+        _IDLE.with_overrides(aggregation_mode="timeline"))
+    assert np.array_equal(sync_history.accuracy_series(),
+                          timeline_history.accuracy_series())
+    assert [r.round_duration for r in sync_history.records] == \
+        [r.round_duration for r in timeline_history.records]
+    assert [r.cohort for r in sync_history.records] == \
+        [r.cohort for r in timeline_history.records]
+
+    # Two near-identical ~0.1 s loops: deep extra-sampling budget, same
+    # rationale as the robustness overhead gate.
+    sync_s, timeline_s, ratio = _paired_time(
+        _IDLE, _IDLE.with_overrides(aggregation_mode="timeline"),
+        required=0.98, max_extra=24)
+
+    # (2) Simulated time-to-target under the diurnal straggler regime.
+    target = _DIURNAL.target_accuracy
+    sync = run_experiment(_DIURNAL)
+    buffered = run_experiment(_DIURNAL.with_overrides(**_BUFFERED_KNOBS))
+    overlapped = run_experiment(
+        _DIURNAL.with_overrides(**_OVERLAPPED_KNOBS))
+    sync_t = sync.time_to_target(target)
+    buffered_t = buffered.time_to_target(target)
+    overlapped_t = overlapped.time_to_target(target)
+    assert sync_t is not None, "sync never reached target — retune bench"
+    assert buffered_t is not None, (
+        "buffered never reached target — retune bench")
+
+    payload = {
+        "sync_s": sync_s,
+        "timeline_s": timeline_s,
+        "overhead_ratio": ratio,
+        "rounds": _IDLE.rounds,
+        "cohort": _IDLE.parties_per_round,
+        "target_accuracy": target,
+        "sim_time_to_target": {
+            "synchronous": sync_t,
+            "buffered": buffered_t,
+            "overlapped": overlapped_t,
+        },
+        "sim_speedup_buffered": sync_t / buffered_t,
+        "sim_wall_clock": {
+            "synchronous": sync.wall_clock(),
+            "buffered": buffered.wall_clock(),
+            "overlapped": overlapped.wall_clock(),
+        },
+        "mean_staleness_buffered": buffered.mean_staleness(),
+        "buffer_size": _BUFFERED_KNOBS["buffer_size"],
+        "max_concurrency": _BUFFERED_KNOBS["max_concurrency"],
+    }
+    _merge_json("async", payload)
+    report("BENCH round_loop (async)", json.dumps(payload, indent=2))
+
+    # Gate: armed-but-idle timeline must be ≤2 % overhead (ratio is
+    # sync/timeline best-of-N).  The sampling above keeps drawing pairs
+    # until 0.98 is met; the hard floor sits at 0.90 because a real
+    # scheduler regression (per-event ledger scans, mask rebuilds)
+    # measures >1.10x while shared-runner load bursts can depress even
+    # a best-of-N ratio of near-identical loops by a few percent.
+    assert ratio >= 0.90, (
+        f"timeline scheduler overhead {1 / ratio:.3f}x over the plain "
+        "round loop (event bookkeeping leaked onto the hot path)")
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        assert ratio >= 0.98, (
+            f"timeline scheduler overhead {1 / ratio:.3f}x over the "
+            "plain round loop")
+
+    # Gate: the subsystem's reason to exist, in deterministic simulated
+    # time — no hardware caveats apply.
+    assert buffered_t <= _TARGET_RATIO * sync_t, (
+        f"buffered reached {100 * target:.0f}% in {buffered_t:.3f}s "
+        f"simulated vs sync {sync_t:.3f}s — ratio "
+        f"{buffered_t / sync_t:.2f} exceeds {_TARGET_RATIO}")

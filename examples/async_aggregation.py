@@ -1,0 +1,92 @@
+"""Synchronous vs buffered-async vs overlapped aggregation, head to head.
+
+The lock-step FL loop pays a straggler tax: every round stretches to
+its slowest surviving party (or to the deadline).  This example runs
+the same straggler-heavy job — diurnal availability, tiered devices,
+deadline arrivals — under the three aggregation regimes the
+event-timeline engine (:mod:`repro.fl.async_engine`) supports:
+
+* ``synchronous`` — the paper's lock-step loop;
+* ``buffered`` — FedBuff-style: keep two cohorts' worth of parties in
+  flight and fold the buffer every full cohort of arrivals,
+  staleness-discounted by ``1 / (1 + staleness) ** alpha``;
+* ``overlapped`` — semi-synchronous: the next cohort launches as soon
+  as half of the newest one resolved; slow parties trail in.
+
+All clocks below are *simulated* seconds, reconstructed from the same
+seeded per-party latency draws, so the comparison is deterministic.
+
+Run:  python examples/async_aggregation.py
+"""
+
+from repro.experiments import (
+    ExperimentConfig,
+    async_table,
+    format_async_table,
+    run_experiment,
+)
+
+TARGET = 0.6
+
+BASE = ExperimentConfig(
+    dataset="ecg", selector="random", algorithm="fedavg",
+    n_parties=64, participation=0.25, rounds=24,
+    n_train=3200, n_test=2000, model="softmax",
+    local_epochs=2, batch_size=16,
+    availability="diurnal", availability_rate=0.6,
+    deadline_factor=1.25, device_tiers=True,
+    target_accuracy=TARGET)
+
+MODES = {
+    "synchronous": {},
+    "buffered": {"aggregation_mode": "buffered", "buffer_size": 16,
+                 "max_concurrency": 32},
+    "overlapped": {"aggregation_mode": "overlapped",
+                   "max_concurrency": 32},
+}
+
+
+def main():
+    print(f"{BASE.n_parties} parties, cohort {BASE.parties_per_round}, "
+          f"{BASE.rounds} aggregation events, diurnal availability, "
+          f"device tiers, deadline {BASE.deadline_factor}x\n")
+    print(f"{'mode':>12} | {'peak':>6} | {'to ' + format(TARGET, '.0%'):>9} | "
+          f"{'wall clock':>10} | {'serialized':>10} | {'staleness':>9}")
+    print("-" * 72)
+    results = {}
+    for mode, knobs in MODES.items():
+        history = run_experiment(BASE.with_overrides(**knobs))
+        results[mode] = history
+        t = history.time_to_target(TARGET)
+        staleness = history.mean_staleness()
+        print(f"{mode:>12} | {history.peak_accuracy():>6.3f} | "
+              f"{'never' if t is None else format(t, '8.3f') + 's':>9} | "
+              f"{history.wall_clock():>9.3f}s | "
+              f"{history.sum_of_round_durations():>9.3f}s | "
+              f"{staleness if staleness == staleness else 0.0:>9.2f}")
+
+    sync_t = results["synchronous"].time_to_target(TARGET)
+    buffered_t = results["buffered"].time_to_target(TARGET)
+    if sync_t and buffered_t:
+        print(f"\nbuffered reaches {TARGET:.0%} in "
+              f"{buffered_t / sync_t:.2f}x the synchronous clock "
+              f"({sync_t / buffered_t:.1f}x faster)")
+    print("\nEvent log of the buffered run (first 8 events):")
+    print(f"{'event':>5} | {'sim time':>8} | {'updates':>7} | "
+          f"{'staleness':>9} | {'min weight':>10}")
+    print("-" * 52)
+    for e in results["buffered"].events[:8]:
+        print(f"{e.event_index:>5} | {e.sim_time:>7.3f}s | "
+              f"{e.n_updates:>7} | {e.mean_staleness:>9.2f} | "
+              f"{e.min_weight:>10.3f}")
+
+    print("\nSmoke-scale ablation across regimes "
+          "(simulated time-to-target):\n")
+    print(format_async_table(async_table(
+        "ecg", preset="smoke",
+        regimes={"tiers": {"deadline_factor": 1.25,
+                           "device_tiers": True}})))
+
+
+if __name__ == "__main__":
+    main()

@@ -388,3 +388,13 @@ class FlipsSelector(SelectionStrategy):
     @property
     def straggler_rate_estimate(self) -> float:
         return self._strg_estimate
+
+
+# Self-registration: repro.selection's STRATEGY_REGISTRY seeds the
+# "flips" slot with None because importing this module from there would
+# be circular (this module pulls repro.selection.base above).  By this
+# line the class exists and the selection package — initialized as a
+# side effect of that very import — is complete, so fill the slot.
+from repro import selection as _selection
+
+_selection.STRATEGY_REGISTRY["flips"] = FlipsSelector

@@ -19,9 +19,12 @@ from dataclasses import dataclass, field, replace
 
 from repro.availability.models import AVAILABILITY_KINDS
 from repro.common.exceptions import ConfigurationError
+from repro.fl.aggregation import AGGREGATION_MODES
 from repro.fl.faults import CORRUPT_MODES
+from repro.selection import STRATEGY_REGISTRY
 
 __all__ = [
+    "AGGREGATION_MODES",
     "AVAILABILITY_KINDS",
     "BACKENDS",
     "BENCH_TARGETS",
@@ -33,8 +36,10 @@ __all__ = [
     "smoke_config",
 ]
 
-SELECTORS = ("random", "flips", "oort", "grad_cls", "tifl",
-             "power_of_choice")
+#: Config-selectable strategies, in the registry's canonical column
+#: order (:data:`repro.selection.STRATEGY_REGISTRY` is the single
+#: source of truth; the runner instantiates through it too).
+SELECTORS = tuple(STRATEGY_REGISTRY)
 DATASETS = ("ecg", "skin", "femnist", "fashion")
 BACKENDS = ("serial", "parallel", "batched")
 COMPRESSION_KINDS = ("none", "importance")
@@ -114,6 +119,17 @@ class ExperimentConfig:
     fault_hang_seconds: float = 5.0
     quarantine: bool = False
     quarantine_norm_factor: float = 8.0
+
+    # asynchronous aggregation (event-timeline engine, fl/async_engine):
+    # "synchronous" runs the plain round loop; "timeline" runs the
+    # scheduler with the lock-step policy (bit-exact); "buffered" is
+    # FedBuff-style, "overlapped" semi-synchronous.  buffer_size /
+    # max_concurrency default per mode (None), staleness_alpha is the
+    # FedBuff discount exponent (ignored by sync modes).
+    aggregation_mode: str = "synchronous"
+    buffer_size: int | None = None
+    staleness_alpha: float = 0.5
+    max_concurrency: int | None = None
 
     # recovery + checkpointing (engine robustness; results-neutral)
     worker_timeout: float | None = None
@@ -220,6 +236,31 @@ class ExperimentConfig:
         if self.quarantine_norm_factor <= 1.0:
             raise ConfigurationError(
                 "quarantine_norm_factor must be > 1")
+        if self.aggregation_mode not in AGGREGATION_MODES:
+            raise ConfigurationError(
+                f"unknown aggregation_mode {self.aggregation_mode!r}; "
+                f"choose from {AGGREGATION_MODES}")
+        if self.buffer_size is not None:
+            if self.aggregation_mode != "buffered":
+                raise ConfigurationError(
+                    "buffer_size requires aggregation_mode='buffered'")
+            if self.buffer_size < 1:
+                raise ConfigurationError("buffer_size must be >= 1")
+        if self.max_concurrency is not None:
+            if self.aggregation_mode not in ("buffered", "overlapped"):
+                raise ConfigurationError(
+                    "max_concurrency requires aggregation_mode "
+                    "'buffered' or 'overlapped'")
+            if self.max_concurrency < 1:
+                raise ConfigurationError("max_concurrency must be >= 1")
+        if self.staleness_alpha < 0:
+            raise ConfigurationError("staleness_alpha must be >= 0")
+        if self.checkpoint_every > 0 and \
+                self.aggregation_mode != "synchronous":
+            raise ConfigurationError(
+                "the event-timeline engine does not checkpoint; "
+                "aggregation_mode='synchronous' is required with "
+                "checkpoint_every > 0")
         if self.worker_timeout is not None and self.worker_timeout <= 0:
             raise ConfigurationError(
                 "worker_timeout must be > 0 or None")
@@ -261,7 +302,9 @@ class ExperimentConfig:
                 self.quantize_bits, self.importance_weighting,
                 self.fault_crash, self.fault_hang, self.fault_drop,
                 self.fault_corrupt, self.fault_corrupt_mode,
-                self.quarantine, self.quarantine_norm_factor)
+                self.quarantine, self.quarantine_norm_factor,
+                self.aggregation_mode, self.buffer_size,
+                self.staleness_alpha, self.max_concurrency)
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         return replace(self, **kwargs)

@@ -19,9 +19,10 @@ from repro.availability.models import make_availability_model
 from repro.availability.profiles import assign_profiles
 from repro.common.exceptions import CheckpointError, ConfigurationError
 from repro.common.rng import RngFabric
-from repro.core.flips import FlipsSelector
 from repro.data.federated import FederatedDataset, build_federation
 from repro.experiments.config import ExperimentConfig
+from repro.fl.aggregation import make_aggregator
+from repro.fl.async_engine import AsyncFederatedTrainer
 from repro.fl.checkpoint import Checkpointer, load_checkpoint
 from repro.fl.engine import FederatedTrainer, FLJobConfig
 from repro.fl.evaluation import make_evaluation_policy
@@ -33,14 +34,7 @@ from repro.fl.algorithms import make_algorithm
 from repro.fl.straggler import make_straggler_model
 from repro.fl.updates import UpdateValidator, make_compressor
 from repro.ml.models import make_model
-from repro.selection import (
-    GradClusSelection,
-    OortSelection,
-    PowerOfChoiceSelection,
-    RandomSelection,
-    SelectionStrategy,
-    TiflSelection,
-)
+from repro.selection import SelectionStrategy, get_strategy
 
 __all__ = [
     "build_federation_for",
@@ -74,29 +68,25 @@ def build_federation_for(config: ExperimentConfig) -> FederatedDataset:
 
 def build_selector(config: ExperimentConfig,
                    federation: FederatedDataset) -> SelectionStrategy:
-    """Instantiate the configured selection strategy.
+    """Instantiate the configured selection strategy via the registry.
 
-    FLIPS receives the label-distribution matrix directly here (the
-    transparent path); the TEE-private path is exercised by
+    Dispatch goes through :data:`repro.selection.STRATEGY_REGISTRY`
+    (:func:`repro.selection.get_strategy`), so adding a selector means
+    one registry entry, not another branch here.  FLIPS receives the
+    label-distribution matrix directly (the transparent path); the
+    TEE-private path is exercised by
     :class:`repro.core.middleware.FlipsMiddleware` and its tests/examples
     — the selection decisions are identical by construction.
     """
-    name = config.selector
-    if name == "random":
-        return RandomSelection()
-    if name == "flips":
-        return FlipsSelector(
-            label_distributions=federation.label_distributions(),
-            k=config.flips_k)
-    if name == "oort":
-        return OortSelection(overprovision=config.oort_overprovision)
-    if name == "grad_cls":
-        return GradClusSelection()
-    if name == "tifl":
-        return TiflSelection()
-    if name == "power_of_choice":
-        return PowerOfChoiceSelection()
-    raise ConfigurationError(f"unknown selector {name!r}")
+    kwargs: dict = {}
+    if config.selector == "flips":
+        kwargs = {
+            "label_distributions": federation.label_distributions(),
+            "k": config.flips_k,
+        }
+    elif config.selector == "oort":
+        kwargs = {"overprovision": config.oort_overprovision}
+    return get_strategy(config.selector, **kwargs)
 
 
 def run_experiment(config: ExperimentConfig,
@@ -190,8 +180,19 @@ def run_experiment(config: ExperimentConfig,
                 f"checkpoint {resume_from} was written by a different "
                 f"experiment configuration; refusing to resume")
         resume_from = envelope
-    trainer = FederatedTrainer(
+    trainer_cls = FederatedTrainer
+    trainer_kwargs: dict = {}
+    if config.aggregation_mode != "synchronous":
+        trainer_cls = AsyncFederatedTrainer
+        trainer_kwargs["aggregator"] = make_aggregator(
+            config.aggregation_mode,
+            parties_per_round=config.parties_per_round,
+            buffer_size=config.buffer_size,
+            staleness_alpha=config.staleness_alpha,
+            max_concurrency=config.max_concurrency)
+    trainer = trainer_cls(
         federation, model, algorithm, strategy, job,
+        **trainer_kwargs,
         compressor=compressor,
         straggler_model=(
             None if config.deadline_factor is not None

@@ -33,7 +33,10 @@ from repro.experiments.runner import mean_accuracy_series, run_repeated
 from repro.metrics.convergence import rounds_to_target
 
 __all__ = [
+    "ASYNC_MODES",
+    "ASYNC_REGIMES",
     "AVAILABILITY_REGIMES",
+    "AsyncTableResult",
     "AvailabilityTableResult",
     "COMPRESSION_SETTINGS",
     "CommunicationTableResult",
@@ -42,8 +45,10 @@ __all__ = [
     "TABLE_INDEX",
     "TableResult",
     "TableSpec",
+    "async_table",
     "availability_table",
     "communication_table",
+    "format_async_table",
     "format_availability_table",
     "format_communication_table",
     "format_robustness_table",
@@ -555,4 +560,135 @@ def format_table(result: TableResult) -> str:
             + " ".join(f"{c:>9}" for c in cells)
             + " | " + " ".join(f"{c:>9}" for c in strg10)
             + "             | " + " ".join(f"{c:>9}" for c in strg20))
+    return "\n".join(lines)
+
+
+# -- asynchronous aggregation ablation ---------------------------------------
+#
+# Beyond the paper: lock-step rounds pay the straggler tax every round —
+# the cohort waits for its slowest member or the deadline, whichever
+# comes first.  The event-timeline engine (fl/async_engine.py) removes
+# that barrier two ways: FedBuff-style buffered folds and overlapped
+# (semi-synchronous) rounds.  This ablation compares time-to-accuracy in
+# *simulated* time; rows are straggler-heavy regimes, columns
+# aggregation modes.
+
+#: Named straggler-heavy regimes for the async ablation.  All use the
+#: latency-vs-deadline arrival model (``deadline_factor``) so every
+#: arrival carries a real latency draw for the event timeline to order;
+#: ``device_tiers`` adds the heavy-tailed compute×bandwidth spread that
+#: makes the straggler tax worth dodging.
+ASYNC_REGIMES: "dict[str, dict]" = {
+    "deadline": {"deadline_factor": 1.5},
+    "tiers": {"deadline_factor": 1.25, "device_tiers": True},
+    "diurnal+tiers": {"deadline_factor": 1.25, "device_tiers": True,
+                      "availability": "diurnal", "availability_rate": 0.6},
+}
+
+#: Aggregation-mode columns, synchronous baseline first.
+ASYNC_MODES: "tuple[str, ...]" = ("synchronous", "buffered", "overlapped")
+
+
+@dataclass
+class AsyncTableResult:
+    """One regenerated async-aggregation ablation.
+
+    ``cells[(regime, mode)]`` maps to a dict with ``peak`` (best
+    balanced accuracy), ``time_to_target`` (simulated seconds to the
+    preset target; ``None`` = never within the event budget),
+    ``wall_clock`` (simulated end-to-end time) and ``mean_staleness``
+    (update-weighted, ``NaN`` for lock-step modes).
+    """
+
+    dataset: str
+    target: float
+    rounds_budget: int
+    regimes: "tuple[str, ...]" = ()
+    modes: "tuple[str, ...]" = ()
+    cells: dict = field(default_factory=dict)
+
+    def cell(self, regime: str, mode: str) -> dict:
+        return self.cells[(regime, mode)]
+
+
+def async_table(dataset: str = "ecg", *, preset: str = "bench",
+                seeds: "tuple[int, ...]" = (0,),
+                regimes: "dict[str, dict] | None" = None,
+                modes: "tuple[str, ...]" = ASYNC_MODES,
+                staleness_alpha: float = 0.5,
+                **overrides) -> AsyncTableResult:
+    """Aggregation-mode × straggler-regime time-to-accuracy ablation.
+
+    Every mode runs the same event budget (``rounds`` aggregation
+    events) on the same federation and latency draws; only the
+    dispatch/fold policy differs.  The buffered column folds a full
+    nominal cohort per event (``buffer_size = parties_per_round``) so
+    each aggregation event carries as many updates as a synchronous
+    round and time-to-target compares like for like.
+    """
+    if preset not in _PRESETS:
+        raise ConfigurationError(
+            f"unknown preset {preset!r}; choose from {sorted(_PRESETS)}")
+    if regimes is None:
+        regimes = ASYNC_REGIMES
+    if not regimes or not modes:
+        raise ConfigurationError("need at least one regime and mode")
+    base: ExperimentConfig = _PRESETS[preset](dataset, **overrides)
+    result = AsyncTableResult(
+        dataset=dataset, target=base.target_accuracy,
+        rounds_budget=base.rounds, regimes=tuple(regimes),
+        modes=tuple(modes))
+    for regime, knobs in regimes.items():
+        for mode in modes:
+            mode_knobs = dict(knobs)
+            mode_knobs["aggregation_mode"] = mode
+            if mode == "buffered":
+                mode_knobs.setdefault("buffer_size",
+                                      base.parties_per_round)
+            if mode in ("buffered", "overlapped"):
+                mode_knobs.setdefault("staleness_alpha", staleness_alpha)
+            config = base.with_overrides(**mode_knobs)
+            histories = run_repeated(config, seeds)
+            series = mean_accuracy_series(histories)
+            reached = [t for t in
+                       (h.time_to_target(result.target) for h in histories)
+                       if t is not None]
+            staleness = [h.mean_staleness() for h in histories]
+            result.cells[(regime, mode)] = {
+                "peak": float(series.max()),
+                "time_to_target": (float(np.mean(reached)) if reached
+                                   else None),
+                "wall_clock": float(np.mean(
+                    [h.wall_clock() for h in histories])),
+                "mean_staleness": float(np.mean(staleness)),
+            }
+    return result
+
+
+def format_async_table(result: AsyncTableResult) -> str:
+    """Render the async ablation; speedups are vs the sync column."""
+    lines = [
+        f"Async aggregation ablation — {result.dataset} "
+        f"(target {100 * result.target:.0f}%, "
+        f"event budget {result.rounds_budget}, simulated seconds)"]
+    header = (f"{'regime':>14} | " + " ".join(
+        f"{m:>24}" for m in result.modes)
+        + "   [peak% / time-to-target (speedup)]")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for regime in result.regimes:
+        sync_t = None
+        if result.modes and result.modes[0] == "synchronous":
+            sync_t = result.cell(regime, "synchronous")["time_to_target"]
+        cells = []
+        for mode in result.modes:
+            cell = result.cell(regime, mode)
+            t = cell["time_to_target"]
+            clock = "never" if t is None else f"{t:8.3f}s"
+            speed = ""
+            if t is not None and sync_t is not None and mode != "synchronous":
+                speed = f" ({sync_t / t:4.2f}x)"
+            cells.append(f"{100 * cell['peak']:6.2f} / {clock}{speed}")
+        lines.append(f"{regime:>14} | "
+                     + " ".join(f"{c:>24}" for c in cells))
     return "\n".join(lines)

@@ -8,6 +8,17 @@ global model.  Stragglers are an environment property injected per round;
 communication is metered in bytes.
 """
 
+from repro.fl.aggregation import (
+    AGGREGATION_MODES,
+    AggregationPolicy,
+    BufferedAsyncAggregator,
+    DispatchStatus,
+    OverlappedAggregator,
+    SynchronousAggregator,
+    TimelineView,
+    make_aggregator,
+    staleness_weight,
+)
 from repro.fl.algorithms import (
     ALGORITHM_REGISTRY,
     FedAdagradServer,
@@ -22,6 +33,7 @@ from repro.fl.algorithms import (
     make_algorithm,
     weighted_mean_delta,
 )
+from repro.fl.async_engine import AsyncFederatedTrainer
 from repro.fl.checkpoint import (
     CHECKPOINT_VERSION,
     Checkpointer,
@@ -56,7 +68,12 @@ from repro.fl.faults import (
     corrupt_parameters,
     make_fault_injector,
 )
-from repro.fl.history import RoundRecord, TrainingHistory, mean_or_nan
+from repro.fl.history import (
+    AggregationRecord,
+    RoundRecord,
+    TrainingHistory,
+    mean_or_nan,
+)
 from repro.fl.party import LocalTrainingConfig, Party
 from repro.fl.party_store import LazyPartyList, PartyStore
 from repro.fl.planning import RoundPlanner
@@ -82,14 +99,20 @@ from repro.fl.updates import (
 )
 
 __all__ = [
+    "AGGREGATION_MODES",
     "ALGORITHM_REGISTRY",
+    "AggregationPolicy",
+    "AggregationRecord",
     "AmortizedEvaluation",
+    "AsyncFederatedTrainer",
     "BatchedExecutor",
     "BernoulliStragglers",
+    "BufferedAsyncAggregator",
     "CHECKPOINT_VERSION",
     "CORRUPT_MODES",
     "Checkpointer",
     "ClientExecutor",
+    "DispatchStatus",
     "CommunicationTracker",
     "EXECUTOR_REGISTRY",
     "EvalResult",
@@ -113,6 +136,7 @@ __all__ = [
     "ModelUpdate",
     "NO_FAULTS",
     "NoStragglers",
+    "OverlappedAggregator",
     "PHASES",
     "ParallelExecutor",
     "Party",
@@ -126,6 +150,8 @@ __all__ = [
     "ServerOptimizer",
     "SlowDeviceStragglers",
     "StragglerModel",
+    "SynchronousAggregator",
+    "TimelineView",
     "TrainingHistory",
     "UpdateCompressor",
     "UpdateValidator",
@@ -135,6 +161,7 @@ __all__ = [
     "label_entropy_weights",
     "layer_importance_scores",
     "load_checkpoint",
+    "make_aggregator",
     "make_algorithm",
     "make_compressor",
     "make_evaluation_policy",
@@ -145,5 +172,6 @@ __all__ = [
     "quantize_layer_deltas",
     "save_checkpoint",
     "selective_layer_pruning",
+    "staleness_weight",
     "weighted_mean_delta",
 ]

@@ -1,0 +1,300 @@
+"""Aggregation policies for the event-timeline engine.
+
+The synchronous engine fuses three decisions into the round loop: when
+to dispatch work, when to fold arrived updates into the global model,
+and how to weight them.  :class:`~repro.fl.async_engine.
+AsyncFederatedTrainer` pulls those decisions out into a policy object so
+the same scheduler can run three regimes:
+
+* :class:`SynchronousAggregator` — one dispatch at a time, fold when
+  every cohort member resolved, unweighted.  Replays the synchronous
+  engine bit-exactly (pinned by the golden digests).
+* :class:`BufferedAsyncAggregator` — FedBuff-style: keep up to
+  ``max_concurrency`` parties training concurrently and fold the buffer
+  every ``buffer_size`` arrivals, staleness-weighted.
+* :class:`OverlappedAggregator` — semi-synchronous: dispatch cohort
+  ``t+1`` as soon as a quorum of cohort ``t`` resolved; late arrivals
+  from earlier cohorts trail in and fold staleness-weighted.
+
+Staleness math
+--------------
+An update dispatched at model version ``v`` and folded at version ``v'``
+has staleness ``tau = v' - v`` (aggregation events it missed while
+training).  Its FedBuff discount is::
+
+    s(tau) = 1 / (1 + tau) ** alpha
+
+``alpha = 0`` disables the discount — every weight is 1.0 and buffered
+aggregation reduces to plain FedAvg sample weighting.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = [
+    "AGGREGATION_MODES",
+    "AggregationPolicy",
+    "BufferedAsyncAggregator",
+    "DispatchStatus",
+    "OverlappedAggregator",
+    "SynchronousAggregator",
+    "TimelineView",
+    "make_aggregator",
+    "staleness_weight",
+]
+
+#: Config names of the aggregation regimes.  ``"synchronous"`` is the
+#: plain round-loop engine; ``"timeline"`` runs the event-timeline
+#: scheduler with the synchronous policy (bit-exact, used to gate the
+#: scheduler's armed-but-idle overhead).
+AGGREGATION_MODES = ("synchronous", "timeline", "buffered", "overlapped")
+
+
+def staleness_weight(staleness: int, alpha: float) -> float:
+    """FedBuff's staleness discount ``1 / (1 + staleness) ** alpha``.
+
+    ``staleness`` counts the aggregation events an update missed between
+    its dispatch and its fold; ``alpha = 0`` returns 1.0 for any
+    staleness (no discount).
+    """
+    if staleness < 0:
+        raise ConfigurationError("staleness must be >= 0")
+    if alpha < 0:
+        raise ConfigurationError("staleness alpha must be >= 0")
+    if alpha == 0.0:
+        return 1.0
+    return float(1.0 / (1.0 + float(staleness)) ** alpha)
+
+
+@dataclass
+class DispatchStatus:
+    """Progress of one outstanding dispatch, as policies observe it."""
+
+    index: int
+    dispatch_time: float
+    cohort_size: int
+    n_arrived: int = 0
+    n_resolved: int = 0
+
+    @property
+    def resolved(self) -> bool:
+        """True once every cohort member arrived or timed out."""
+        return self.n_resolved >= self.cohort_size
+
+
+@dataclass
+class TimelineView:
+    """Read-only scheduler state handed to policy decisions.
+
+    ``dispatches`` lists the outstanding (not fully resolved)
+    dispatches, oldest first; ``n_dispatched``/``n_events`` count
+    lifetime dispatches and aggregation events.
+    """
+
+    parties_per_round: int = 1
+    sim_time: float = 0.0
+    n_in_flight: int = 0
+    n_buffered: int = 0
+    n_dispatched: int = 0
+    n_events: int = 0
+    dispatches: list = field(default_factory=list)
+
+
+class AggregationPolicy(ABC):
+    """Decides when the timeline dispatches and when it folds."""
+
+    #: registry / config name
+    name: str = "base"
+    #: staleness discount exponent (0 = unweighted)
+    staleness_alpha: float = 0.0
+    #: lock-step semantics: exactly one dispatch per event window, with
+    #: the synchronous engine's deadline-padded round durations and
+    #: per-round communication invariants
+    lockstep: bool = False
+    #: whether folds rebase deltas and apply staleness weights; the
+    #: synchronous policy keeps the engine's unweighted fold for
+    #: bit-exactness
+    apply_staleness: bool = True
+    #: whether the fold re-sorts the buffer into cohort (participant)
+    #: order — the synchronous float-sensitive contract — instead of
+    #: folding in arrival order
+    fold_in_cohort_order: bool = False
+
+    @abstractmethod
+    def want_dispatch(self, view: TimelineView) -> bool:
+        """True when the scheduler should plan another dispatch now."""
+
+    @abstractmethod
+    def ready(self, view: TimelineView) -> bool:
+        """True when the buffer should fold into an aggregation event."""
+
+    def cohort_cap(self, view: TimelineView) -> int:
+        """Upper bound on the next dispatch's cohort size."""
+        return view.parties_per_round
+
+    def weight(self, staleness: int) -> float:
+        """Staleness discount for one folded update."""
+        return staleness_weight(staleness, self.staleness_alpha)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SynchronousAggregator(AggregationPolicy):
+    """Lock-step rounds on the event timeline.
+
+    Exactly one dispatch is outstanding at any moment; the fold fires
+    when its whole cohort resolved and replays the synchronous engine's
+    aggregation bit-for-bit (cohort fold order, no staleness weights,
+    deadline-padded event times).
+    """
+
+    name = "synchronous"
+    staleness_alpha = 0.0
+    lockstep = True
+    apply_staleness = False
+    fold_in_cohort_order = True
+
+    def want_dispatch(self, view: TimelineView) -> bool:
+        """Dispatch only when the timeline is completely drained."""
+        return (not view.dispatches and view.n_in_flight == 0
+                and view.n_buffered == 0)
+
+    def ready(self, view: TimelineView) -> bool:
+        """Fold once the (single) outstanding dispatch fully resolved."""
+        return bool(view.dispatches) and view.dispatches[0].resolved
+
+
+class BufferedAsyncAggregator(AggregationPolicy):
+    """FedBuff: fold every ``buffer_size`` arrivals, staleness-weighted.
+
+    The scheduler keeps dispatching fresh cohorts while fewer than
+    ``max_concurrency`` parties are in flight, so fast parties never
+    wait for stragglers; each fold rebases its updates onto the current
+    global model and discounts them by
+    :func:`staleness_weight` (``alpha = 0`` reduces to FedAvg sample
+    weighting).
+    """
+
+    name = "buffered"
+
+    def __init__(self, buffer_size: int, *, staleness_alpha: float = 0.5,
+                 max_concurrency: int = 0) -> None:
+        if buffer_size < 1:
+            raise ConfigurationError("buffer_size must be >= 1")
+        if staleness_alpha < 0:
+            raise ConfigurationError("staleness_alpha must be >= 0")
+        if max_concurrency < 1:
+            raise ConfigurationError("max_concurrency must be >= 1")
+        self.buffer_size = int(buffer_size)
+        self.staleness_alpha = float(staleness_alpha)
+        self.max_concurrency = int(max_concurrency)
+
+    def want_dispatch(self, view: TimelineView) -> bool:
+        """Keep the pipeline full up to the concurrency cap."""
+        return view.n_in_flight < self.max_concurrency
+
+    def ready(self, view: TimelineView) -> bool:
+        """Fold as soon as the buffer holds ``buffer_size`` arrivals."""
+        return view.n_buffered >= self.buffer_size
+
+    def cohort_cap(self, view: TimelineView) -> int:
+        """Never dispatch past the concurrency cap."""
+        return max(1, min(view.parties_per_round,
+                          self.max_concurrency - view.n_in_flight))
+
+    def __repr__(self) -> str:
+        return (f"BufferedAsyncAggregator(buffer_size={self.buffer_size}, "
+                f"staleness_alpha={self.staleness_alpha}, "
+                f"max_concurrency={self.max_concurrency})")
+
+
+class OverlappedAggregator(AggregationPolicy):
+    """Semi-synchronous overlap: cohort ``t+1`` launches on quorum.
+
+    One new cohort is dispatched per aggregation event; the event fires
+    when a ``quorum`` fraction of the *newest* cohort resolved, folding
+    everything buffered — including late arrivals from earlier cohorts,
+    staleness-weighted — so slow parties trail in instead of stretching
+    every round to the deadline.
+    """
+
+    name = "overlapped"
+
+    def __init__(self, *, quorum: float = 0.5, staleness_alpha: float = 0.5,
+                 max_concurrency: int = 0) -> None:
+        if not 0.0 < quorum <= 1.0:
+            raise ConfigurationError("quorum must be in (0, 1]")
+        if staleness_alpha < 0:
+            raise ConfigurationError("staleness_alpha must be >= 0")
+        if max_concurrency < 1:
+            raise ConfigurationError("max_concurrency must be >= 1")
+        self.quorum = float(quorum)
+        self.staleness_alpha = float(staleness_alpha)
+        self.max_concurrency = int(max_concurrency)
+
+    def want_dispatch(self, view: TimelineView) -> bool:
+        """One fresh cohort per aggregation event (wave ``t+1`` starts
+        the moment event ``t`` fires), bounded by the concurrency cap."""
+        return (view.n_dispatched == view.n_events
+                and view.n_in_flight < self.max_concurrency)
+
+    def ready(self, view: TimelineView) -> bool:
+        """Fold once a quorum of the newest cohort resolved."""
+        if not view.dispatches:
+            return False
+        newest = view.dispatches[-1]
+        needed = max(1, _ceil(self.quorum * newest.cohort_size))
+        return newest.n_resolved >= needed
+
+    def cohort_cap(self, view: TimelineView) -> int:
+        """Never dispatch past the concurrency cap."""
+        return max(1, min(view.parties_per_round,
+                          self.max_concurrency - view.n_in_flight))
+
+    def __repr__(self) -> str:
+        return (f"OverlappedAggregator(quorum={self.quorum}, "
+                f"staleness_alpha={self.staleness_alpha}, "
+                f"max_concurrency={self.max_concurrency})")
+
+
+def _ceil(x: float) -> int:
+    """Integer ceiling without pulling numpy in for one scalar."""
+    n = int(x)
+    return n if n == x else n + 1
+
+
+def make_aggregator(mode: str, *, parties_per_round: int,
+                    buffer_size: "int | None" = None,
+                    staleness_alpha: float = 0.5,
+                    max_concurrency: "int | None" = None,
+                    quorum: float = 0.5) -> AggregationPolicy:
+    """Build the aggregation policy for a config's ``aggregation_mode``.
+
+    Defaults scale with the nominal cohort size: ``buffer_size`` folds
+    every half-cohort of arrivals and ``max_concurrency`` keeps two
+    cohorts' worth of parties in flight.
+    """
+    if mode not in AGGREGATION_MODES:
+        raise ConfigurationError(
+            f"unknown aggregation mode {mode!r}; choose from "
+            f"{AGGREGATION_MODES}")
+    if parties_per_round < 1:
+        raise ConfigurationError("parties_per_round must be >= 1")
+    if mode in ("synchronous", "timeline"):
+        return SynchronousAggregator()
+    if max_concurrency is None:
+        max_concurrency = 2 * parties_per_round
+    if mode == "buffered":
+        if buffer_size is None:
+            buffer_size = max(1, parties_per_round // 2)
+        return BufferedAsyncAggregator(
+            buffer_size, staleness_alpha=staleness_alpha,
+            max_concurrency=max_concurrency)
+    return OverlappedAggregator(
+        quorum=quorum, staleness_alpha=staleness_alpha,
+        max_concurrency=max_concurrency)

@@ -1,0 +1,406 @@
+"""Event-timeline FL engine: dispatch, arrival and aggregation decoupled.
+
+The synchronous :class:`~repro.fl.engine.FederatedTrainer` fuses "round"
+and "aggregation event": plan, train, wait for everyone, fold, evaluate.
+Production federations do not work that way — FedBuff-style aggregators
+fold whatever arrived, and semi-synchronous systems dispatch the next
+cohort while stragglers from the last one trail in.  This module
+replays the same simulation on an explicit event timeline:
+
+* **dispatch** — plan a cohort (availability ∩ churn ∩ selection, minus
+  parties still in flight), run local training through the bound
+  executor, and schedule one *arrival* per update at ``dispatch_time +
+  update.latency`` (the :class:`~repro.availability.deadline.
+  DeadlineArrivals` draws on their dedicated fabric streams).  Parties
+  that never report (planned stragglers, fault-dropped updates) are
+  released back into the selectable pool at the dispatch's deadline.
+* **arrival** — the earliest scheduled completion pops off a heap,
+  advancing simulated time; its update lands in the aggregation buffer.
+* **aggregation** — whenever the bound
+  :class:`~repro.fl.aggregation.AggregationPolicy` says the buffer is
+  ready, it folds into the global model: each update's delta is rebased
+  onto the current parameters and discounted by the policy's staleness
+  weight, then fed through the algorithm's server optimizer.  One
+  :class:`~repro.fl.history.RoundRecord` plus one
+  :class:`~repro.fl.history.AggregationRecord` land per event, and the
+  strategy gets its :class:`~repro.selection.base.RoundOutcome`
+  feedback — all six selectors keep working unchanged.
+
+With the :class:`~repro.fl.aggregation.SynchronousAggregator` the
+timeline degenerates to lock-step rounds and reproduces the synchronous
+engine bit-for-bit (same RNG draw order, same fold order, same
+deadline-padded durations) — pinned by the golden digests in
+``tests/experiments/test_backends.py`` and the armed-but-idle overhead
+gate in ``benchmarks/test_async.py``.
+
+The round budget counts *aggregation events*: an async job with
+``rounds = R`` fires (up to) R folds, which keeps cross-mode
+comparisons honest — same number of model versions, different wall
+clock.  The job ends early only if the timeline runs dry (nothing in
+flight, nothing buffered, nobody selectable).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.common.exceptions import ConfigurationError
+from repro.fl.aggregation import (
+    AggregationPolicy,
+    DispatchStatus,
+    SynchronousAggregator,
+    TimelineView,
+)
+from repro.fl.engine import _DEADLINE_FACTOR, FederatedTrainer
+from repro.fl.execution import ExecutionContext
+from repro.fl.history import (
+    AggregationRecord,
+    RoundRecord,
+    TrainingHistory,
+    mean_or_nan,
+)
+from repro.fl.profiling import PhaseProfiler
+from repro.selection.base import RoundOutcome
+
+__all__ = ["AsyncFederatedTrainer"]
+
+#: Heap event kinds, in tie-break priority order: arrivals before
+#: releases at equal simulated time (an update that just made the
+#: deadline is folded, not timed out).
+_ARRIVAL = 0
+_STRAGGLE = 1
+_DROP = 2
+
+
+@dataclass
+class _Pending:
+    """Engine-side bookkeeping for one outstanding dispatch."""
+
+    status: DispatchStatus
+    plan: object
+    parameters: np.ndarray
+    version: int
+
+
+@dataclass
+class _Window:
+    """Accumulators for the current event window (since the last fold)."""
+
+    clock_start: float = 0.0
+    cohort: list = field(default_factory=list)
+    downloads: int = 0
+    stragglers: list = field(default_factory=list)
+    retried: int = 0
+    dropped: int = 0
+    workers_restarted: int = 0
+    last_plan: object = None
+    n_online: "int | None" = None
+
+
+class AsyncFederatedTrainer(FederatedTrainer):
+    """Drives an FL job on the event timeline described above.
+
+    A drop-in :class:`~repro.fl.engine.FederatedTrainer` whose round
+    loop is replaced by the dispatch/arrival/aggregation scheduler; the
+    ``aggregator`` policy decides when cohorts launch and when the
+    buffer folds.  Checkpoint/resume is refused — mid-flight dispatches
+    are not snapshotable state yet; synchronous jobs needing resume run
+    on the base engine.
+    """
+
+    def __init__(self, *args,
+                 aggregator: "AggregationPolicy | None" = None,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.aggregator = aggregator or SynchronousAggregator()
+
+    def run(self, resume_from=None,
+            checkpointer=None) -> TrainingHistory:
+        """Run the configured number of aggregation events.
+
+        Binds the executor and evaluation policy exactly like the base
+        engine, then hands control to the timeline scheduler.
+        """
+        if resume_from is not None or checkpointer is not None:
+            raise ConfigurationError(
+                "the event-timeline engine does not support checkpoint/"
+                "resume; run synchronous jobs on FederatedTrainer when "
+                "you need snapshots")
+        history = TrainingHistory(
+            job_name=(f"{self.federation.name}/{self.algorithm.name}"
+                      f"/{self.strategy.name}"),
+            parties_per_round=self.config.parties_per_round)
+        self.executor.bind(ExecutionContext(
+            parties=self.parties,
+            model=self.model,
+            local_config=self._local_config,
+            seed=self.config.seed,
+            collect_loss_stats=getattr(
+                self.strategy, "wants_loss_statistics", True),
+            compressor=self.compressor,
+            track_party_state=self.fault_injector is not None))
+        self.eval_policy.bind(self.model, self.federation.test,
+                              total_rounds=self.config.rounds,
+                              seed=self.config.seed)
+        profiler = PhaseProfiler()
+        try:
+            self._run_timeline(history, profiler)
+        finally:
+            self.executor.close()
+        return history
+
+    # -- the scheduler -----------------------------------------------------
+    def _run_timeline(self, history: TrainingHistory,
+                      profiler: PhaseProfiler) -> None:
+        """The event loop: dispatch while the policy wants work in
+        flight, pop the earliest completion, fold when ready."""
+        policy = self.aggregator
+        view = TimelineView(
+            parties_per_round=self.config.parties_per_round)
+        in_flight = np.zeros(self.store.n_parties, dtype=bool)
+        heap: list = []   # (time, kind, seq, dispatch_index, pid, update)
+        pending: "dict[int, _Pending]" = {}
+        buffer: list = []  # (update, dispatch_index) in arrival order
+        seq = 0
+        version = 0        # global model version (= folds applied)
+        sim_time = 0.0
+        window = _Window()
+        stalled = False    # nobody selectable at the last attempt
+
+        def dispatch_one() -> bool:
+            """Plan + execute one dispatch; schedules its completions."""
+            nonlocal seq
+            index = view.n_dispatched + 1
+            with profiler.phase("plan"):
+                plan = self.planner.plan_dispatch(
+                    index,
+                    in_flight=in_flight if view.n_in_flight else None,
+                    n_select_cap=(None if policy.lockstep
+                                  else policy.cohort_cap(view)))
+            if plan is None:
+                return False
+            with profiler.phase("train"):
+                updates = self.executor.execute_dispatch(
+                    plan, self.global_parameters)
+            profiler.reattribute("train", "broadcast",
+                                 self.executor.last_broadcast_seconds)
+            status = DispatchStatus(index=index, dispatch_time=sim_time,
+                                    cohort_size=len(plan.cohort))
+            pending[index] = _Pending(status=status, plan=plan,
+                                      parameters=self.global_parameters,
+                                      version=version)
+            view.dispatches.append(status)
+            view.n_dispatched += 1
+            arrived_ids = set()
+            for update in updates:
+                arrived_ids.add(update.party_id)
+                heapq.heappush(heap, (sim_time + update.latency, _ARRIVAL,
+                                      seq, index, update.party_id, update))
+                seq += 1
+            # Planned stragglers and fault-dropped updates never report;
+            # they rejoin the selectable pool at the dispatch's deadline
+            # (or the legacy timeout multiple of their expected latency).
+            stragglers = set(plan.stragglers)
+            missing = [p for p in plan.cohort if p not in arrived_ids]
+            if missing:
+                if plan.deadline is not None:
+                    releases = [sim_time + plan.deadline] * len(missing)
+                else:
+                    expected = self.store.expected_latency(
+                        plan.local_config,
+                        np.asarray(missing, dtype=np.int64))
+                    releases = [sim_time + _DEADLINE_FACTOR * float(e)
+                                for e in expected]
+            else:
+                releases = []
+            for pid, release in zip(missing, releases):
+                kind = _STRAGGLE if pid in stragglers else _DROP
+                heapq.heappush(heap, (release, kind, seq, index, pid,
+                                      None))
+                seq += 1
+            in_flight[np.asarray(plan.cohort, dtype=np.int64)] = True
+            view.n_in_flight += len(plan.cohort)
+            window.cohort.extend(plan.cohort)
+            window.downloads += len(plan.cohort)
+            if plan.faults is not None:
+                window.retried += plan.faults.n_retried
+                window.dropped += len(plan.faults.dropped)
+            window.workers_restarted += \
+                self.executor.last_workers_restarted
+            window.last_plan = plan
+            window.n_online = (None if plan.online is None
+                               else len(plan.online))
+            return True
+
+        def fire_event() -> None:
+            """Fold the buffer into the global model and record the
+            aggregation event."""
+            nonlocal sim_time, version, window
+            event_index = view.n_events + 1
+            folded = list(buffer)
+            buffer.clear()
+            view.n_buffered = 0
+            if policy.fold_in_cohort_order:
+                # The synchronous float-sensitive contract: fold in
+                # participant order, not arrival order.
+                folded.sort(key=lambda item: (
+                    item[1],
+                    pending[item[1]].plan.cohort.index(item[0].party_id)))
+            raw = [u for u, _ in folded]
+            base_params = self.global_parameters
+            stalenesses: list = []
+            weights: list = []
+            if policy.apply_staleness:
+                updates = []
+                for update, d_index in folded:
+                    entry = pending[d_index]
+                    tau = version - entry.version
+                    weight = policy.weight(tau)
+                    stalenesses.append(tau)
+                    weights.append(weight)
+                    importance = (weight if update.importance_weight is None
+                                  else float(update.importance_weight)
+                                  * weight)
+                    # Rebase: the client trained from the parameters it
+                    # was sent; shift its delta onto the current model.
+                    updates.append(replace(
+                        update,
+                        parameters=base_params
+                        + (update.parameters - entry.parameters),
+                        importance_weight=importance))
+            else:
+                updates = raw
+            if self.validator is not None:
+                accepted, quarantined = self.validator.partition(
+                    updates, base_params)
+            else:
+                accepted, quarantined = updates, []
+            with profiler.phase("aggregate"):
+                if accepted:
+                    self.global_parameters = self.algorithm.server.step(
+                        base_params, accepted)
+                    version += 1
+            uplink_nbytes = (sum(u.nbytes for u in raw)
+                             if self.compressor is not None else None)
+            if policy.lockstep:
+                comm_bytes = self.comm.record_round(
+                    n_downloads=window.downloads, n_uploads=len(raw),
+                    uplink_nbytes=uplink_nbytes)
+            else:
+                comm_bytes = self.comm.record_event(
+                    n_downloads=window.downloads, n_uploads=len(raw),
+                    uplink_nbytes=uplink_nbytes)
+            with profiler.phase("evaluate"):
+                evaluation = self.eval_policy.evaluate(
+                    event_index, self.global_parameters)
+            if policy.lockstep:
+                # Lock-step event times replay the synchronous engine's
+                # deadline-padded round durations exactly.
+                duration = self._round_duration(
+                    window.last_plan,
+                    {u.party_id: u.latency for u in raw})
+                event_time = window.clock_start + duration
+                sim_time = event_time
+            else:
+                event_time = sim_time
+                if folded:
+                    oldest = min(
+                        pending[d].status.dispatch_time
+                        for _, d in folded)
+                    duration = event_time - oldest
+                else:
+                    duration = event_time - window.clock_start
+            accepted_ids = tuple(u.party_id for u in accepted)
+            stragglers = tuple(sorted(window.stragglers))
+            history.append(RoundRecord(
+                round_index=event_index,
+                cohort=tuple(window.cohort),
+                received=accepted_ids,
+                stragglers=stragglers,
+                balanced_accuracy=evaluation.balanced_accuracy,
+                plain_accuracy=evaluation.plain_accuracy,
+                per_label_recall=tuple(np.nan_to_num(
+                    evaluation.per_label_recall, nan=0.0)),
+                mean_train_loss=mean_or_nan(
+                    [u.train_loss for u in accepted]),
+                comm_bytes=comm_bytes,
+                round_duration=duration,
+                n_online=window.n_online,
+                uplink_bytes=self.comm.per_round_uplink[-1],
+                phase_seconds=profiler.finish_round(),
+                parties_retried=window.retried,
+                updates_dropped=window.dropped,
+                updates_quarantined=len(quarantined),
+                workers_restarted=window.workers_restarted,
+            ))
+            history.append_event(AggregationRecord(
+                event_index=event_index,
+                sim_time=event_time,
+                round_index=event_index,
+                n_updates=len(accepted),
+                n_dispatched=len(window.cohort),
+                mean_staleness=mean_or_nan(stalenesses),
+                max_staleness=max(stalenesses, default=0),
+                min_weight=min(weights, default=1.0),
+                balanced_accuracy=evaluation.balanced_accuracy))
+            self.strategy.report_round(RoundOutcome(
+                round_index=event_index,
+                cohort=tuple(window.cohort),
+                received=accepted_ids,
+                stragglers=stragglers,
+                train_losses={u.party_id: u.train_loss
+                              for u in accepted},
+                loss_sq_sums={u.party_id: u.loss_sq_sum
+                              for u in accepted},
+                loss_counts={u.party_id: u.loss_count
+                             for u in accepted},
+                latencies={u.party_id: u.latency for u in accepted},
+                update_deltas=(
+                    {u.party_id: u.delta(base_params) for u in accepted}
+                    if self.strategy.wants_update_vectors else {}),
+                global_accuracy=(evaluation.balanced_accuracy
+                                 if evaluation.fresh else None)))
+            # Fully resolved dispatches have nothing left to contribute
+            # (the buffer just drained); drop their bookkeeping.
+            for d_index in [d for d, e in pending.items()
+                            if e.status.resolved]:
+                del pending[d_index]
+            view.dispatches = [s for s in view.dispatches
+                               if not s.resolved]
+            view.n_events += 1
+            view.sim_time = sim_time
+            window = _Window(clock_start=event_time,
+                             n_online=window.n_online)
+
+        while view.n_events < self.config.rounds:
+            while not stalled and policy.want_dispatch(view):
+                if not dispatch_one():
+                    stalled = True
+            if not heap:
+                if buffer:
+                    # Nothing left in flight but an undersized buffer:
+                    # drain it rather than dropping trained updates.
+                    fire_event()
+                    stalled = False
+                    continue
+                break  # timeline ran dry
+            time, kind, _, d_index, party_id, update = heapq.heappop(heap)
+            sim_time = max(sim_time, time)
+            view.sim_time = sim_time
+            entry = pending[d_index]
+            entry.status.n_resolved += 1
+            in_flight[party_id] = False
+            view.n_in_flight -= 1
+            if kind == _ARRIVAL:
+                entry.status.n_arrived += 1
+                buffer.append((update, d_index))
+                view.n_buffered += 1
+            elif kind == _STRAGGLE:
+                window.stragglers.append(party_id)
+            stalled = False  # a party came back; selection may succeed
+            if policy.ready(view):
+                fire_event()

@@ -66,6 +66,31 @@ class CommunicationTracker:
                 "cannot receive more updates than models were sent")
         if uplink_nbytes is not None and uplink_nbytes < 0:
             raise ConfigurationError("uplink_nbytes must be >= 0")
+        return self._meter(n_downloads, n_uploads, uplink_nbytes)
+
+    def record_event(self, n_downloads: int, n_uploads: int,
+                     uplink_nbytes: "int | None" = None) -> int:
+        """Meter one aggregation event of the event-timeline engine.
+
+        Unlike :meth:`record_round`, an event's uploads may exceed its
+        downloads — arrivals answer dispatches billed in *earlier*
+        event windows — so the uploads ≤ downloads invariant is
+        enforced cumulatively (via the byte totals, which bill every
+        transfer symmetrically) instead of per call.
+        """
+        if n_downloads < 0 or n_uploads < 0:
+            raise ConfigurationError("transfer counts must be >= 0")
+        if uplink_nbytes is not None and uplink_nbytes < 0:
+            raise ConfigurationError("uplink_nbytes must be >= 0")
+        nbytes = update_nbytes(self.model_dimension)
+        if self.uplink_full_bytes + n_uploads * nbytes > \
+                self.downlink_bytes + n_downloads * nbytes:
+            raise ConfigurationError(
+                "cannot receive more updates than models were sent")
+        return self._meter(n_downloads, n_uploads, uplink_nbytes)
+
+    def _meter(self, n_downloads: int, n_uploads: int,
+               uplink_nbytes: "int | None") -> int:
         nbytes = update_nbytes(self.model_dimension)
         down = n_downloads * nbytes
         full_up = n_uploads * nbytes

@@ -301,6 +301,26 @@ class ClientExecutor(ABC):
         so executors may not reorder them.
         """
 
+    def execute_dispatch(self, plan: RoundPlan,
+                         global_parameters: np.ndarray,
+                         ) -> "list[ModelUpdate]":
+        """Run the dispatch and return its updates in *arrival* order.
+
+        The out-of-order-completion surface of every backend: the
+        event-timeline engine (:mod:`repro.fl.async_engine`) replays
+        each update at ``dispatch_time + update.latency``, so updates
+        are handed back sorted by simulated latency (ties fall back to
+        cohort position for determinism) instead of :meth:`execute`'s
+        participant order.  The float-sensitive participant-order
+        contract is the *aggregation policy's* concern on this path —
+        the synchronous policy re-sorts its fold back to cohort order,
+        the async policies fold in arrival order by design.
+        """
+        updates = self.execute(plan, global_parameters)
+        position = {pid: i for i, pid in enumerate(plan.cohort)}
+        return sorted(updates,
+                      key=lambda u: (u.latency, position[u.party_id]))
+
     def close(self) -> None:
         """Release executor resources; called by the engine at job end."""
 

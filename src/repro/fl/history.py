@@ -18,7 +18,8 @@ from repro.common.exceptions import ConfigurationError
 from repro.metrics.convergence import peak_accuracy as _peak
 from repro.metrics.convergence import rounds_to_target as _rounds_to
 
-__all__ = ["RoundRecord", "TrainingHistory", "mean_or_nan"]
+__all__ = ["AggregationRecord", "RoundRecord", "TrainingHistory",
+           "mean_or_nan"]
 
 
 def mean_or_nan(values) -> float:
@@ -91,19 +92,77 @@ class RoundRecord:
         return 0 if not self.cohort else max(0, len(self.cohort))
 
 
+@dataclass(frozen=True)
+class AggregationRecord:
+    """One aggregation event on the simulated timeline.
+
+    Synchronous jobs have exactly one event per round, at the round's
+    end; asynchronous jobs (:mod:`repro.fl.async_engine`) decouple the
+    two — an event fires whenever the aggregation policy folds its
+    buffer, possibly mid-dispatch of other cohorts.  ``sim_time`` is the
+    event's position on the simulated wall clock (*not* a sum of round
+    durations — overlapped dispatches share wall time), ``staleness``
+    statistics describe the folded updates' model-version lag, and
+    ``min_weight`` is the smallest staleness weight applied (1.0 when
+    the fold was unweighted).
+    """
+
+    event_index: int
+    sim_time: float
+    round_index: int
+    n_updates: int
+    n_dispatched: int
+    mean_staleness: float
+    max_staleness: int
+    min_weight: float
+    balanced_accuracy: float
+
+    def __post_init__(self) -> None:
+        if self.event_index < 1:
+            raise ConfigurationError("event_index must be >= 1")
+        if self.sim_time < 0.0:
+            raise ConfigurationError("sim_time must be >= 0")
+        if self.n_updates < 0 or self.n_dispatched < 0:
+            raise ConfigurationError("event counts must be >= 0")
+
+
 @dataclass
 class TrainingHistory:
-    """Round-by-round record of one FL job."""
+    """Round-by-round record of one FL job.
+
+    Asynchronous jobs additionally log one :class:`AggregationRecord`
+    per aggregation event in :attr:`events`; for them
+    :meth:`wall_clock` reads the event timeline while
+    :meth:`sum_of_round_durations` keeps the legacy per-round sum.
+    """
 
     job_name: str = "fl-job"
     parties_per_round: int = 0
     records: list = field(default_factory=list)
+    events: list = field(default_factory=list)
 
     def append(self, record: RoundRecord) -> None:
         """Add the next round's record (strictly increasing round index)."""
         if self.records and record.round_index <= self.records[-1].round_index:
             raise ConfigurationError("rounds must be appended in order")
         self.records.append(record)
+
+    def append_event(self, event: AggregationRecord) -> None:
+        """Log the next aggregation event (ordered on the timeline)."""
+        if self.events:
+            last = self.events[-1]
+            if event.event_index <= last.event_index:
+                raise ConfigurationError(
+                    "events must be appended in order")
+            if event.sim_time < last.sim_time:
+                raise ConfigurationError(
+                    "simulated time cannot run backwards")
+        self.events.append(event)
+
+    def __setstate__(self, state: dict) -> None:
+        """Accept pickles from before the event log existed."""
+        state.setdefault("events", [])
+        self.__dict__.update(state)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -183,8 +242,64 @@ class TrainingHistory:
         return int(sum(r.comm_bytes for r in self.records[:hit]))
 
     def total_duration(self) -> float:
-        """Simulated wall time across all rounds (straggler-padded)."""
+        """Simulated duration of the job, preferring the event timeline.
+
+        Synchronous histories sum their per-round durations (the legacy
+        semantics, unchanged).  Histories with an event log read the
+        timeline instead — under overlapped dispatch the per-round sum
+        double-counts shared wall time, so the last event's ``sim_time``
+        is the physical answer.  Use :meth:`sum_of_round_durations` for
+        the explicit legacy quantity and :meth:`wall_clock` for the
+        explicit timeline quantity.
+        """
+        return self.wall_clock()
+
+    def sum_of_round_durations(self) -> float:
+        """Straggler-padded per-round durations, summed.
+
+        For synchronous jobs this *is* the simulated wall clock; for
+        asynchronous jobs it is the serialized (no-overlap) cost of the
+        same aggregation events — comparing it against
+        :meth:`wall_clock` measures how much time overlap saved.
+        """
         return float(sum(r.round_duration for r in self.records))
+
+    def wall_clock(self) -> float:
+        """Simulated wall-clock time of the whole job.
+
+        The last aggregation event's timeline position when the job
+        logged events; otherwise (synchronous engine) identical to
+        :meth:`sum_of_round_durations`.
+        """
+        if self.events:
+            return float(self.events[-1].sim_time)
+        return self.sum_of_round_durations()
+
+    def time_to_target(self, target: float) -> float | None:
+        """Simulated time at which ``target`` balanced accuracy was first
+        reached (``None`` = never) — the async counterpart of
+        :meth:`rounds_to_target`, and the metric that makes buffered
+        aggregation worth having.
+        """
+        if self.events:
+            for event in self.events:
+                if event.balanced_accuracy >= target:
+                    return float(event.sim_time)
+            return None
+        hit = self.rounds_to_target(target)
+        if hit is None:
+            return None
+        return float(sum(r.round_duration for r in self.records[:hit]))
+
+    def mean_staleness(self) -> float:
+        """Mean staleness across folded updates on the event timeline
+        (``NaN`` for synchronous histories without an event log)."""
+        total = sum(e.n_updates for e in self.events)
+        if not total:
+            return float("nan")
+        weighted = sum(e.mean_staleness * e.n_updates
+                       for e in self.events if e.n_updates)
+        return float(weighted / total)
 
     # -- fairness / participation ------------------------------------------
     def participation_counts(self) -> Counter:
@@ -241,7 +356,13 @@ class TrainingHistory:
         return totals
 
     def summary(self, target: float | None = None) -> dict:
-        """Compact dict used by the experiment cache and the benches."""
+        """Compact dict used by the experiment cache and the benches.
+
+        ``total_duration`` keeps its historical slot (it now reports the
+        simulated wall clock); the two unambiguous readings are surfaced
+        alongside it as ``wall_clock`` and ``sum_of_round_durations`` —
+        identical for lock-step runs, distinct once rounds overlap.
+        """
         out = {
             "job": self.job_name,
             "rounds": len(self.records),
@@ -250,12 +371,18 @@ class TrainingHistory:
                                 if self.records else None),
             "total_comm_bytes": self.total_comm_bytes(),
             "total_duration": self.total_duration(),
+            "wall_clock": self.wall_clock(),
+            "sum_of_round_durations": self.sum_of_round_durations(),
             "stragglers": self.straggler_count(),
         }
+        if self.events:
+            out["aggregation_events"] = len(self.events)
+            out["mean_staleness"] = self.mean_staleness()
         faults = self.fault_summary()
         if any(faults.values()):
             out["faults"] = faults
         if target is not None:
             out["rounds_to_target"] = self.rounds_to_target(target)
             out["comm_bytes_to_target"] = self.comm_bytes_to_target(target)
+            out["time_to_target"] = self.time_to_target(target)
         return out

@@ -101,9 +101,38 @@ class RoundPlanner:
     def plan_round(self, round_index: int) -> RoundPlan:
         """Availability + selection + arrival + fault draw: everything
         decided before any client computes, in array form."""
+        plan = self.plan_dispatch(round_index)
+        assert plan is not None  # no in-flight mask → never exhausted
+        return plan
+
+    def plan_dispatch(self, round_index: int,
+                      in_flight: "np.ndarray | None" = None,
+                      n_select_cap: "int | None" = None,
+                      ) -> "RoundPlan | None":
+        """Plan one dispatch, excluding parties still in flight.
+
+        The event-timeline engine's generalization of
+        :meth:`plan_round`: ``in_flight`` masks out parties whose update
+        from an earlier dispatch is still outstanding — a party cannot
+        be re-selected while the aggregator owes it a fold — and
+        ``n_select_cap`` bounds the cohort below the nominal
+        parties-per-round (concurrency headroom).  The exclusion is
+        applied *after* the online-mask fallbacks, so an empty
+        availability draw still falls back to the enrolled population
+        but never re-admits an in-flight party.  Returns ``None`` when
+        nobody is selectable (everyone offline or in flight); with
+        ``in_flight=None`` the semantics — and every RNG draw — are
+        exactly :meth:`plan_round`'s.
+        """
         mask = self.online_mask(round_index)
         vanished = (self.churn.departed_mask(round_index)
                     if self.churn is not None else None)
+        if in_flight is not None:
+            selectable = (~in_flight if mask is None
+                          else mask & ~in_flight)
+            if not selectable.any():
+                return None
+            mask = None if selectable.all() else selectable
         if mask is None:
             self.view.update_mask(None)
             n_online = self.store.n_parties
@@ -111,6 +140,10 @@ class RoundPlanner:
             self.view.update_mask(mask, vanished=vanished)
             n_online = self.view.count(self.store.n_parties)
         n_select = min(self.parties_per_round, n_online)
+        if n_select_cap is not None:
+            if n_select_cap < 1:
+                raise ConfigurationError("n_select_cap must be >= 1")
+            n_select = min(n_select, n_select_cap)
         cohort = self.strategy.validated_select(
             round_index, n_select, self.rng_select)
         if not cohort:

@@ -14,9 +14,14 @@ engine is selector-agnostic:
   discussed in §3 and provided as an extension baseline.
 
 FLIPS itself lives in :mod:`repro.core` (it is the paper's contribution,
-not a baseline).
+not a baseline), but registers here like every baseline so config-driven
+dispatch has one source of truth: :data:`STRATEGY_REGISTRY` maps config
+names to strategy classes and :func:`get_strategy` instantiates them —
+the shape the experiment layer (``ExperimentConfig``/``tables.py``)
+builds selectors through.
 """
 
+from repro.common.exceptions import ConfigurationError
 from repro.selection.base import (
     RoundOutcome,
     SelectionContext,
@@ -34,7 +39,51 @@ __all__ = [
     "PowerOfChoiceSelection",
     "RandomSelection",
     "RoundOutcome",
+    "STRATEGY_REGISTRY",
     "SelectionContext",
     "SelectionStrategy",
     "TiflSelection",
+    "get_strategy",
 ]
+
+#: Config name → strategy class, in the experiment layer's canonical
+#: column order.  One entry per selector the tables sweep.  The
+#: ``"flips"`` slot is ``None`` only while :mod:`repro.core.flips` is
+#: itself mid-import (it pulls :mod:`repro.selection.base`, so a plain
+#: top-level import here would be circular); the ``try`` below and
+#: :func:`get_strategy` both heal it the moment the class exists.
+STRATEGY_REGISTRY: "dict[str, type]" = {
+    "random": RandomSelection,
+    "flips": None,
+    "oort": OortSelection,
+    "grad_cls": GradClusSelection,
+    "tifl": TiflSelection,
+    "power_of_choice": PowerOfChoiceSelection,
+}
+
+try:
+    from repro.core.flips import FlipsSelector
+    STRATEGY_REGISTRY["flips"] = FlipsSelector
+except ImportError:
+    # repro.core.flips is importing *us* right now; get_strategy fills
+    # the slot lazily on first use instead.
+    pass
+
+
+def get_strategy(name: str, **kwargs) -> SelectionStrategy:
+    """Instantiate the registered selection strategy ``name``.
+
+    ``kwargs`` pass straight to the strategy's constructor (e.g. FLIPS's
+    ``label_distributions``/``k``, Oort's ``overprovision``).  Raises
+    :class:`~repro.common.exceptions.ConfigurationError` for unknown
+    names, listing the registry.
+    """
+    if name not in STRATEGY_REGISTRY:
+        raise ConfigurationError(
+            f"unknown selector {name!r}; choose from "
+            f"{tuple(STRATEGY_REGISTRY)}")
+    cls = STRATEGY_REGISTRY[name]
+    if cls is None:
+        from repro.core.flips import FlipsSelector as cls
+        STRATEGY_REGISTRY[name] = cls
+    return cls(**kwargs)

@@ -1,0 +1,268 @@
+"""Aggregation policies: staleness math, dispatch/fold decisions."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.common.rng import RngFabric
+from repro.availability import (
+    BernoulliAvailability,
+    ChurnProcess,
+    DeadlineArrivals,
+    OnlineView,
+)
+from repro.fl.aggregation import (
+    AGGREGATION_MODES,
+    BufferedAsyncAggregator,
+    DispatchStatus,
+    OverlappedAggregator,
+    SynchronousAggregator,
+    TimelineView,
+    make_aggregator,
+    staleness_weight,
+)
+from repro.fl.party import LocalTrainingConfig
+from repro.fl.party_store import PartyStore
+from repro.fl.planning import RoundPlanner
+from repro.selection.base import SelectionContext
+from repro.selection.random_selection import RandomSelection
+
+
+class TestStalenessWeight:
+    def test_fresh_update_is_unweighted(self):
+        assert staleness_weight(0, 0.5) == 1.0
+
+    def test_alpha_zero_is_fedavg(self):
+        # alpha = 0 disables the discount entirely: every update keeps
+        # weight 1.0 and buffered folds reduce to FedAvg weighting.
+        for tau in (0, 1, 5, 1000):
+            assert staleness_weight(tau, 0.0) == 1.0
+
+    def test_formula(self):
+        for tau in (1, 2, 7):
+            for alpha in (0.25, 0.5, 1.0, 2.0):
+                assert staleness_weight(tau, alpha) == pytest.approx(
+                    1.0 / (1.0 + tau) ** alpha)
+
+    def test_monotone_decreasing_in_staleness(self):
+        weights = [staleness_weight(t, 0.5) for t in range(6)]
+        assert weights == sorted(weights, reverse=True)
+        assert all(0.0 < w <= 1.0 for w in weights)
+
+    def test_negative_staleness_rejected(self):
+        with pytest.raises(ConfigurationError):
+            staleness_weight(-1, 0.5)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            staleness_weight(1, -0.1)
+
+
+def view(**kwargs) -> TimelineView:
+    base = dict(parties_per_round=4, sim_time=0.0, n_in_flight=0,
+                n_buffered=0, n_dispatched=0, n_events=0, dispatches=[])
+    base.update(kwargs)
+    return TimelineView(**base)
+
+
+def dispatch(index=0, cohort_size=4, n_resolved=0) -> DispatchStatus:
+    return DispatchStatus(index=index, dispatch_time=0.0,
+                          cohort_size=cohort_size, n_arrived=n_resolved,
+                          n_resolved=n_resolved)
+
+
+class TestSynchronousPolicy:
+    def test_dispatches_only_when_drained(self):
+        policy = SynchronousAggregator()
+        assert policy.want_dispatch(view())
+        assert not policy.want_dispatch(view(n_in_flight=2,
+                                             dispatches=[dispatch()]))
+        assert not policy.want_dispatch(view(n_buffered=1))
+
+    def test_ready_when_cohort_resolved(self):
+        policy = SynchronousAggregator()
+        partial = dispatch(n_resolved=3)
+        assert not policy.ready(view(dispatches=[partial]))
+        assert policy.ready(view(dispatches=[dispatch(n_resolved=4)]))
+
+    def test_lockstep_contract(self):
+        policy = SynchronousAggregator()
+        assert policy.lockstep
+        assert not policy.apply_staleness
+        assert policy.fold_in_cohort_order
+        assert policy.weight(3) == 1.0
+
+
+class TestBufferedPolicy:
+    def test_dispatches_up_to_concurrency_cap(self):
+        policy = BufferedAsyncAggregator(2, max_concurrency=8)
+        assert policy.want_dispatch(view(n_in_flight=7))
+        assert not policy.want_dispatch(view(n_in_flight=8))
+
+    def test_ready_at_buffer_size(self):
+        policy = BufferedAsyncAggregator(3, max_concurrency=8)
+        assert not policy.ready(view(n_buffered=2))
+        assert policy.ready(view(n_buffered=3))
+        assert policy.ready(view(n_buffered=5))
+
+    def test_cohort_cap_clamps_to_headroom(self):
+        policy = BufferedAsyncAggregator(2, max_concurrency=6)
+        assert policy.cohort_cap(view(n_in_flight=0)) == 4
+        assert policy.cohort_cap(view(n_in_flight=4)) == 2
+        assert policy.cohort_cap(view(n_in_flight=6)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BufferedAsyncAggregator(0, max_concurrency=4)
+        with pytest.raises(ConfigurationError):
+            BufferedAsyncAggregator(2, max_concurrency=0)
+        with pytest.raises(ConfigurationError):
+            BufferedAsyncAggregator(2, staleness_alpha=-1.0,
+                                    max_concurrency=4)
+
+
+class TestOverlappedPolicy:
+    def test_one_wave_per_event(self):
+        policy = OverlappedAggregator(max_concurrency=8)
+        assert policy.want_dispatch(view(n_dispatched=2, n_events=2))
+        assert not policy.want_dispatch(view(n_dispatched=3, n_events=2))
+
+    def test_quorum_on_newest_dispatch(self):
+        policy = OverlappedAggregator(quorum=0.5, max_concurrency=8)
+        old = dispatch(index=0, n_resolved=4)
+        newest = dispatch(index=1, n_resolved=1)
+        assert not policy.ready(view(dispatches=[old, newest]))
+        newest.n_resolved = 2
+        assert policy.ready(view(dispatches=[old, newest]))
+
+    def test_quorum_ceils(self):
+        policy = OverlappedAggregator(quorum=0.5, max_concurrency=8)
+        newest = dispatch(cohort_size=5, n_resolved=2)
+        assert not policy.ready(view(dispatches=[newest]))  # need ceil=3
+        newest.n_resolved = 3
+        assert policy.ready(view(dispatches=[newest]))
+
+    def test_empty_timeline_never_ready(self):
+        assert not OverlappedAggregator(max_concurrency=4).ready(view())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OverlappedAggregator(quorum=0.0, max_concurrency=4)
+        with pytest.raises(ConfigurationError):
+            OverlappedAggregator(quorum=1.5, max_concurrency=4)
+
+
+class TestMakeAggregator:
+    def test_modes_registry(self):
+        assert AGGREGATION_MODES == ("synchronous", "timeline",
+                                     "buffered", "overlapped")
+
+    def test_synchronous_and_timeline_share_policy(self):
+        for mode in ("synchronous", "timeline"):
+            policy = make_aggregator(mode, parties_per_round=4)
+            assert isinstance(policy, SynchronousAggregator)
+
+    def test_buffered_defaults_scale_with_cohort(self):
+        policy = make_aggregator("buffered", parties_per_round=10)
+        assert isinstance(policy, BufferedAsyncAggregator)
+        assert policy.buffer_size == 5
+        assert policy.max_concurrency == 20
+
+    def test_overlapped_defaults(self):
+        policy = make_aggregator("overlapped", parties_per_round=10,
+                                 staleness_alpha=0.25)
+        assert isinstance(policy, OverlappedAggregator)
+        assert policy.staleness_alpha == 0.25
+        assert policy.max_concurrency == 20
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_aggregator("fifo", parties_per_round=4)
+
+
+# -- in-flight exclusion at population scale ---------------------------------
+
+_ROUNDS = 40
+_N_PARTIES = 100_000
+_COHORT = 500
+
+
+def _build_planner(churn: "ChurnProcess | None", seed: int = 0):
+    """The population-scaling bench's wiring: planner on a synthetic
+    100k-party store, heavy churn, sparse availability, no engine."""
+    store = PartyStore.synthetic(_N_PARTIES, rng=seed)
+    fabric = RngFabric(seed)
+    availability = BernoulliAvailability(rate=0.5)
+    availability.bind(_N_PARTIES, fabric.generator("availability"))
+    if churn is not None:
+        churn.bind(_N_PARTIES, _ROUNDS, fabric.generator("churn"))
+    arrivals = DeadlineArrivals(deadline_factor=1.5)
+    local_config = LocalTrainingConfig(epochs=1)
+    arrivals.bind(None, local_config, store=store)
+    online_view = OnlineView()
+    strategy = RandomSelection()
+    strategy.initialize(SelectionContext(
+        n_parties=_N_PARTIES, parties_per_round=_COHORT,
+        total_rounds=_ROUNDS, party_sizes=store.num_samples,
+        num_classes=4, seed=seed, online_view=online_view))
+    return RoundPlanner(
+        store=store, strategy=strategy, availability_model=availability,
+        churn=churn, arrivals=arrivals, fault_injector=None,
+        rng_select=fabric.generator("selector"),
+        rng_arrival=fabric.generator("deadline"),
+        view=online_view, parties_per_round=_COHORT,
+        local_config=local_config)
+
+
+class TestInFlightExclusion:
+    def test_no_reselection_under_heavy_churn_100k(self):
+        """A party is never re-selected while its update is outstanding,
+        even when churn and sparse availability reshuffle the population
+        every round and releases lag several dispatches behind."""
+        planner = _build_planner(ChurnProcess(late_join_fraction=0.2,
+                                              departure_hazard=0.1))
+        in_flight = np.zeros(_N_PARTIES, dtype=bool)
+        release_queue = []
+        rng = np.random.default_rng(7)
+        for round_index in range(1, _ROUNDS + 1):
+            plan = planner.plan_dispatch(round_index, in_flight=in_flight)
+            assert plan is not None
+            cohort = np.asarray(plan.cohort)
+            assert not in_flight[cohort].any(), (
+                f"round {round_index} re-selected an in-flight party")
+            in_flight[cohort] = True
+            release_queue.append(cohort)
+            # Release updates out of order, three dispatches late, so
+            # the in-flight set stays large and overlapping.
+            if len(release_queue) > 3:
+                released = release_queue.pop(0)
+                keep = rng.random(len(released)) < 0.2
+                in_flight[released[~keep]] = False
+                release_queue.append(released[keep])
+        assert in_flight.sum() > _COHORT  # exclusion was actually live
+
+    def test_exhausted_population_returns_none(self):
+        planner = _build_planner(None)
+        everyone = np.ones(_N_PARTIES, dtype=bool)
+        assert planner.plan_dispatch(1, in_flight=everyone) is None
+
+    def test_no_mask_matches_plan_round_draws(self):
+        """``in_flight=None`` replays ``plan_round``'s RNG stream."""
+        a = _build_planner(ChurnProcess(late_join_fraction=0.1,
+                                        departure_hazard=0.02))
+        b = _build_planner(ChurnProcess(late_join_fraction=0.1,
+                                        departure_hazard=0.02))
+        for round_index in range(1, 6):
+            pa = a.plan_round(round_index)
+            pb = b.plan_dispatch(round_index, in_flight=None)
+            assert pa.cohort == pb.cohort
+            assert pa.stragglers == pb.stragglers
+            assert pa.deadline == pb.deadline
+
+    def test_cohort_cap_bounds_dispatch(self):
+        planner = _build_planner(None)
+        plan = planner.plan_dispatch(1, n_select_cap=17)
+        assert plan is not None
+        assert len(plan.cohort) == 17
+        with pytest.raises(ConfigurationError):
+            planner.plan_dispatch(2, n_select_cap=0)

@@ -1,0 +1,211 @@
+"""The event-timeline engine: lock-step replay, buffered/overlapped runs."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.data import build_federation
+from repro.experiments import ExperimentConfig, run_experiment, smoke_config
+from repro.fl import (
+    AsyncFederatedTrainer,
+    BufferedAsyncAggregator,
+    Checkpointer,
+    FederatedTrainer,
+    FLJobConfig,
+    LocalTrainingConfig,
+    OverlappedAggregator,
+    make_algorithm,
+)
+from repro.selection import RandomSelection
+
+
+def _records_equal(a, b) -> bool:
+    """Bit-exact equality of two histories' round records."""
+    if len(a.records) != len(b.records):
+        return False
+    for ra, rb in zip(a.records, b.records):
+        if (ra.cohort != rb.cohort or ra.received != rb.received
+                or ra.stragglers != rb.stragglers
+                or ra.balanced_accuracy != rb.balanced_accuracy
+                or ra.round_duration != rb.round_duration
+                or ra.uplink_bytes != rb.uplink_bytes
+                or ra.mean_train_loss != rb.mean_train_loss
+                or ra.per_label_recall != rb.per_label_recall
+                or ra.comm_bytes != rb.comm_bytes):
+            return False
+    return True
+
+
+class TestTimelineReplaysSynchronous:
+    """``aggregation_mode='timeline'`` is the synchronous engine,
+    rescheduled: every record must match bit for bit."""
+
+    @pytest.mark.parametrize("backend", ["serial", "batched"])
+    def test_bit_exact_with_stragglers(self, backend):
+        config = smoke_config("ecg", straggler_rate=0.25,
+                              participation=0.5, backend=backend)
+        sync = run_experiment(config)
+        timeline = run_experiment(
+            config.with_overrides(aggregation_mode="timeline"))
+        assert _records_equal(sync, timeline)
+
+    def test_bit_exact_under_dynamic_population(self):
+        config = smoke_config("ecg", availability="diurnal",
+                              availability_rate=0.6, churn=0.05,
+                              deadline_factor=1.5, device_tiers=True)
+        sync = run_experiment(config)
+        timeline = run_experiment(
+            config.with_overrides(aggregation_mode="timeline"))
+        assert _records_equal(sync, timeline)
+
+    def test_timeline_populates_event_log(self):
+        config = smoke_config("ecg")
+        timeline = run_experiment(
+            config.with_overrides(aggregation_mode="timeline"))
+        assert len(timeline.events) == config.rounds
+        for event, record in zip(timeline.events, timeline.records):
+            assert event.round_index == record.round_index
+            assert event.n_updates == len(record.received)
+            assert event.balanced_accuracy == record.balanced_accuracy
+        # Lock-step: the wall clock IS the sum of round durations.
+        assert timeline.wall_clock() == pytest.approx(
+            timeline.sum_of_round_durations())
+
+
+@pytest.fixture(scope="module")
+def fed():
+    return build_federation("ecg", 10, alpha=0.5, n_train=500,
+                            n_test=250, seed=3)
+
+
+def _job(rounds=5, npr=4, seed=0):
+    return FLJobConfig(rounds=rounds, parties_per_round=npr,
+                       local=LocalTrainingConfig(epochs=1, batch_size=16,
+                                                 learning_rate=0.1),
+                       seed=seed)
+
+
+def _trainer(fed, aggregator, *, cls=AsyncFederatedTrainer, rounds=5,
+             npr=4, **kwargs):
+    from repro.ml import make_model
+    model = make_model("softmax", fed.parties[0].feature_shape,
+                       fed.num_classes, rng=0)
+    extra = {} if aggregator is None else {"aggregator": aggregator}
+    return cls(fed, model, make_algorithm("fedavg"), RandomSelection(),
+               _job(rounds=rounds, npr=npr), **extra, **kwargs)
+
+
+class DrainedBuffered(BufferedAsyncAggregator):
+    """Buffered fold math without overlap: dispatch only when the
+    timeline is drained, so each fold is exactly one full cohort."""
+
+    def want_dispatch(self, view):
+        """One cohort at a time — isolates the fold from concurrency."""
+        return (not view.dispatches and view.n_in_flight == 0
+                and view.n_buffered == 0)
+
+
+class TestBufferedEquivalence:
+    def test_full_cohort_buffer_matches_synchronous(self, fed):
+        """buffer_size == cohort with no overlap and alpha = 0 turns
+        each buffered fold back into one FedAvg round: same cohorts,
+        same folds, allclose parameters (only the float summation order
+        differs — arrival order instead of cohort order)."""
+        sync = _trainer(fed, None, cls=FederatedTrainer)
+        sync_history = sync.run()
+        buffered = _trainer(fed, DrainedBuffered(
+            4, staleness_alpha=0.0, max_concurrency=4))
+        buffered_history = buffered.run()
+        assert len(buffered_history) == len(sync_history)
+        for rs, rb in zip(sync_history.records, buffered_history.records):
+            assert rs.cohort == rb.cohort
+            assert sorted(rs.received) == sorted(rb.received)
+        np.testing.assert_allclose(buffered.global_parameters,
+                                   sync.global_parameters,
+                                   rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(buffered_history.accuracy_series(),
+                                   sync_history.accuracy_series())
+        # alpha = 0: every fold is unweighted (FedAvg), staleness 0.
+        assert all(e.min_weight == 1.0 for e in buffered_history.events)
+        assert all(e.max_staleness == 0 for e in buffered_history.events)
+
+
+class TestBufferedRun:
+    def test_event_budget_and_staleness(self, fed):
+        trainer = _trainer(fed, BufferedAsyncAggregator(
+            2, staleness_alpha=0.5, max_concurrency=8), rounds=6)
+        history = trainer.run()
+        assert len(history.events) == 6
+        times = [e.sim_time for e in history.events]
+        assert times == sorted(times)
+        assert all(e.n_updates >= 1 for e in history.events)
+        assert all(0.0 < e.min_weight <= 1.0 for e in history.events)
+        assert history.mean_staleness() >= 0.0
+
+    def test_wall_clock_beats_serialized_time(self, fed):
+        """Overlap means the wall clock is shorter than replaying the
+        per-event durations back to back."""
+        trainer = _trainer(fed, BufferedAsyncAggregator(
+            2, staleness_alpha=0.5, max_concurrency=8), rounds=6)
+        history = trainer.run()
+        assert history.wall_clock() < history.sum_of_round_durations()
+
+    def test_time_to_target(self, fed):
+        trainer = _trainer(fed, BufferedAsyncAggregator(
+            2, staleness_alpha=0.5, max_concurrency=8), rounds=6)
+        history = trainer.run()
+        reachable = history.peak_accuracy() - 1e-9
+        t = history.time_to_target(reachable)
+        assert t is not None
+        assert 0.0 < t <= history.wall_clock()
+        assert history.time_to_target(1.1) is None
+
+
+class TestOverlappedRun:
+    def test_waves_overlap(self, fed):
+        trainer = _trainer(fed, OverlappedAggregator(
+            quorum=0.5, staleness_alpha=0.5, max_concurrency=12),
+            rounds=6)
+        history = trainer.run()
+        assert len(history.events) == 6
+        assert history.wall_clock() < history.sum_of_round_durations()
+        # Quorum folds leave stragglers trailing into later events.
+        assert max(e.max_staleness for e in history.events) >= 1
+
+    def test_checkpoint_refused(self, fed):
+        trainer = _trainer(fed, OverlappedAggregator(max_concurrency=8))
+        with pytest.raises(ConfigurationError):
+            trainer.run(checkpointer=Checkpointer("/tmp/nope", every=1))
+
+
+class TestConfigKnobs:
+    def test_defaults_are_inert(self):
+        config = ExperimentConfig(dataset="ecg")
+        assert config.aggregation_mode == "synchronous"
+        assert config.buffer_size is None
+        assert config.max_concurrency is None
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="ecg", aggregation_mode="fifo")
+
+    def test_buffer_size_requires_buffered(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="ecg", buffer_size=4)
+        ExperimentConfig(dataset="ecg", aggregation_mode="buffered",
+                         buffer_size=4)
+
+    def test_max_concurrency_requires_async(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="ecg", max_concurrency=8)
+
+    def test_checkpointing_requires_synchronous(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="ecg", aggregation_mode="buffered",
+                             checkpoint_every=2)
+
+    def test_cache_key_distinguishes_modes(self):
+        base = ExperimentConfig(dataset="ecg")
+        buffered = ExperimentConfig(dataset="ecg",
+                                    aggregation_mode="buffered")
+        assert base.cache_key() != buffered.cache_key()

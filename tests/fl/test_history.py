@@ -121,3 +121,90 @@ class TestNanSafeLosses:
         assert np.isnan(series[1])
         assert series[0] == pytest.approx(0.8)
         assert series[2] == pytest.approx(0.4)
+
+
+def event(i, t, acc=0.5, n_updates=2, staleness=0.0):
+    from repro.fl import AggregationRecord
+    return AggregationRecord(event_index=i, sim_time=t, round_index=i,
+                             n_updates=n_updates, n_dispatched=n_updates,
+                             mean_staleness=staleness,
+                             max_staleness=int(staleness),
+                             min_weight=1.0, balanced_accuracy=acc)
+
+
+class TestEventLog:
+    """The aggregation-event log and the two duration semantics."""
+
+    def test_wall_clock_reads_last_event(self, history):
+        history.append_event(event(1, 0.2))
+        history.append_event(event(2, 0.3, acc=0.7))
+        assert history.wall_clock() == 0.3
+        # total_duration keeps reporting the wall clock...
+        assert history.total_duration() == 0.3
+        # ...while the serialized reading stays the per-round sum.
+        assert history.sum_of_round_durations() == pytest.approx(2.5)
+
+    def test_without_events_wall_clock_is_the_sum(self, history):
+        assert history.wall_clock() == history.sum_of_round_durations()
+        assert history.total_duration() == history.wall_clock()
+
+    def test_event_indices_strictly_increase(self, history):
+        history.append_event(event(1, 0.2))
+        with pytest.raises(ConfigurationError):
+            history.append_event(event(1, 0.4))
+
+    def test_sim_time_never_rewinds(self, history):
+        history.append_event(event(1, 0.5))
+        with pytest.raises(ConfigurationError):
+            history.append_event(event(2, 0.4))
+
+    def test_time_to_target_from_events(self, history):
+        history.append_event(event(1, 0.2, acc=0.3))
+        history.append_event(event(2, 0.3, acc=0.65))
+        assert history.time_to_target(0.6) == 0.3
+        assert history.time_to_target(0.9) is None
+
+    def test_time_to_target_falls_back_to_records(self, history):
+        # No events: the lock-step reading — cumulative round durations
+        # up to the first record at target.
+        assert history.time_to_target(0.6) == pytest.approx(4 * 0.5)
+        assert history.time_to_target(0.9) is None
+
+    def test_mean_staleness_weighted_by_updates(self, history):
+        history.append_event(event(1, 0.1, n_updates=1, staleness=0.0))
+        history.append_event(event(2, 0.2, n_updates=3, staleness=2.0))
+        assert history.mean_staleness() == pytest.approx(6.0 / 4.0)
+
+    def test_mean_staleness_nan_without_events(self, history):
+        assert np.isnan(history.mean_staleness())
+
+    def test_old_pickles_gain_empty_event_log(self, history):
+        import pickle
+        state = history.__dict__.copy()
+        del state["events"]
+        clone = TrainingHistory.__new__(TrainingHistory)
+        clone.__setstate__(state)
+        assert clone.events == []
+        assert pickle.loads(pickle.dumps(history)).events == []
+
+    def test_summary_surfaces_both_durations(self, history):
+        history.append_event(event(1, 0.2, acc=0.7))
+        out = history.summary(target=0.6)
+        assert out["wall_clock"] == 0.2
+        assert out["sum_of_round_durations"] == pytest.approx(2.5)
+        assert out["total_duration"] == out["wall_clock"]
+        assert out["aggregation_events"] == 1
+        assert out["time_to_target"] == 0.2
+
+    def test_event_validation(self):
+        from repro.fl import AggregationRecord
+        with pytest.raises(ConfigurationError):
+            AggregationRecord(event_index=0, sim_time=0.0, round_index=1,
+                              n_updates=1, n_dispatched=1,
+                              mean_staleness=0.0, max_staleness=0,
+                              min_weight=1.0, balanced_accuracy=0.5)
+        with pytest.raises(ConfigurationError):
+            AggregationRecord(event_index=1, sim_time=-1.0, round_index=1,
+                              n_updates=1, n_dispatched=1,
+                              mean_staleness=0.0, max_staleness=0,
+                              min_weight=1.0, balanced_accuracy=0.5)

@@ -1,0 +1,65 @@
+"""The strategy registry: one source of truth for config dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import ConfigurationError
+from repro.core.flips import FlipsSelector
+from repro.experiments.config import SELECTORS
+from repro.selection import (
+    STRATEGY_REGISTRY,
+    GradClusSelection,
+    OortSelection,
+    PowerOfChoiceSelection,
+    RandomSelection,
+    SelectionStrategy,
+    TiflSelection,
+    get_strategy,
+)
+
+
+class TestRegistry:
+    def test_canonical_order(self):
+        assert tuple(STRATEGY_REGISTRY) == (
+            "random", "flips", "oort", "grad_cls", "tifl",
+            "power_of_choice")
+
+    def test_every_slot_is_a_strategy_class(self):
+        # Including "flips": the circular-import placeholder must have
+        # been healed by the time repro finished importing.
+        for name, cls in STRATEGY_REGISTRY.items():
+            assert cls is not None, f"{name} slot never healed"
+            assert issubclass(cls, SelectionStrategy)
+
+    def test_expected_classes(self):
+        assert STRATEGY_REGISTRY["random"] is RandomSelection
+        assert STRATEGY_REGISTRY["flips"] is FlipsSelector
+        assert STRATEGY_REGISTRY["oort"] is OortSelection
+        assert STRATEGY_REGISTRY["grad_cls"] is GradClusSelection
+        assert STRATEGY_REGISTRY["tifl"] is TiflSelection
+        assert STRATEGY_REGISTRY["power_of_choice"] is \
+            PowerOfChoiceSelection
+
+    def test_config_selectors_mirror_registry(self):
+        assert SELECTORS == tuple(STRATEGY_REGISTRY)
+
+
+class TestGetStrategy:
+    def test_builds_instances(self):
+        assert isinstance(get_strategy("random"), RandomSelection)
+        assert isinstance(get_strategy("oort", overprovision=1.5),
+                          OortSelection)
+
+    def test_builds_flips_with_kwargs(self):
+        rng = np.random.default_rng(0)
+        dists = rng.random((12, 5))
+        selector = get_strategy("flips", label_distributions=dists, k=3)
+        assert isinstance(selector, FlipsSelector)
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(ConfigurationError, match="random"):
+            get_strategy("fedcs")
+
+    def test_kwargs_reach_constructor(self):
+        with pytest.raises(TypeError):
+            get_strategy("random", not_a_knob=1)

@@ -38,7 +38,7 @@ def test_quickstart_docstring_names_exist():
 @pytest.mark.parametrize("example", [
     "quickstart", "ecg_arrhythmia", "private_clustering_tee",
     "straggler_resilience", "algorithms_tour", "availability_dynamics",
-    "communication_efficiency",
+    "communication_efficiency", "async_aggregation",
 ])
 def test_examples_compile(example):
     """Every shipped example at least parses and has a main()."""
